@@ -1,0 +1,279 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 5), plus ablations of the design choices
+// DESIGN.md calls out. Each benchmark reports the figure's headline
+// series as custom metrics so `go test -bench` output doubles as the
+// reproduction record.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wheretime/internal/core"
+	"wheretime/internal/engine"
+	"wheretime/internal/harness"
+	"wheretime/internal/storage"
+	"wheretime/internal/workload"
+	"wheretime/internal/xeon"
+)
+
+// benchOptions returns the experiment configuration used by the
+// benchmark run: a scale where all shapes have converged but a full
+// figure regenerates in seconds.
+func benchOptions() harness.Options {
+	opts := harness.DefaultOptions()
+	opts.Scale = 0.01
+	return opts
+}
+
+// benchEnv is shared across benchmarks (the dataset build dominates
+// otherwise).
+var benchEnv *harness.Env
+
+func getBenchEnv(b *testing.B) *harness.Env {
+	b.Helper()
+	if benchEnv == nil {
+		env, err := harness.NewEnv(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEnv = env
+	}
+	return benchEnv
+}
+
+// runFigure drives one experiment b.N times, reporting the given
+// metrics from the last run.
+func runFigure(b *testing.B, run func(*harness.Env) ([]harness.Table, error)) []harness.Table {
+	env := getBenchEnv(b)
+	var tables []harness.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// BenchmarkFig51 regenerates Figure 5.1 (execution time breakdown) and
+// reports each system's stall share on the sequential selection.
+func BenchmarkFig51(b *testing.B) {
+	runFigure(b, harness.Fig51)
+	env := getBenchEnv(b)
+	for _, s := range engine.Systems() {
+		cell, err := env.Run(s, harness.SRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stall := 100 - cell.Breakdown.GroupPercent(core.GroupComputation)
+		b.ReportMetric(stall, fmt.Sprintf("stall%%_%s_SRS", s))
+	}
+}
+
+// BenchmarkFig52 regenerates Figure 5.2 (memory stall breakdown) and
+// reports the L1I+L2D share of TM, the paper's 90% claim.
+func BenchmarkFig52(b *testing.B) {
+	runFigure(b, harness.Fig52)
+	env := getBenchEnv(b)
+	for _, s := range engine.Systems() {
+		cell, err := env.Run(s, harness.SRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		share := cell.Breakdown.MemoryPercent(core.TL1I) + cell.Breakdown.MemoryPercent(core.TL2D)
+		b.ReportMetric(share, fmt.Sprintf("L1I+L2D%%ofTM_%s", s))
+	}
+}
+
+// BenchmarkFig53 regenerates Figure 5.3 (instructions per record).
+func BenchmarkFig53(b *testing.B) {
+	runFigure(b, harness.Fig53)
+	env := getBenchEnv(b)
+	for _, s := range engine.Systems() {
+		cell, err := env.Run(s, harness.SRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell.Breakdown.InstructionsPerRecord(), fmt.Sprintf("inst/rec_%s_SRS", s))
+	}
+}
+
+// BenchmarkFig54 regenerates both graphs of Figure 5.4.
+func BenchmarkFig54(b *testing.B) {
+	runFigure(b, harness.Fig54a)
+	runFigure(b, harness.Fig54b)
+	env := getBenchEnv(b)
+	for _, s := range engine.Systems() {
+		cell, err := env.Run(s, harness.SRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*cell.Breakdown.BranchMispredictionRate(), fmt.Sprintf("mispred%%_%s_SRS", s))
+	}
+}
+
+// BenchmarkFig55 regenerates Figure 5.5 (TDEP/TFU contributions).
+func BenchmarkFig55(b *testing.B) {
+	runFigure(b, harness.Fig55)
+	env := getBenchEnv(b)
+	cell, err := env.Run(engine.SystemA, harness.SRS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(cell.Breakdown.ComponentPercent(core.TDEP), "TDEP%_A_SRS")
+	b.ReportMetric(cell.Breakdown.ComponentPercent(core.TFU), "TFU%_A_SRS")
+}
+
+// BenchmarkFig56 regenerates Figure 5.6 (CPI, SRS vs TPC-D).
+func BenchmarkFig56(b *testing.B) {
+	runFigure(b, harness.Fig56)
+	env := getBenchEnv(b)
+	for _, s := range []engine.System{engine.SystemA, engine.SystemB, engine.SystemD} {
+		srs, err := env.Run(s, harness.SRS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tpcd, err := env.RunTPCD(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(srs.Breakdown.CPI(), fmt.Sprintf("CPI_%s_SRS", s))
+		b.ReportMetric(tpcd.Breakdown.CPI(), fmt.Sprintf("CPI_%s_TPCD", s))
+	}
+}
+
+// BenchmarkFig57 regenerates Figure 5.7 (cache stalls, SRS vs TPC-D).
+func BenchmarkFig57(b *testing.B) {
+	runFigure(b, harness.Fig57)
+	env := getBenchEnv(b)
+	cell, err := env.RunTPCD(engine.SystemD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(cell.Breakdown.MemoryPercent(core.TL1I), "L1I%ofTM_D_TPCD")
+}
+
+// BenchmarkRecordSize regenerates the Section 5.2.1-5.2.2 record-size
+// sweep and reports the 20B->200B growth factor.
+func BenchmarkRecordSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := getBenchEnv(b)
+		tables, err := harness.RecordSize(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tables[0].Rows[len(tables[0].Rows)-1]
+		b.ReportMetric(parseX(last[len(last)-1]), "growth_20B_to_200B_x")
+	}
+}
+
+func parseX(s string) float64 {
+	var v float64
+	fmt.Sscanf(s, "%fx", &v)
+	return v
+}
+
+// BenchmarkTPCC regenerates the Section 5.5 TPC-C observations.
+func BenchmarkTPCC(b *testing.B) {
+	env := getBenchEnv(b)
+	for i := 0; i < b.N; i++ {
+		cell, _, err := env.RunTPCC(engine.SystemC, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cell.Breakdown.CPI(), "CPI_C_TPCC")
+		b.ReportMetric(cell.Breakdown.GroupPercent(core.GroupMemory), "mem%_C_TPCC")
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) --------------------------------
+
+// ablationCell runs System D SRS under a modified platform config.
+func ablationCell(b *testing.B, mutate func(*xeon.Config)) harness.Cell {
+	b.Helper()
+	opts := benchOptions()
+	mutate(&opts.Config)
+	env, err := harness.NewEnv(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cell, err := env.Run(engine.SystemD, harness.SRS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cell
+}
+
+// BenchmarkAblationBTB compares the 512-entry BTB against the 16K-entry
+// design Section 5.3 cites [7] for OLTP workloads.
+func BenchmarkAblationBTB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := ablationCell(b, func(c *xeon.Config) {})
+		big := ablationCell(b, func(c *xeon.Config) { c.BTBEntries = 16384 })
+		b.ReportMetric(100*small.Breakdown.BTBMissRate(), "BTBmiss%_512")
+		b.ReportMetric(100*big.Breakdown.BTBMissRate(), "BTBmiss%_16K")
+		b.ReportMetric(small.Breakdown.GroupPercent(core.GroupBranch), "TB%_512")
+		b.ReportMetric(big.Breakdown.GroupPercent(core.GroupBranch), "TB%_16K")
+	}
+}
+
+// BenchmarkAblationL2Size compares the 512KB L2 against the 2MB option
+// the Xeon supported (Section 5.2.1).
+func BenchmarkAblationL2Size(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		small := ablationCell(b, func(c *xeon.Config) {})
+		big := ablationCell(b, func(c *xeon.Config) { c.L2SizeKB = 2048 })
+		b.ReportMetric(small.Breakdown.ComponentPercent(core.TL2D), "TL2D%_512KB")
+		b.ReportMetric(big.Breakdown.ComponentPercent(core.TL2D), "TL2D%_2MB")
+	}
+}
+
+// BenchmarkAblationLayout compares NSM and PAX data placement on the
+// same engine profile: the paper's data-placement recommendation.
+func BenchmarkAblationLayout(b *testing.B) {
+	dims := workload.PaperDims().Scaled(0.01)
+	for i := 0; i < b.N; i++ {
+		for _, layout := range []storage.Layout{storage.NSM, storage.PAX} {
+			db, err := workload.Build(dims, layout)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prof := engine.DefaultProfile(engine.SystemC)
+			prof.DataLayout = layout
+			eng := engine.NewWithProfile(prof, db.Catalog)
+			pipe := xeon.New(xeon.DefaultConfig())
+			plan, err := eng.Prepare(dims.QuerySRS(0.10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Run(plan, pipe); err != nil {
+				b.Fatal(err)
+			}
+			pipe.ResetStats()
+			if _, err := eng.Run(plan, pipe); err != nil {
+				b.Fatal(err)
+			}
+			bd := pipe.Breakdown()
+			recs := float64(bd.Counts.Records)
+			b.ReportMetric(bd.Cycles[core.TL2D]/recs, fmt.Sprintf("TL2Dcyc/rec_%s", layout))
+		}
+	}
+}
+
+// BenchmarkAblationOSInterrupts isolates the NT timer-interrupt
+// hypothesis of Section 5.2.2: L1I pollution with and without the
+// periodic kernel intrusion. The interval is tightened from the 10ms
+// timer tick to the effective rate of a loaded NT system (timer plus
+// device and IPC interrupts) so the effect is visible at bench scale.
+func BenchmarkAblationOSInterrupts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationCell(b, func(c *xeon.Config) { c.InterruptCycles = 250_000 })
+		without := ablationCell(b, func(c *xeon.Config) { c.InterruptCycles = 0 })
+		recsW := float64(with.Breakdown.Counts.Records)
+		recsWo := float64(without.Breakdown.Counts.Records)
+		b.ReportMetric(float64(with.Breakdown.Counts.L1IMisses)/recsW, "L1Imiss/rec_interrupts")
+		b.ReportMetric(float64(without.Breakdown.Counts.L1IMisses)/recsWo, "L1Imiss/rec_quiet")
+	}
+}

@@ -1,0 +1,133 @@
+// Command emon mimics the Intel emon invocation of Section 4.3: it
+// measures a chosen pair of hardware events over the query unit,
+// re-running the unit once per counter pair, and prints the raw
+// counts — the layer beneath the wheretime experiment harness.
+//
+//	emon -events INST_RETIRED,UOPS_RETIRED -system C -query srs
+//	emon -all -system B -query sj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"wheretime/internal/emon"
+	"wheretime/internal/engine"
+	"wheretime/internal/harness"
+	"wheretime/internal/sql"
+	"wheretime/internal/trace"
+	"wheretime/internal/xeon"
+)
+
+func main() {
+	var (
+		eventsFlag = flag.String("events", "INST_RETIRED,UOPS_RETIRED", "comma-separated event list")
+		all        = flag.Bool("all", false, "measure every supported event")
+		sysFlag    = flag.String("system", "C", "system variant: A, B, C or D")
+		queryFlag  = flag.String("query", "srs", "query: srs, irs or sj")
+		scale      = flag.Float64("scale", 0.01, "dataset scale")
+		sel        = flag.Float64("selectivity", 0.10, "range selectivity")
+	)
+	flag.Parse()
+
+	var sys engine.System
+	switch strings.ToUpper(*sysFlag) {
+	case "A":
+		sys = engine.SystemA
+	case "B":
+		sys = engine.SystemB
+	case "C":
+		sys = engine.SystemC
+	case "D":
+		sys = engine.SystemD
+	default:
+		fmt.Fprintf(os.Stderr, "emon: unknown system %q\n", *sysFlag)
+		os.Exit(2)
+	}
+
+	opts := harness.DefaultOptions()
+	opts.Scale = *scale
+	opts.Selectivity = *sel
+	env, err := harness.NewEnv(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var query string
+	useIndex := false
+	switch strings.ToLower(*queryFlag) {
+	case "srs":
+		query = env.Dims.QuerySRS(*sel)
+	case "irs":
+		query = env.Dims.QueryIRS(*sel)
+		useIndex = true
+		if sys == engine.SystemA {
+			fmt.Fprintln(os.Stderr, "emon: System A does not use the index (Section 5.1)")
+			os.Exit(2)
+		}
+	case "sj":
+		query = env.Dims.QuerySJ()
+	default:
+		fmt.Fprintf(os.Stderr, "emon: unknown query %q\n", *queryFlag)
+		os.Exit(2)
+	}
+
+	eng := env.Engine(sys)
+	plan, err := sql.Prepare(eng.Catalog(), query, sql.PlanOptions{UseIndex: useIndex})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	unit := func(p trace.Processor) {
+		eng.ResetState()
+		if _, err := eng.Run(plan, p); err != nil {
+			panic(err)
+		}
+	}
+
+	var events []emon.Event
+	if *all {
+		events = emon.AllEvents()
+	} else {
+		byName := map[string]emon.Event{}
+		for _, e := range emon.AllEvents() {
+			byName[e.String()] = e
+		}
+		for _, name := range strings.Split(*eventsFlag, ",") {
+			e, ok := byName[strings.TrimSpace(strings.ToUpper(name))]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "emon: unknown event %q; use -all to list them\n", name)
+				os.Exit(2)
+			}
+			events = append(events, e)
+		}
+	}
+
+	session := emon.NewSession(xeon.DefaultConfig(), unit)
+	counts := session.Measure(events)
+	if err := emon.Validate(counts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("emon -C (%s) | system %s, %s: %s\n",
+		strings.ToUpper(*eventsFlag), sys, strings.ToUpper(*queryFlag), query)
+	fmt.Printf("unit re-executed %d times (two counters per run)\n\n", session.Runs)
+	sorted := make([]emon.Event, 0, len(counts))
+	for e := range counts {
+		sorted = append(sorted, e)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, e := range sorted {
+		fmt.Printf("%-22s %12d\n", e, counts[e])
+	}
+
+	f := emon.Formulae{Config: xeon.DefaultConfig()}
+	fmt.Printf("\nderived: branch fraction %.1f%%, mispredict %.1f%%, L1D miss %.2f%%, L2 data miss %.1f%%\n",
+		100*f.BranchFraction(counts), 100*f.BranchMispredictionRate(counts),
+		100*f.L1DMissRate(counts), 100*f.L2DataMissRate(counts))
+}

@@ -1,0 +1,92 @@
+// Command wheretime regenerates the figures and tables of "DBMSs on a
+// Modern Processor: Where Does Time Go?" (Ailamaki, DeWitt, Hill,
+// Wood; VLDB 1999) on the simulated platform.
+//
+// Usage:
+//
+//	wheretime -list
+//	wheretime -experiment fig5.1 [-scale 0.02] [-selectivity 0.10] [-recsize 100]
+//	wheretime -experiment all
+//
+// Scale 1.0 is the paper's 1.2M-record R; per-record behaviour
+// converges within a few thousand records, so the default small scale
+// reproduces the shapes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wheretime/internal/harness"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list available experiments")
+		exp         = flag.String("experiment", "claims", `experiment to run (or "all")`)
+		scale       = flag.Float64("scale", 0.01, "dataset scale relative to the paper's 1.2M-row R")
+		selectivity = flag.Float64("selectivity", 0.10, "range selection selectivity")
+		recsize     = flag.Int("recsize", 100, "record size in bytes")
+		l2kb        = flag.Int("l2kb", 0, "override L2 cache size in KB (0 = Table 4.1's 512)")
+		btb         = flag.Int("btb", 0, "override BTB entries (0 = Pentium II's 512)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+
+	opts := harness.DefaultOptions()
+	opts.Scale = *scale
+	opts.Selectivity = *selectivity
+	opts.RecordSize = *recsize
+	if *l2kb > 0 {
+		opts.Config.L2SizeKB = *l2kb
+	}
+	if *btb > 0 {
+		opts.Config.BTBEntries = *btb
+	}
+	if err := opts.Config.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var exps []harness.Experiment
+	if *exp == "all" {
+		exps = harness.Experiments()
+	} else {
+		e, err := harness.Find(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	env, err := harness.NewEnv(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := opts.Config
+	fmt.Printf("Platform: %dMHz, L1 %d/%dKB, L2 %dKB, %dB lines, BTB %d entries, memory latency %.0f cycles\n",
+		cfg.ClockMHz, cfg.L1ISizeKB, cfg.L1DSizeKB, cfg.L2SizeKB, cfg.LineSize, cfg.BTBEntries, cfg.MemoryLatency)
+	fmt.Printf("Dataset: R=%d records x %dB, S=%d, selectivity %.0f%% (scale %.3g)\n\n",
+		env.Dims.RRecords, env.Dims.RecordSize, env.Dims.SRecords, *selectivity*100, *scale)
+
+	for _, e := range exps {
+		fmt.Printf("== %s — %s ==\n\n", e.Name, e.Paper)
+		tables, err := e.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	}
+}

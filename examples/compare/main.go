@@ -1,0 +1,41 @@
+// Compare: run all three microbenchmark queries on all four system
+// builds and print the paper's Figure 5.1/5.2/5.3 views side by side —
+// the full "where does time go" comparison.
+//
+//	go run ./examples/compare [scale]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"wheretime/internal/harness"
+)
+
+func main() {
+	opts := harness.DefaultOptions()
+	if len(os.Args) > 1 {
+		s, err := strconv.ParseFloat(os.Args[1], 64)
+		if err != nil {
+			log.Fatalf("bad scale %q: %v", os.Args[1], err)
+		}
+		opts.Scale = s
+	}
+	env, err := harness.NewEnv(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, run := range []func(*harness.Env) ([]harness.Table, error){
+		harness.Fig51, harness.Fig52, harness.Fig53, harness.Fig54a, harness.Fig55,
+	} {
+		tables, err := run(env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build the paper's database at a small scale, run the 10%
+// sequential range selection on one engine, and print where the time
+// went.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/workload"
+	"wheretime/internal/xeon"
+)
+
+func main() {
+	// 1. Generate R and S (Section 3.3) at 1/100 of the paper's size.
+	dims := workload.PaperDims().Scaled(0.01)
+	db, err := workload.Build(dims, storage.NSM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.BuildIndexes(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a query engine (System D's build profile) and the
+	// simulated Pentium II Xeon (Table 4.1).
+	eng := engine.New(engine.SystemD, db.Catalog)
+	pipe := xeon.New(xeon.DefaultConfig())
+
+	// 3. Run the sequential range selection at 10% selectivity, once
+	// to warm the caches (Section 4.3) and once measured.
+	query := dims.QuerySRS(0.10)
+	// Force a sequential plan: System D's planner would otherwise use
+	// the index we just built (that variant is the paper's IRS).
+	plan, err := sql.Prepare(db.Catalog, query, sql.PlanOptions{UseIndex: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Run(plan, pipe); err != nil {
+		log.Fatal(err)
+	}
+	pipe.ResetStats()
+	res, err := eng.Run(plan, pipe)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Where does time go?
+	b := pipe.Breakdown()
+	fmt.Printf("query: %s\n", query)
+	fmt.Printf("result: avg(a3) = %.2f over %d qualifying rows\n\n", res.Value, res.Rows)
+	fmt.Print(b.Report())
+	fmt.Printf("\nwall-clock at %dMHz: %.2f ms\n",
+		pipe.Config().ClockMHz, 1000*pipe.Seconds(b.Total()))
+}

@@ -1,0 +1,141 @@
+// Package catalog registers the relations of the simulated database:
+// their heap files, column names, and secondary indexes. The SQL
+// planner resolves names against it and the engines fetch storage
+// handles from it.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"wheretime/internal/index"
+	"wheretime/internal/storage"
+)
+
+// Table describes one relation.
+type Table struct {
+	// Name is the relation name (case-insensitive lookup, stored
+	// lower-case).
+	Name string
+	// Columns are the column names in field order. Column i is field i
+	// of every record.
+	Columns []string
+	// Heap is the backing heap file.
+	Heap *storage.HeapFile
+	// Indexes maps column ordinal to a secondary B+-tree on it.
+	Indexes map[int]*index.Tree
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index returns the index on the named column, if any.
+func (t *Table) Index(col string) *index.Tree {
+	i := t.ColumnIndex(col)
+	if i < 0 {
+		return nil
+	}
+	return t.Indexes[i]
+}
+
+// NumRecords returns the table cardinality.
+func (t *Table) NumRecords() uint64 { return t.Heap.NumRecords() }
+
+// Catalog is a named collection of tables sharing one buffer pool.
+type Catalog struct {
+	pool   *storage.BufferPool
+	tables map[string]*Table
+}
+
+// New returns an empty catalog over the given pool.
+func New(pool *storage.BufferPool) *Catalog {
+	return &Catalog{pool: pool, tables: make(map[string]*Table)}
+}
+
+// Pool returns the catalog's buffer pool.
+func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
+
+// Create registers a new table with the given column names; every
+// column is an int32 field. recSize is the record width in bytes and
+// must accommodate the named columns (extra space is the paper's
+// "<rest of fields>" filler).
+func (c *Catalog) Create(name string, columns []string, layout storage.Layout, recSize int) (*Table, error) {
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if len(columns)*storage.FieldSize > recSize {
+		return nil, fmt.Errorf("catalog: %d columns do not fit in %d-byte records", len(columns), recSize)
+	}
+	t := &Table{
+		Name:    name,
+		Columns: columns,
+		Heap:    c.pool.CreateHeap(name, layout, recSize),
+		Indexes: make(map[int]*index.Tree),
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Get returns the named table, or an error.
+func (c *Catalog) Get(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustGet returns the named table or panics; for workloads that built
+// the schema themselves.
+func (c *Catalog) MustGet(name string) *Table {
+	t, err := c.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildIndex constructs a secondary B+-tree on the named column by
+// scanning the heap, registers it, and returns it. Index node pages
+// are addressed in a region after the pool's current pages.
+func (c *Catalog) BuildIndex(table, col string) (*index.Tree, error) {
+	t, err := c.Get(table)
+	if err != nil {
+		return nil, err
+	}
+	ci := t.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("catalog: table %q has no column %q", table, col)
+	}
+	if _, ok := t.Indexes[ci]; ok {
+		return nil, fmt.Errorf("catalog: index on %s.%s already exists", table, col)
+	}
+	// Give index nodes their own address region well beyond data pages.
+	base := storage.PageID(1<<20).Addr() + uint64(len(c.tables)+ci)*(1<<28)
+	tr := index.New(base, index.DefaultOrder)
+	t.Heap.Scan(func(pg *storage.Page) bool {
+		for s := 0; s < pg.NumRecords(); s++ {
+			tr.Insert(pg.Field(uint16(s), ci), storage.RID{Page: pg.ID(), Slot: uint16(s)})
+		}
+		return true
+	})
+	t.Indexes[ci] = tr
+	return tr, nil
+}

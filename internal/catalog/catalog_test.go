@@ -1,0 +1,118 @@
+package catalog
+
+import (
+	"testing"
+
+	"wheretime/internal/storage"
+)
+
+func newCat() *Catalog { return New(storage.NewBufferPool()) }
+
+func TestCreateAndGet(t *testing.T) {
+	c := newCat()
+	tab, err := c.Create("r", []string{"a1", "a2", "a3"}, storage.NSM, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "r" || len(tab.Columns) != 3 {
+		t.Errorf("table malformed: %+v", tab)
+	}
+	got, err := c.Get("r")
+	if err != nil || got != tab {
+		t.Errorf("Get returned %v, %v", got, err)
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("Get of missing table should fail")
+	}
+	if c.MustGet("r") != tab {
+		t.Error("MustGet mismatch")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet of missing table should panic")
+		}
+	}()
+	newCat().MustGet("zz")
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	c := newCat()
+	if _, err := c.Create("r", []string{"a"}, storage.NSM, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("r", []string{"a"}, storage.NSM, 16); err == nil {
+		t.Error("duplicate create should fail")
+	}
+}
+
+func TestCreateTooManyColumnsFails(t *testing.T) {
+	c := newCat()
+	if _, err := c.Create("r", []string{"a", "b", "c", "d", "e"}, storage.NSM, 16); err == nil {
+		t.Error("5 columns in 16 bytes should fail")
+	}
+}
+
+func TestColumnIndexAndNames(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("r", []string{"a1", "a2", "a3"}, storage.NSM, 100)
+	if tab.ColumnIndex("a2") != 1 || tab.ColumnIndex("zz") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	c.Create("b", []string{"x"}, storage.NSM, 16)
+	names := c.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "r" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestBuildIndex(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("r", []string{"a1", "a2", "a3"}, storage.NSM, 100)
+	for i := 0; i < 200; i++ {
+		tab.Heap.Append([]int32{int32(i), int32(i % 10), int32(i * 2)})
+	}
+	tr, err := c.BuildIndex("r", "a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 200 {
+		t.Errorf("index entries = %d", tr.Len())
+	}
+	if got := len(tr.Search(3)); got != 20 {
+		t.Errorf("search(3) = %d entries, want 20", got)
+	}
+	if tab.Index("a2") != tr {
+		t.Error("index not registered")
+	}
+	if tab.Index("a1") != nil {
+		t.Error("phantom index")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("built index invalid: %v", err)
+	}
+	// Errors.
+	if _, err := c.BuildIndex("r", "a2"); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if _, err := c.BuildIndex("r", "zz"); err == nil {
+		t.Error("index on unknown column should fail")
+	}
+	if _, err := c.BuildIndex("zz", "a2"); err == nil {
+		t.Error("index on unknown table should fail")
+	}
+}
+
+func TestNumRecordsDelegates(t *testing.T) {
+	c := newCat()
+	tab, _ := c.Create("r", []string{"a"}, storage.NSM, 16)
+	tab.Heap.Append([]int32{1})
+	if tab.NumRecords() != 1 {
+		t.Error("NumRecords wrong")
+	}
+	if c.Pool() == nil {
+		t.Error("Pool accessor nil")
+	}
+}

@@ -1,0 +1,573 @@
+// Package core implements the analytic framework of Ailamaki et al.
+// (VLDB 1999) for decomposing query execution time on a modern
+// out-of-order processor:
+//
+//	TQ = TC + TM + TB + TR - TOVL
+//
+// where TC is useful computation, TM the memory-hierarchy stall time,
+// TB the branch-misprediction penalty, TR the resource-related stall
+// time, and TOVL the portion of the stalls the processor managed to
+// overlap with useful work. TM and TR decompose further per Table 3.1
+// of the paper.
+//
+// The package is pure accounting: it defines the component taxonomy,
+// the arithmetic that combines raw component measurements into a
+// breakdown, and the derived metrics (percent-of-execution, CPI,
+// per-record costs) the paper reports. The actual component values are
+// produced by the simulator in internal/xeon and the counter formulae
+// in internal/emon.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Component identifies one stall-time (or computation) component from
+// Table 3.1 of the paper.
+type Component int
+
+// Components of the execution-time breakdown, in Table 3.1 order.
+const (
+	// TC is the useful computation time.
+	TC Component = iota
+	// TL1D is the stall time due to L1 D-cache misses that hit in L2.
+	TL1D
+	// TL1I is the stall time due to L1 I-cache misses that hit in L2.
+	TL1I
+	// TL2D is the stall time due to L2 data misses (main-memory fetches).
+	TL2D
+	// TL2I is the stall time due to L2 instruction misses.
+	TL2I
+	// TDTLB is the stall time due to data TLB misses. The paper could
+	// not measure it (no event code); we simulate it but report it
+	// outside TM so totals remain comparable with the paper.
+	TDTLB
+	// TITLB is the stall time due to instruction TLB misses.
+	TITLB
+	// TB is the branch misprediction penalty.
+	TB
+	// TFU is the stall time due to functional-unit contention.
+	TFU
+	// TDEP is the stall time due to dependencies among instructions.
+	TDEP
+	// TILD is the stall time in the instruction-length decoder, the
+	// platform-specific (TMISC) slot of Table 3.1 instantiated for the
+	// Pentium II per Table 4.2.
+	TILD
+	// TOVL is the overlapped stall time, subtracted when reconstructing
+	// wall-clock execution time.
+	TOVL
+
+	numComponents
+)
+
+// String returns the paper's name for the component (e.g. "TL1I").
+func (c Component) String() string {
+	switch c {
+	case TC:
+		return "TC"
+	case TL1D:
+		return "TL1D"
+	case TL1I:
+		return "TL1I"
+	case TL2D:
+		return "TL2D"
+	case TL2I:
+		return "TL2I"
+	case TDTLB:
+		return "TDTLB"
+	case TITLB:
+		return "TITLB"
+	case TB:
+		return "TB"
+	case TFU:
+		return "TFU"
+	case TDEP:
+		return "TDEP"
+	case TILD:
+		return "TILD"
+	case TOVL:
+		return "TOVL"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Description returns the Table 3.1 description of the component.
+func (c Component) Description() string {
+	switch c {
+	case TC:
+		return "computation time"
+	case TL1D:
+		return "stall time due to L1 D-cache misses (with hit in L2)"
+	case TL1I:
+		return "stall time due to L1 I-cache misses (with hit in L2)"
+	case TL2D:
+		return "stall time due to L2 data misses"
+	case TL2I:
+		return "stall time due to L2 instruction misses"
+	case TDTLB:
+		return "stall time due to DTLB misses"
+	case TITLB:
+		return "stall time due to ITLB misses"
+	case TB:
+		return "branch misprediction penalty"
+	case TFU:
+		return "stall time due to functional unit unavailability"
+	case TDEP:
+		return "stall time due to dependencies among instructions"
+	case TILD:
+		return "stall time due to instruction-length decoding"
+	case TOVL:
+		return "overlapped stall time"
+	default:
+		return "unknown component"
+	}
+}
+
+// Group identifies one of the four top-level terms of the execution
+// time equation.
+type Group int
+
+// Top-level groups of the breakdown, Figure 5.1's four bars.
+const (
+	// GroupComputation is TC.
+	GroupComputation Group = iota
+	// GroupMemory is TM = TL1D + TL1I + TL2D + TL2I + TITLB.
+	GroupMemory
+	// GroupBranch is TB.
+	GroupBranch
+	// GroupResource is TR = TFU + TDEP + TILD.
+	GroupResource
+
+	numGroups
+)
+
+// String returns a human-readable group name.
+func (g Group) String() string {
+	switch g {
+	case GroupComputation:
+		return "Computation"
+	case GroupMemory:
+		return "Memory stalls"
+	case GroupBranch:
+		return "Branch mispredictions"
+	case GroupResource:
+		return "Resource stalls"
+	default:
+		return fmt.Sprintf("Group(%d)", int(g))
+	}
+}
+
+// GroupOf returns the top-level group a component contributes to, and
+// false for components outside the four groups (TOVL, and TDTLB which
+// the paper excludes from TM because it could not be measured).
+func GroupOf(c Component) (Group, bool) {
+	switch c {
+	case TC:
+		return GroupComputation, true
+	case TL1D, TL1I, TL2D, TL2I, TITLB:
+		return GroupMemory, true
+	case TB:
+		return GroupBranch, true
+	case TFU, TDEP, TILD:
+		return GroupResource, true
+	default:
+		return 0, false
+	}
+}
+
+// MemoryComponents lists the components of TM in Figure 5.2 order
+// (bottom of the stacked bar to top).
+func MemoryComponents() []Component {
+	return []Component{TL1D, TL1I, TL2D, TL2I, TITLB}
+}
+
+// ResourceComponents lists the components of TR.
+func ResourceComponents() []Component {
+	return []Component{TFU, TDEP, TILD}
+}
+
+// Components lists every component in Table 3.1 order.
+func Components() []Component {
+	cs := make([]Component, numComponents)
+	for i := range cs {
+		cs[i] = Component(i)
+	}
+	return cs
+}
+
+// Breakdown is a complete execution-time decomposition for one unit of
+// work (one query, one transaction mix, ...). All times are in CPU
+// cycles. Counts carries the raw event counts the cycle figures derive
+// from so that rates (miss rates, misprediction rates, CPI) can be
+// reported alongside.
+type Breakdown struct {
+	// Cycles holds the cycle cost attributed to each component.
+	Cycles [numComponents]float64
+	// Counts holds the raw event counts underlying the breakdown.
+	Counts Counts
+}
+
+// Counts carries raw simulated hardware event counts for one unit of
+// work, the analogue of the paper's emon event measurements.
+type Counts struct {
+	// InstructionsRetired counts retired x86 instructions.
+	InstructionsRetired uint64
+	// UopsRetired counts retired micro-operations (1–3 per instruction).
+	UopsRetired uint64
+	// BranchesRetired counts retired branch instructions.
+	BranchesRetired uint64
+	// BranchMispredictions counts retired mispredicted branches.
+	BranchMispredictions uint64
+	// BTBMisses counts branch executions that missed the BTB and fell
+	// back to static prediction.
+	BTBMisses uint64
+	// L1DReferences counts L1 D-cache accesses (loads + stores).
+	L1DReferences uint64
+	// L1DMisses counts L1 D-cache misses.
+	L1DMisses uint64
+	// L1IReferences counts L1 I-cache line fetches.
+	L1IReferences uint64
+	// L1IMisses counts L1 I-cache misses.
+	L1IMisses uint64
+	// L2DataReferences counts L2 accesses on behalf of data.
+	L2DataReferences uint64
+	// L2DataMisses counts L2 data misses (to main memory).
+	L2DataMisses uint64
+	// L2InstReferences counts L2 accesses on behalf of instructions.
+	L2InstReferences uint64
+	// L2InstMisses counts L2 instruction misses.
+	L2InstMisses uint64
+	// ITLBMisses counts instruction TLB misses.
+	ITLBMisses uint64
+	// DTLBMisses counts data TLB misses.
+	DTLBMisses uint64
+	// KernelInstructions counts instructions retired in kernel mode
+	// (OS interrupt handling), the paper's :SUP counter mode.
+	KernelInstructions uint64
+	// Records counts the logical records processed, the denominator of
+	// the paper's per-record metrics (Figure 5.3).
+	Records uint64
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.InstructionsRetired += other.InstructionsRetired
+	c.UopsRetired += other.UopsRetired
+	c.BranchesRetired += other.BranchesRetired
+	c.BranchMispredictions += other.BranchMispredictions
+	c.BTBMisses += other.BTBMisses
+	c.L1DReferences += other.L1DReferences
+	c.L1DMisses += other.L1DMisses
+	c.L1IReferences += other.L1IReferences
+	c.L1IMisses += other.L1IMisses
+	c.L2DataReferences += other.L2DataReferences
+	c.L2DataMisses += other.L2DataMisses
+	c.L2InstReferences += other.L2InstReferences
+	c.L2InstMisses += other.L2InstMisses
+	c.ITLBMisses += other.ITLBMisses
+	c.DTLBMisses += other.DTLBMisses
+	c.KernelInstructions += other.KernelInstructions
+	c.Records += other.Records
+}
+
+// Add accumulates other into b, component-wise.
+func (b *Breakdown) Add(other *Breakdown) {
+	for i := range b.Cycles {
+		b.Cycles[i] += other.Cycles[i]
+	}
+	b.Counts.Add(other.Counts)
+}
+
+// Scale multiplies every cycle figure by f. Counts are left untouched
+// (they are integer event totals); use it only for averaging cycle
+// costs across repeated runs.
+func (b *Breakdown) Scale(f float64) {
+	for i := range b.Cycles {
+		b.Cycles[i] *= f
+	}
+}
+
+// Group returns the cycles attributed to one of the four top-level
+// groups.
+func (b *Breakdown) Group(g Group) float64 {
+	var sum float64
+	for c := Component(0); c < numComponents; c++ {
+		if gg, ok := GroupOf(c); ok && gg == g {
+			sum += b.Cycles[c]
+		}
+	}
+	return sum
+}
+
+// TM returns the memory-hierarchy stall time (Figure 5.2's total).
+func (b *Breakdown) TM() float64 { return b.Group(GroupMemory) }
+
+// TR returns the resource stall time.
+func (b *Breakdown) TR() float64 { return b.Group(GroupResource) }
+
+// Total returns TQ = TC + TM + TB + TR - TOVL, the reconstructed
+// wall-clock execution time in cycles.
+func (b *Breakdown) Total() float64 {
+	return b.Group(GroupComputation) + b.Group(GroupMemory) +
+		b.Group(GroupBranch) + b.Group(GroupResource) - b.Cycles[TOVL]
+}
+
+// GrossTotal returns the breakdown total before subtracting overlap,
+// the denominator used for the paper's percentage figures (each bar in
+// Figure 5.1 sums to 100%).
+func (b *Breakdown) GrossTotal() float64 {
+	return b.Group(GroupComputation) + b.Group(GroupMemory) +
+		b.Group(GroupBranch) + b.Group(GroupResource)
+}
+
+// GroupPercent returns group g's share of the gross total, in percent.
+func (b *Breakdown) GroupPercent(g Group) float64 {
+	t := b.GrossTotal()
+	if t == 0 {
+		return 0
+	}
+	return 100 * b.Group(g) / t
+}
+
+// ComponentPercent returns component c's share of the gross total.
+func (b *Breakdown) ComponentPercent(c Component) float64 {
+	t := b.GrossTotal()
+	if t == 0 {
+		return 0
+	}
+	return 100 * b.Cycles[c] / t
+}
+
+// MemoryPercent returns component c's share of TM, the quantity plotted
+// in Figure 5.2. It is meaningful for the five TM components.
+func (b *Breakdown) MemoryPercent(c Component) float64 {
+	tm := b.TM()
+	if tm == 0 {
+		return 0
+	}
+	return 100 * b.Cycles[c] / tm
+}
+
+// CPI returns clocks per retired instruction, Figure 5.6's metric,
+// computed over the gross total.
+func (b *Breakdown) CPI() float64 {
+	if b.Counts.InstructionsRetired == 0 {
+		return 0
+	}
+	return b.GrossTotal() / float64(b.Counts.InstructionsRetired)
+}
+
+// CPIOf returns the portion of CPI attributable to group g (the
+// stacked segments of Figure 5.6).
+func (b *Breakdown) CPIOf(g Group) float64 {
+	if b.Counts.InstructionsRetired == 0 {
+		return 0
+	}
+	return b.Group(g) / float64(b.Counts.InstructionsRetired)
+}
+
+// InstructionsPerRecord returns retired instructions divided by logical
+// records processed, Figure 5.3's metric.
+func (b *Breakdown) InstructionsPerRecord() float64 {
+	if b.Counts.Records == 0 {
+		return 0
+	}
+	return float64(b.Counts.InstructionsRetired) / float64(b.Counts.Records)
+}
+
+// CyclesPerRecord returns gross execution cycles per logical record.
+func (b *Breakdown) CyclesPerRecord() float64 {
+	if b.Counts.Records == 0 {
+		return 0
+	}
+	return b.GrossTotal() / float64(b.Counts.Records)
+}
+
+// BranchMispredictionRate returns mispredictions / retired branches,
+// Figure 5.4 (left)'s metric.
+func (b *Breakdown) BranchMispredictionRate() float64 {
+	if b.Counts.BranchesRetired == 0 {
+		return 0
+	}
+	return float64(b.Counts.BranchMispredictions) / float64(b.Counts.BranchesRetired)
+}
+
+// BTBMissRate returns BTB misses / retired branches (§5.3 reports ~50%).
+func (b *Breakdown) BTBMissRate() float64 {
+	if b.Counts.BranchesRetired == 0 {
+		return 0
+	}
+	return float64(b.Counts.BTBMisses) / float64(b.Counts.BranchesRetired)
+}
+
+// L1DMissRate returns L1 D-cache misses / references (§5.2 reports ~2%,
+// never above 4%).
+func (b *Breakdown) L1DMissRate() float64 {
+	if b.Counts.L1DReferences == 0 {
+		return 0
+	}
+	return float64(b.Counts.L1DMisses) / float64(b.Counts.L1DReferences)
+}
+
+// L2DataMissRate returns L2 data misses / L2 data references (§5.2.1
+// reports 40–90%, except System B at ~2%).
+func (b *Breakdown) L2DataMissRate() float64 {
+	if b.Counts.L2DataReferences == 0 {
+		return 0
+	}
+	return float64(b.Counts.L2DataMisses) / float64(b.Counts.L2DataReferences)
+}
+
+// BranchFraction returns retired branches / retired instructions (§5.3
+// reports ~20%).
+func (b *Breakdown) BranchFraction() float64 {
+	if b.Counts.InstructionsRetired == 0 {
+		return 0
+	}
+	return float64(b.Counts.BranchesRetired) / float64(b.Counts.InstructionsRetired)
+}
+
+// Validate checks the structural invariants of a breakdown: no negative
+// component, overlap not exceeding the overlappable stall time, and
+// counts consistent with cycle figures (misses cannot exceed
+// references, mispredictions cannot exceed branches). It returns a
+// descriptive error for the first violation found.
+func (b *Breakdown) Validate() error {
+	for c := Component(0); c < numComponents; c++ {
+		v := b.Cycles[c]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: component %s is not finite: %v", c, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("core: component %s is negative: %v", c, v)
+		}
+	}
+	overlappable := b.Cycles[TL1D] + b.Cycles[TL2D] + b.Cycles[TDTLB]
+	if b.Cycles[TOVL] > overlappable+1e-9 {
+		return fmt.Errorf("core: overlap %v exceeds overlappable data stalls %v",
+			b.Cycles[TOVL], overlappable)
+	}
+	ct := b.Counts
+	switch {
+	case ct.L1DMisses > ct.L1DReferences:
+		return fmt.Errorf("core: L1D misses %d exceed references %d", ct.L1DMisses, ct.L1DReferences)
+	case ct.L1IMisses > ct.L1IReferences:
+		return fmt.Errorf("core: L1I misses %d exceed references %d", ct.L1IMisses, ct.L1IReferences)
+	case ct.L2DataMisses > ct.L2DataReferences:
+		return fmt.Errorf("core: L2 data misses %d exceed references %d", ct.L2DataMisses, ct.L2DataReferences)
+	case ct.L2InstMisses > ct.L2InstReferences:
+		return fmt.Errorf("core: L2 inst misses %d exceed references %d", ct.L2InstMisses, ct.L2InstReferences)
+	case ct.BranchMispredictions > ct.BranchesRetired:
+		return fmt.Errorf("core: mispredictions %d exceed branches %d", ct.BranchMispredictions, ct.BranchesRetired)
+	case ct.BTBMisses > ct.BranchesRetired:
+		return fmt.Errorf("core: BTB misses %d exceed branches %d", ct.BTBMisses, ct.BranchesRetired)
+	case ct.BranchesRetired > ct.InstructionsRetired:
+		return fmt.Errorf("core: branches %d exceed instructions %d", ct.BranchesRetired, ct.InstructionsRetired)
+	case ct.UopsRetired < ct.InstructionsRetired:
+		return fmt.Errorf("core: uops %d below instructions %d (each instruction is at least one uop)",
+			ct.UopsRetired, ct.InstructionsRetired)
+	}
+	return nil
+}
+
+// String renders the breakdown as a compact single-line summary.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TQ=%.0f cycles (", b.Total())
+	for g := Group(0); g < numGroups; g++ {
+		if g > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %.1f%%", g, b.GroupPercent(g))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Report renders a multi-line human-readable breakdown, with the four
+// groups and each non-zero component underneath.
+func (b *Breakdown) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Execution time: %.0f cycles (gross %.0f, overlap %.0f)\n",
+		b.Total(), b.GrossTotal(), b.Cycles[TOVL])
+	fmt.Fprintf(&sb, "CPI: %.2f  instructions: %d  records: %d\n",
+		b.CPI(), b.Counts.InstructionsRetired, b.Counts.Records)
+	for g := Group(0); g < numGroups; g++ {
+		fmt.Fprintf(&sb, "%-22s %10.0f cycles  %5.1f%%\n", g, b.Group(g), b.GroupPercent(g))
+		for _, c := range Components() {
+			if gg, ok := GroupOf(c); !ok || gg != g || c == TC || c == TB {
+				continue
+			}
+			if b.Cycles[c] == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-20s %10.0f cycles  %5.1f%%\n", c, b.Cycles[c], b.ComponentPercent(c))
+		}
+	}
+	if b.Cycles[TDTLB] > 0 {
+		fmt.Fprintf(&sb, "%-22s %10.0f cycles (simulated; excluded from TM as in the paper)\n",
+			"TDTLB", b.Cycles[TDTLB])
+	}
+	return sb.String()
+}
+
+// Average returns the component-wise mean of the given breakdowns.
+// Counts are summed, matching how the paper averages repeated runs of
+// the same query unit. It panics on an empty slice.
+func Average(bs []*Breakdown) *Breakdown {
+	if len(bs) == 0 {
+		panic("core: Average of no breakdowns")
+	}
+	out := &Breakdown{}
+	for _, b := range bs {
+		out.Add(b)
+	}
+	out.Scale(1 / float64(len(bs)))
+	return out
+}
+
+// StdDevPercent returns the relative standard deviation (stddev/mean,
+// in percent) of the gross totals of the given breakdowns. The paper
+// repeats runs until this falls below 5%.
+func StdDevPercent(bs []*Breakdown) float64 {
+	if len(bs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, b := range bs {
+		mean += b.GrossTotal()
+	}
+	mean /= float64(len(bs))
+	if mean == 0 {
+		return 0
+	}
+	var varsum float64
+	for _, b := range bs {
+		d := b.GrossTotal() - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / float64(len(bs)-1))
+	return 100 * sd / mean
+}
+
+// TopComponents returns the n largest stall components (excluding TC
+// and TOVL) in decreasing cycle order, for diagnostics.
+func (b *Breakdown) TopComponents(n int) []Component {
+	cs := make([]Component, 0, numComponents)
+	for c := Component(0); c < numComponents; c++ {
+		if c == TC || c == TOVL {
+			continue
+		}
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return b.Cycles[cs[i]] > b.Cycles[cs[j]] })
+	if n > len(cs) {
+		n = len(cs)
+	}
+	return cs[:n]
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleBreakdown() *Breakdown {
+	b := &Breakdown{}
+	b.Cycles[TC] = 500
+	b.Cycles[TL1D] = 10
+	b.Cycles[TL1I] = 200
+	b.Cycles[TL2D] = 250
+	b.Cycles[TL2I] = 5
+	b.Cycles[TITLB] = 5
+	b.Cycles[TB] = 120
+	b.Cycles[TFU] = 40
+	b.Cycles[TDEP] = 80
+	b.Cycles[TILD] = 10
+	b.Cycles[TOVL] = 60
+	b.Counts = Counts{
+		InstructionsRetired:  800,
+		UopsRetired:          1500,
+		BranchesRetired:      160,
+		BranchMispredictions: 8,
+		BTBMisses:            80,
+		L1DReferences:        400,
+		L1DMisses:            8,
+		L1IReferences:        300,
+		L1IMisses:            50,
+		L2DataReferences:     8,
+		L2DataMisses:         4,
+		L2InstReferences:     50,
+		L2InstMisses:         1,
+		ITLBMisses:           1,
+		DTLBMisses:           2,
+		Records:              10,
+	}
+	return b
+}
+
+func TestComponentStrings(t *testing.T) {
+	want := map[Component]string{
+		TC: "TC", TL1D: "TL1D", TL1I: "TL1I", TL2D: "TL2D", TL2I: "TL2I",
+		TDTLB: "TDTLB", TITLB: "TITLB", TB: "TB", TFU: "TFU", TDEP: "TDEP",
+		TILD: "TILD", TOVL: "TOVL",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Component(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+		if c.Description() == "unknown component" {
+			t.Errorf("%s has no description", s)
+		}
+	}
+	if got := Component(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown component string = %q", got)
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	cases := []struct {
+		c  Component
+		g  Group
+		ok bool
+	}{
+		{TC, GroupComputation, true},
+		{TL1D, GroupMemory, true},
+		{TL1I, GroupMemory, true},
+		{TL2D, GroupMemory, true},
+		{TL2I, GroupMemory, true},
+		{TITLB, GroupMemory, true},
+		{TB, GroupBranch, true},
+		{TFU, GroupResource, true},
+		{TDEP, GroupResource, true},
+		{TILD, GroupResource, true},
+		{TDTLB, 0, false}, // unmeasured in the paper, outside TM
+		{TOVL, 0, false},
+	}
+	for _, tc := range cases {
+		g, ok := GroupOf(tc.c)
+		if ok != tc.ok || (ok && g != tc.g) {
+			t.Errorf("GroupOf(%s) = %v,%v want %v,%v", tc.c, g, ok, tc.g, tc.ok)
+		}
+	}
+}
+
+func TestTotalEquation(t *testing.T) {
+	b := sampleBreakdown()
+	tm := 10.0 + 200 + 250 + 5 + 5
+	tr := 40.0 + 80 + 10
+	wantGross := 500 + tm + 120 + tr
+	if got := b.GrossTotal(); math.Abs(got-wantGross) > 1e-9 {
+		t.Errorf("GrossTotal = %v, want %v", got, wantGross)
+	}
+	if got := b.Total(); math.Abs(got-(wantGross-60)) > 1e-9 {
+		t.Errorf("Total = %v, want %v", got, wantGross-60)
+	}
+	if got := b.TM(); math.Abs(got-tm) > 1e-9 {
+		t.Errorf("TM = %v, want %v", got, tm)
+	}
+	if got := b.TR(); math.Abs(got-tr) > 1e-9 {
+		t.Errorf("TR = %v, want %v", got, tr)
+	}
+}
+
+func TestPercentagesSumTo100(t *testing.T) {
+	b := sampleBreakdown()
+	var sum float64
+	for g := Group(0); g < numGroups; g++ {
+		sum += b.GroupPercent(g)
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("group percentages sum to %v, want 100", sum)
+	}
+	var msum float64
+	for _, c := range MemoryComponents() {
+		msum += b.MemoryPercent(c)
+	}
+	if math.Abs(msum-100) > 1e-9 {
+		t.Errorf("memory percentages sum to %v, want 100", msum)
+	}
+}
+
+func TestZeroBreakdownSafe(t *testing.T) {
+	b := &Breakdown{}
+	if b.CPI() != 0 || b.GroupPercent(GroupMemory) != 0 || b.MemoryPercent(TL1I) != 0 ||
+		b.InstructionsPerRecord() != 0 || b.CyclesPerRecord() != 0 ||
+		b.BranchMispredictionRate() != 0 || b.BTBMissRate() != 0 ||
+		b.L1DMissRate() != 0 || b.L2DataMissRate() != 0 || b.BranchFraction() != 0 {
+		t.Error("zero breakdown should yield zero derived metrics, not NaN")
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("zero breakdown should validate: %v", err)
+	}
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	b := sampleBreakdown()
+	if got, want := b.CPI(), b.GrossTotal()/800; math.Abs(got-want) > 1e-12 {
+		t.Errorf("CPI = %v, want %v", got, want)
+	}
+	if got, want := b.InstructionsPerRecord(), 80.0; got != want {
+		t.Errorf("InstructionsPerRecord = %v, want %v", got, want)
+	}
+	if got, want := b.BranchMispredictionRate(), 8.0/160; got != want {
+		t.Errorf("BranchMispredictionRate = %v, want %v", got, want)
+	}
+	if got, want := b.BTBMissRate(), 0.5; got != want {
+		t.Errorf("BTBMissRate = %v, want %v", got, want)
+	}
+	if got, want := b.L1DMissRate(), 8.0/400; got != want {
+		t.Errorf("L1DMissRate = %v, want %v", got, want)
+	}
+	if got, want := b.L2DataMissRate(), 0.5; got != want {
+		t.Errorf("L2DataMissRate = %v, want %v", got, want)
+	}
+	if got, want := b.BranchFraction(), 0.2; got != want {
+		t.Errorf("BranchFraction = %v, want %v", got, want)
+	}
+	cpiSum := 0.0
+	for g := Group(0); g < numGroups; g++ {
+		cpiSum += b.CPIOf(g)
+	}
+	if math.Abs(cpiSum-b.CPI()) > 1e-12 {
+		t.Errorf("CPI segments sum to %v, want %v", cpiSum, b.CPI())
+	}
+}
+
+func TestAddAndAverage(t *testing.T) {
+	a := sampleBreakdown()
+	b := sampleBreakdown()
+	sum := &Breakdown{}
+	sum.Add(a)
+	sum.Add(b)
+	if got, want := sum.Cycles[TL1I], 400.0; got != want {
+		t.Errorf("Add: TL1I = %v, want %v", got, want)
+	}
+	if got, want := sum.Counts.Records, uint64(20); got != want {
+		t.Errorf("Add: Records = %v, want %v", got, want)
+	}
+	avg := Average([]*Breakdown{a, b})
+	if got, want := avg.Cycles[TL1I], 200.0; got != want {
+		t.Errorf("Average: TL1I = %v, want %v", got, want)
+	}
+}
+
+func TestAveragePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Average of empty slice should panic")
+		}
+	}()
+	Average(nil)
+}
+
+func TestStdDevPercent(t *testing.T) {
+	a := sampleBreakdown()
+	b := sampleBreakdown()
+	if got := StdDevPercent([]*Breakdown{a, b}); got != 0 {
+		t.Errorf("identical runs should have 0%% stddev, got %v", got)
+	}
+	c := sampleBreakdown()
+	c.Scale(2)
+	if got := StdDevPercent([]*Breakdown{a, c}); got <= 0 {
+		t.Errorf("different runs should have positive stddev, got %v", got)
+	}
+	if got := StdDevPercent([]*Breakdown{a}); got != 0 {
+		t.Errorf("single run stddev = %v, want 0", got)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Breakdown)
+	}{
+		{"negative component", func(b *Breakdown) { b.Cycles[TL1I] = -1 }},
+		{"NaN component", func(b *Breakdown) { b.Cycles[TC] = math.NaN() }},
+		{"overlap exceeds data stalls", func(b *Breakdown) { b.Cycles[TOVL] = 1e9 }},
+		{"L1D misses exceed refs", func(b *Breakdown) { b.Counts.L1DMisses = b.Counts.L1DReferences + 1 }},
+		{"L1I misses exceed refs", func(b *Breakdown) { b.Counts.L1IMisses = b.Counts.L1IReferences + 1 }},
+		{"L2D misses exceed refs", func(b *Breakdown) { b.Counts.L2DataMisses = b.Counts.L2DataReferences + 1 }},
+		{"L2I misses exceed refs", func(b *Breakdown) { b.Counts.L2InstMisses = b.Counts.L2InstReferences + 1 }},
+		{"mispredictions exceed branches", func(b *Breakdown) { b.Counts.BranchMispredictions = b.Counts.BranchesRetired + 1 }},
+		{"BTB misses exceed branches", func(b *Breakdown) { b.Counts.BTBMisses = b.Counts.BranchesRetired + 1 }},
+		{"branches exceed instructions", func(b *Breakdown) { b.Counts.BranchesRetired = b.Counts.InstructionsRetired + 1 }},
+		{"uops below instructions", func(b *Breakdown) { b.Counts.UopsRetired = b.Counts.InstructionsRetired - 1 }},
+	}
+	for _, tc := range cases {
+		b := sampleBreakdown()
+		tc.mutate(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", tc.name)
+		}
+	}
+	if err := sampleBreakdown().Validate(); err != nil {
+		t.Errorf("sample should validate: %v", err)
+	}
+}
+
+func TestReportMentionsAllGroups(t *testing.T) {
+	b := sampleBreakdown()
+	r := b.Report()
+	for _, want := range []string{"Computation", "Memory stalls", "Branch mispredictions", "Resource stalls", "CPI"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Report missing %q:\n%s", want, r)
+		}
+	}
+	if s := b.String(); !strings.Contains(s, "TQ=") {
+		t.Errorf("String missing TQ: %q", s)
+	}
+}
+
+func TestTopComponents(t *testing.T) {
+	b := sampleBreakdown()
+	top := b.TopComponents(3)
+	if len(top) != 3 {
+		t.Fatalf("TopComponents(3) returned %d", len(top))
+	}
+	if top[0] != TL2D || top[1] != TL1I || top[2] != TB {
+		t.Errorf("TopComponents order = %v, want [TL2D TL1I TB]", top)
+	}
+	all := b.TopComponents(100)
+	for i := 1; i < len(all); i++ {
+		if b.Cycles[all[i-1]] < b.Cycles[all[i]] {
+			t.Errorf("TopComponents not sorted at %d", i)
+		}
+	}
+}
+
+// Property: Add is commutative and Total is linear under Add.
+func TestAddProperties(t *testing.T) {
+	f := func(xs, ys [12]uint16) bool {
+		a, b := &Breakdown{}, &Breakdown{}
+		for i := 0; i < 12; i++ {
+			a.Cycles[i] = float64(xs[i])
+			b.Cycles[i] = float64(ys[i])
+		}
+		// Keep overlap legal so Validate-style semantics hold.
+		a.Cycles[TOVL] = 0
+		b.Cycles[TOVL] = 0
+		s1 := &Breakdown{}
+		s1.Add(a)
+		s1.Add(b)
+		s2 := &Breakdown{}
+		s2.Add(b)
+		s2.Add(a)
+		if math.Abs(s1.GrossTotal()-s2.GrossTotal()) > 1e-6 {
+			return false
+		}
+		return math.Abs(s1.GrossTotal()-(a.GrossTotal()+b.GrossTotal())) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: group percentages always sum to 100 for non-degenerate
+// breakdowns, and each lies in [0,100].
+func TestPercentProperties(t *testing.T) {
+	f := func(xs [12]uint16) bool {
+		b := &Breakdown{}
+		nonzero := false
+		for i := 0; i < 12; i++ {
+			b.Cycles[i] = float64(xs[i])
+			if gg, ok := GroupOf(Component(i)); ok && gg >= 0 && xs[i] > 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return true
+		}
+		var sum float64
+		for g := Group(0); g < numGroups; g++ {
+			p := b.GroupPercent(g)
+			if p < 0 || p > 100+1e-9 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-100) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package emon reproduces the measurement methodology of Section 4.3:
+// Intel's emon tool drives the Pentium II's two hardware counters, so
+// each run of the query unit can measure at most two event types, and
+// the full 74-event profile is assembled by re-running the same unit
+// once per counter pair. The workload is deterministic, which is the
+// property the paper's protocol relies on (it repeats runs until the
+// standard deviation is below 5%; ours is exactly zero).
+//
+// The package exposes the event catalogue the Table 4.2 formulae need,
+// a two-counters-per-run Session, and the formulae that transform raw
+// event counts into the execution-time breakdown.
+package emon
+
+import (
+	"fmt"
+
+	"wheretime/internal/core"
+	"wheretime/internal/trace"
+	"wheretime/internal/xeon"
+)
+
+// Event is a Pentium II performance-monitoring event, named after the
+// processor's event mnemonics.
+type Event int
+
+// The events the breakdown formulae consume.
+const (
+	// InstRetired counts retired x86 instructions (INST_RETIRED).
+	InstRetired Event = iota
+	// UopsRetired counts retired micro-operations (UOPS_RETIRED).
+	UopsRetired
+	// BrInstRetired counts retired branches (BR_INST_RETIRED).
+	BrInstRetired
+	// BrMissPredRetired counts retired mispredicted branches
+	// (BR_MISS_PRED_RETIRED).
+	BrMissPredRetired
+	// BTBMisses counts branch executions that missed the BTB
+	// (BTB_MISSES).
+	BTBMisses
+	// DataMemRefs counts L1 D-cache references (DATA_MEM_REFS).
+	DataMemRefs
+	// DCULinesIn counts lines brought into the L1 D-cache, its miss
+	// count (DCU_LINES_IN).
+	DCULinesIn
+	// IFUFetch counts instruction fetch requests (IFU_IFETCH).
+	IFUFetch
+	// IFUFetchMiss counts L1 I-cache misses (IFU_IFETCH_MISS).
+	IFUFetchMiss
+	// L2IFetch counts instruction fetches that reached L2 (L2_IFETCH).
+	L2IFetch
+	// L2LD counts data loads that reached L2 (L2_LD).
+	L2LD
+	// L2LinesInData counts L2 data misses (L2_LINES_IN, data portion).
+	L2LinesInData
+	// L2LinesInInst counts L2 instruction misses.
+	L2LinesInInst
+	// ITLBMiss counts instruction TLB misses (ITLB_MISS).
+	ITLBMiss
+	// InstRetiredSup counts kernel-mode retired instructions
+	// (INST_RETIRED:SUP).
+	InstRetiredSup
+	// RecordsProcessed is the software-level record count the paper's
+	// per-record metrics divide by (not a hardware counter; emon read
+	// it from the DBMS run).
+	RecordsProcessed
+
+	numEvents
+)
+
+// String returns the Pentium II mnemonic.
+func (e Event) String() string {
+	names := [...]string{
+		"INST_RETIRED", "UOPS_RETIRED", "BR_INST_RETIRED",
+		"BR_MISS_PRED_RETIRED", "BTB_MISSES", "DATA_MEM_REFS",
+		"DCU_LINES_IN", "IFU_IFETCH", "IFU_IFETCH_MISS", "L2_IFETCH",
+		"L2_LD", "L2_LINES_IN_DATA", "L2_LINES_IN_INST", "ITLB_MISS",
+		"INST_RETIRED:SUP", "RECORDS",
+	}
+	if int(e) < len(names) {
+		return names[e]
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// AllEvents lists every supported event.
+func AllEvents() []Event {
+	out := make([]Event, numEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}
+
+// read extracts an event's value from the simulator's counters.
+func (e Event) read(c core.Counts) uint64 {
+	switch e {
+	case InstRetired:
+		return c.InstructionsRetired
+	case UopsRetired:
+		return c.UopsRetired
+	case BrInstRetired:
+		return c.BranchesRetired
+	case BrMissPredRetired:
+		return c.BranchMispredictions
+	case BTBMisses:
+		return c.BTBMisses
+	case DataMemRefs:
+		return c.L1DReferences
+	case DCULinesIn:
+		return c.L1DMisses
+	case IFUFetch:
+		return c.L1IReferences
+	case IFUFetchMiss:
+		return c.L1IMisses
+	case L2IFetch:
+		return c.L2InstReferences
+	case L2LD:
+		return c.L2DataReferences
+	case L2LinesInData:
+		return c.L2DataMisses
+	case L2LinesInInst:
+		return c.L2InstMisses
+	case ITLBMiss:
+		return c.ITLBMisses
+	case InstRetiredSup:
+		return c.KernelInstructions
+	case RecordsProcessed:
+		return c.Records
+	default:
+		panic(fmt.Sprintf("emon: unknown event %d", int(e)))
+	}
+}
+
+// Session measures events over a repeatable unit of work, two per run,
+// as the Pentium II's counter pair forces. The unit receives a fresh
+// warmed pipeline each run.
+type Session struct {
+	cfg xeon.Config
+	// Warmup runs precede each measured run (Section 4.3 warms caches
+	// with multiple runs of the query).
+	Warmup int
+	// Runs counts how many measured runs the session performed.
+	Runs int
+	unit func(trace.Processor)
+}
+
+// NewSession builds a session around a unit of work.
+func NewSession(cfg xeon.Config, unit func(trace.Processor)) *Session {
+	return &Session{cfg: cfg, Warmup: 1, unit: unit}
+}
+
+// Measure collects the given events, two per run. Odd event counts
+// waste the second counter on the last run, as emon did.
+func (s *Session) Measure(events []Event) map[Event]uint64 {
+	out := make(map[Event]uint64, len(events))
+	for i := 0; i < len(events); i += 2 {
+		pipe := xeon.New(s.cfg)
+		for w := 0; w < s.Warmup; w++ {
+			s.unit(pipe)
+		}
+		pipe.ResetStats()
+		s.unit(pipe)
+		s.Runs++
+		counts := pipe.Breakdown().Counts
+		out[events[i]] = events[i].read(counts)
+		if i+1 < len(events) {
+			out[events[i+1]] = events[i+1].read(counts)
+		}
+	}
+	return out
+}
+
+// MeasureAll collects every supported event.
+func (s *Session) MeasureAll() map[Event]uint64 {
+	return s.Measure(AllEvents())
+}

@@ -1,0 +1,187 @@
+package emon_test
+
+import (
+	"math"
+	"testing"
+
+	"wheretime/internal/core"
+	"wheretime/internal/emon"
+	"wheretime/internal/engine"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+	"wheretime/internal/xeon"
+)
+
+// testUnit returns a repeatable unit of work: one SRS query on a small
+// database, matching the paper's "unit of execution" protocol.
+func testUnit(t *testing.T) (func(trace.Processor), xeon.Config) {
+	t.Helper()
+	d := workload.Dims{RRecords: 2000, SRecords: 66, RecordSize: 100, Seed: 11}
+	db, err := workload.Build(d, storage.NSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.SystemC, db.Catalog)
+	plan, err := e.Prepare(d.QuerySRS(0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := xeon.DefaultConfig()
+	return func(p trace.Processor) {
+		e.ResetState()
+		if _, err := e.Run(plan, p); err != nil {
+			panic(err)
+		}
+	}, cfg
+}
+
+func TestEventNames(t *testing.T) {
+	for _, e := range emon.AllEvents() {
+		if e.String() == "" {
+			t.Errorf("event %d unnamed", e)
+		}
+	}
+	if emon.InstRetired.String() != "INST_RETIRED" {
+		t.Errorf("INST_RETIRED name = %q", emon.InstRetired.String())
+	}
+	if emon.InstRetiredSup.String() != "INST_RETIRED:SUP" {
+		t.Errorf("SUP name = %q", emon.InstRetiredSup.String())
+	}
+}
+
+func TestTwoCountersPerRun(t *testing.T) {
+	unit, cfg := testUnit(t)
+	s := emon.NewSession(cfg, unit)
+	ev := s.Measure([]emon.Event{emon.InstRetired, emon.UopsRetired, emon.BrInstRetired})
+	// 3 events, 2 counters -> 2 runs.
+	if s.Runs != 2 {
+		t.Errorf("3 events took %d runs, want 2", s.Runs)
+	}
+	if ev[emon.InstRetired] == 0 || ev[emon.UopsRetired] < ev[emon.InstRetired] {
+		t.Errorf("implausible counts: %v", ev)
+	}
+}
+
+func TestMultiplexingMatchesSingleRun(t *testing.T) {
+	// The paper's protocol assumes the unit of work is repeatable
+	// enough that pairwise-measured events compose into one coherent
+	// profile. Our simulator is deterministic, so multiplexed
+	// measurement must agree exactly with a single full measurement.
+	unit, cfg := testUnit(t)
+	s := emon.NewSession(cfg, unit)
+	multiplexed := s.MeasureAll()
+
+	pipe := xeon.New(cfg)
+	unit(pipe)
+	pipe.ResetStats()
+	unit(pipe)
+	direct := pipe.Breakdown().Counts
+
+	f := emon.Formulae{Config: cfg}
+	fromEvents := f.Breakdown(multiplexed)
+	if fromEvents.Counts.InstructionsRetired != direct.InstructionsRetired {
+		t.Errorf("instructions: multiplexed %d vs direct %d",
+			fromEvents.Counts.InstructionsRetired, direct.InstructionsRetired)
+	}
+	if fromEvents.Counts.L1IMisses != direct.L1IMisses {
+		t.Errorf("L1I misses: multiplexed %d vs direct %d",
+			fromEvents.Counts.L1IMisses, direct.L1IMisses)
+	}
+	if fromEvents.Counts.BranchMispredictions != direct.BranchMispredictions {
+		t.Errorf("mispredictions: multiplexed %d vs direct %d",
+			fromEvents.Counts.BranchMispredictions, direct.BranchMispredictions)
+	}
+	if err := emon.Validate(multiplexed); err != nil {
+		t.Errorf("event map invalid: %v", err)
+	}
+}
+
+func TestFormulaeMatchPipelineAccounting(t *testing.T) {
+	// The count-derived components of Table 4.2 must reproduce the
+	// simulator's own charging exactly: both implement the same
+	// formulae.
+	unit, cfg := testUnit(t)
+	pipe := xeon.New(cfg)
+	unit(pipe)
+	pipe.ResetStats()
+	unit(pipe)
+	direct := pipe.Breakdown()
+
+	s := emon.NewSession(cfg, unit)
+	ev := s.MeasureAll()
+	f := emon.Formulae{Config: cfg}
+
+	checks := []struct {
+		name    string
+		formula float64
+		direct  float64
+	}{
+		{"TC", f.TC(ev), direct.Cycles[core.TC]},
+		{"TL1D", f.TL1D(ev), direct.Cycles[core.TL1D]},
+		{"TL2D", f.TL2D(ev), direct.Cycles[core.TL2D]},
+		{"TL2I", f.TL2I(ev), direct.Cycles[core.TL2I]},
+		{"TITLB", f.TITLB(ev), direct.Cycles[core.TITLB]},
+		{"TB", f.TB(ev), direct.Cycles[core.TB]},
+	}
+	for _, c := range checks {
+		if math.Abs(c.formula-c.direct) > 1e-6*(1+math.Abs(c.direct)) {
+			t.Errorf("%s: formula %v vs direct %v", c.name, c.formula, c.direct)
+		}
+	}
+}
+
+func TestDerivedRates(t *testing.T) {
+	unit, cfg := testUnit(t)
+	s := emon.NewSession(cfg, unit)
+	ev := s.MeasureAll()
+	f := emon.Formulae{Config: cfg}
+
+	if r := f.BranchFraction(ev); r < 0.1 || r > 0.3 {
+		t.Errorf("branch fraction %v out of plausible range", r)
+	}
+	if r := f.L1DMissRate(ev); r <= 0 || r > 0.05 {
+		t.Errorf("L1D miss rate %v outside the paper's band", r)
+	}
+	if r := f.BranchMispredictionRate(ev); r <= 0 || r > 0.25 {
+		t.Errorf("misprediction rate %v implausible", r)
+	}
+	if r := f.UserModeFraction(ev); r < 0.85 {
+		t.Errorf("user-mode fraction %v; paper reports >85%%", r)
+	}
+	if f.InstructionsPerRecord(ev) < 300 {
+		t.Errorf("instructions/record too low: %v", f.InstructionsPerRecord(ev))
+	}
+	if f.PartialCPI(ev) <= 0 {
+		t.Error("partial CPI should be positive")
+	}
+}
+
+func TestValidateCatchesCorruptEvents(t *testing.T) {
+	ev := map[emon.Event]uint64{
+		emon.DataMemRefs: 10, emon.DCULinesIn: 20,
+	}
+	if err := emon.Validate(ev); err == nil {
+		t.Error("misses > refs should fail validation")
+	}
+	cases := []map[emon.Event]uint64{
+		{emon.IFUFetch: 1, emon.IFUFetchMiss: 2},
+		{emon.BrInstRetired: 1, emon.BrMissPredRetired: 2},
+		{emon.L2LD: 1, emon.L2LinesInData: 2},
+		{emon.InstRetired: 1, emon.BrInstRetired: 2},
+	}
+	for i, c := range cases {
+		if err := emon.Validate(c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestZeroRatesSafe(t *testing.T) {
+	f := emon.Formulae{Config: xeon.DefaultConfig()}
+	empty := map[emon.Event]uint64{}
+	if f.BranchMispredictionRate(empty) != 0 || f.L1DMissRate(empty) != 0 ||
+		f.PartialCPI(empty) != 0 || f.UserModeFraction(empty) != 0 {
+		t.Error("empty event map should yield zero rates")
+	}
+}

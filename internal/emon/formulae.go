@@ -1,0 +1,168 @@
+package emon
+
+import (
+	"fmt"
+
+	"wheretime/internal/core"
+	"wheretime/internal/xeon"
+)
+
+// Formulae implements the Table 4.2 transformations from raw event
+// counts to stall-time components ("using a set of formulae, these
+// numbers were transformed into meaningful performance metrics",
+// Section 4.3). Components the paper measured as actual stall time
+// (TL1I, TFU, TDEP, TILD) cannot be reconstructed from counts alone;
+// Breakdown fills the count-derived components and leaves those zero
+// for the caller to merge from stall-time measurements.
+type Formulae struct {
+	// Config supplies the penalties: 4-cycle L1 miss, measured memory
+	// latency, 32-cycle ITLB miss, 17-cycle misprediction.
+	Config xeon.Config
+}
+
+// TC estimates computation time from retired μops (Table 4.2:
+// "estimated minimum based on μops retired").
+func (f Formulae) TC(ev map[Event]uint64) float64 {
+	return float64(ev[UopsRetired]) / f.Config.RetireWidth
+}
+
+// TL1D is L1 D-cache misses that hit L2, times the 4-cycle penalty.
+func (f Formulae) TL1D(ev map[Event]uint64) float64 {
+	misses := ev[DCULinesIn] - ev[L2LinesInData]
+	return float64(misses) * f.Config.L1MissPenalty
+}
+
+// TL2D is L2 data misses times the measured memory latency.
+func (f Formulae) TL2D(ev map[Event]uint64) float64 {
+	return float64(ev[L2LinesInData]) * f.Config.MemoryLatency
+}
+
+// TL2I is L2 instruction misses times the memory latency.
+func (f Formulae) TL2I(ev map[Event]uint64) float64 {
+	return float64(ev[L2LinesInInst]) * f.Config.MemoryLatency
+}
+
+// TITLB is ITLB misses times 32 cycles.
+func (f Formulae) TITLB(ev map[Event]uint64) float64 {
+	return float64(ev[ITLBMiss]) * f.Config.ITLBPenalty
+}
+
+// TB is retired mispredictions times the 17-cycle penalty.
+func (f Formulae) TB(ev map[Event]uint64) float64 {
+	return float64(ev[BrMissPredRetired]) * f.Config.MispredictPenalty
+}
+
+// CPI needs the breakdown total; this variant uses the count-derived
+// components only and therefore underestimates, exactly as the paper's
+// count-only view would.
+func (f Formulae) PartialCPI(ev map[Event]uint64) float64 {
+	if ev[InstRetired] == 0 {
+		return 0
+	}
+	total := f.TC(ev) + f.TL1D(ev) + f.TL2D(ev) + f.TL2I(ev) + f.TITLB(ev) + f.TB(ev)
+	return total / float64(ev[InstRetired])
+}
+
+// Rates derived from counts, as reported through Section 5.
+func (f Formulae) BranchMispredictionRate(ev map[Event]uint64) float64 {
+	return ratio(ev[BrMissPredRetired], ev[BrInstRetired])
+}
+
+// BTBMissRate is BTB misses over retired branches (§5.3: ~50%).
+func (f Formulae) BTBMissRate(ev map[Event]uint64) float64 {
+	return ratio(ev[BTBMisses], ev[BrInstRetired])
+}
+
+// L1DMissRate is L1 D-cache misses over references (§5.2: ~2%).
+func (f Formulae) L1DMissRate(ev map[Event]uint64) float64 {
+	return ratio(ev[DCULinesIn], ev[DataMemRefs])
+}
+
+// L2DataMissRate is L2 data misses over L2 data references (§5.2.1:
+// 40-90%, System B ~2%).
+func (f Formulae) L2DataMissRate(ev map[Event]uint64) float64 {
+	return ratio(ev[L2LinesInData], ev[L2LD])
+}
+
+// BranchFraction is branches over instructions (§5.3: ~20%).
+func (f Formulae) BranchFraction(ev map[Event]uint64) float64 {
+	return ratio(ev[BrInstRetired], ev[InstRetired])
+}
+
+// UserModeFraction is the share of instructions retired in user mode;
+// the paper reports >85% for almost all experiments.
+func (f Formulae) UserModeFraction(ev map[Event]uint64) float64 {
+	user := ev[InstRetired]
+	total := user + ev[InstRetiredSup]
+	return ratio(user, total)
+}
+
+// InstructionsPerRecord is Figure 5.3's metric.
+func (f Formulae) InstructionsPerRecord(ev map[Event]uint64) float64 {
+	return ratio(ev[InstRetired], ev[RecordsProcessed])
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Breakdown assembles the count-derived components of a core.Breakdown
+// from measured events. Stall-time-measured components (TL1I, TDEP,
+// TFU, TILD, TOVL) stay zero; Merge them from a direct measurement.
+func (f Formulae) Breakdown(ev map[Event]uint64) *core.Breakdown {
+	b := &core.Breakdown{}
+	b.Cycles[core.TC] = f.TC(ev)
+	b.Cycles[core.TL1D] = f.TL1D(ev)
+	b.Cycles[core.TL2D] = f.TL2D(ev)
+	b.Cycles[core.TL2I] = f.TL2I(ev)
+	b.Cycles[core.TITLB] = f.TITLB(ev)
+	b.Cycles[core.TB] = f.TB(ev)
+	b.Counts = core.Counts{
+		InstructionsRetired:  ev[InstRetired],
+		UopsRetired:          ev[UopsRetired],
+		BranchesRetired:      ev[BrInstRetired],
+		BranchMispredictions: ev[BrMissPredRetired],
+		BTBMisses:            ev[BTBMisses],
+		L1DReferences:        ev[DataMemRefs],
+		L1DMisses:            ev[DCULinesIn],
+		L1IReferences:        ev[IFUFetch],
+		L1IMisses:            ev[IFUFetchMiss],
+		L2DataReferences:     ev[L2LD],
+		L2DataMisses:         ev[L2LinesInData],
+		L2InstReferences:     ev[L2IFetch],
+		L2InstMisses:         ev[L2LinesInInst],
+		ITLBMisses:           ev[ITLBMiss],
+		KernelInstructions:   ev[InstRetiredSup],
+		Records:              ev[RecordsProcessed],
+	}
+	return b
+}
+
+// Validate cross-checks an event map for internal consistency. Pairs
+// are only compared when both events were measured, since a partial
+// emon invocation legitimately collects a subset.
+func Validate(ev map[Event]uint64) error {
+	check := func(num, den Event) error {
+		n, okN := ev[num]
+		d, okD := ev[den]
+		if okN && okD && n > d {
+			return fmt.Errorf("emon: %s %d exceeds %s %d", num, n, den, d)
+		}
+		return nil
+	}
+	for _, pair := range [][2]Event{
+		{DCULinesIn, DataMemRefs},
+		{IFUFetchMiss, IFUFetch},
+		{BrMissPredRetired, BrInstRetired},
+		{L2LinesInData, L2LD},
+		{BrInstRetired, InstRetired},
+	} {
+		if err := check(pair[0], pair[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"wheretime/internal/catalog"
+	"wheretime/internal/sql"
+	"wheretime/internal/trace"
+)
+
+// workspaceBase is where per-query scratch structures (hash tables,
+// sort runs) live in the simulated address space.
+const workspaceBase uint64 = 0x6000_0000
+
+// Engine executes plans for one system variant over one catalog,
+// narrating its hardware behaviour to a trace.Processor.
+type Engine struct {
+	prof   Profile
+	cat    *catalog.Catalog
+	layout *trace.Layout
+	rt     [numRoutineKinds]*trace.Routine
+}
+
+// New builds an engine for the given system over the catalog.
+func New(s System, cat *catalog.Catalog) *Engine {
+	return NewWithProfile(DefaultProfile(s), cat)
+}
+
+// NewWithProfile builds an engine with an explicit profile (used by
+// the ablation benchmarks to vary one axis at a time).
+func NewWithProfile(p Profile, cat *catalog.Catalog) *Engine {
+	e := &Engine{prof: p, cat: cat}
+	e.layout, e.rt = buildRoutines(p)
+	return e
+}
+
+// Profile returns the engine's build profile.
+func (e *Engine) Profile() Profile { return e.prof }
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// CodeFootprint returns the engine text-segment size in bytes.
+func (e *Engine) CodeFootprint() uint64 { return e.layout.CodeFootprint() }
+
+// ResetState clears all routine dynamic state (used between measured
+// runs when determinism matters).
+func (e *Engine) ResetState() { e.layout.ResetAll() }
+
+// PlanOptions returns the planner options this system uses.
+func (e *Engine) PlanOptions() sql.PlanOptions {
+	return sql.PlanOptions{UseIndex: e.prof.UseIndex}
+}
+
+// Prepare parses and plans a query with this system's planner
+// behaviour.
+func (e *Engine) Prepare(query string) (*sql.Plan, error) {
+	return sql.Prepare(e.cat, query, e.PlanOptions())
+}
+
+// Result is a query result: the aggregate value and the rows that
+// contributed to it.
+type Result struct {
+	// Value is the aggregate result (NaN for avg/min/max over no rows).
+	Value float64
+	// Rows is the number of qualifying rows (join matches for joins).
+	Rows uint64
+}
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	fn    sql.AggFunc
+	count uint64
+	sum   int64
+	min   int32
+	max   int32
+}
+
+func newAggState(fn sql.AggFunc) *aggState {
+	return &aggState{fn: fn, min: math.MaxInt32, max: math.MinInt32}
+}
+
+func (a *aggState) add(v int32) {
+	a.count++
+	a.sum += int64(v)
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+}
+
+func (a *aggState) addCount() { a.count++ }
+
+func (a *aggState) result() Result {
+	r := Result{Rows: a.count}
+	switch a.fn {
+	case sql.AggCount:
+		r.Value = float64(a.count)
+	case sql.AggSum:
+		r.Value = float64(a.sum)
+	case sql.AggAvg:
+		if a.count == 0 {
+			r.Value = math.NaN()
+		} else {
+			r.Value = float64(a.sum) / float64(a.count)
+		}
+	case sql.AggMin:
+		if a.count == 0 {
+			r.Value = math.NaN()
+		} else {
+			r.Value = float64(a.min)
+		}
+	case sql.AggMax:
+		if a.count == 0 {
+			r.Value = math.NaN()
+		} else {
+			r.Value = float64(a.max)
+		}
+	}
+	return r
+}
+
+// Run executes a plan, emitting the event stream into proc.
+func (e *Engine) Run(p *sql.Plan, proc trace.Processor) (Result, error) {
+	if p == nil {
+		return Result{}, fmt.Errorf("engine: nil plan")
+	}
+	e.rt[rkQueryStart].Invoke(proc)
+	switch {
+	case p.IsJoin():
+		return e.runHashJoin(p, proc)
+	case p.Outer.UseIndex:
+		return e.runIndexScan(p, proc)
+	default:
+		return e.runSeqScan(p, proc)
+	}
+}
+
+// Query prepares and runs a SQL string in one step.
+func (e *Engine) Query(query string, proc trace.Processor) (Result, error) {
+	plan, err := e.Prepare(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Run(plan, proc)
+}

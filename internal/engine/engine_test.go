@@ -1,0 +1,377 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+)
+
+// testDB builds a small deterministic database with indexes.
+func testDB(t *testing.T, layout storage.Layout) *workload.Database {
+	t.Helper()
+	d := workload.Dims{RRecords: 3000, SRecords: 100, RecordSize: 100, Seed: 42}
+	db, err := workload.Build(d, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// referenceAvg computes avg(a3) over R where lo < a2 < hi directly
+// from storage.
+func referenceAvg(db *workload.Database, lo, hi int32) (float64, uint64) {
+	var sum int64
+	var n uint64
+	db.R.Heap.Scan(func(pg *storage.Page) bool {
+		for s := 0; s < pg.NumRecords(); s++ {
+			a2 := pg.Field(uint16(s), 1)
+			if a2 > lo && a2 < hi {
+				sum += int64(pg.Field(uint16(s), 2))
+				n++
+			}
+		}
+		return true
+	})
+	if n == 0 {
+		return math.NaN(), 0
+	}
+	return float64(sum) / float64(n), n
+}
+
+func TestSeqScanCorrectness(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	q := db.Dims.QuerySRS(0.10)
+	res, err := e.Query(q, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := db.Dims.SelectivityBounds(0.10)
+	want, rows := referenceAvg(db, lo, hi)
+	if res.Rows != rows {
+		t.Errorf("rows = %d, want %d", res.Rows, rows)
+	}
+	if math.Abs(res.Value-want) > 1e-9 {
+		t.Errorf("avg = %v, want %v", res.Value, want)
+	}
+	if rows == 0 {
+		t.Fatal("test should select some rows")
+	}
+}
+
+func TestSeqScanPAXCorrectness(t *testing.T) {
+	db := testDB(t, storage.PAX)
+	e := engine.New(engine.SystemB, db.Catalog)
+	// System B plans with index; force a sequential plan to isolate
+	// the scan path.
+	plan, err := sql.Prepare(db.Catalog, db.Dims.QuerySRS(0.25), sql.PlanOptions{UseIndex: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(plan, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := db.Dims.SelectivityBounds(0.25)
+	want, rows := referenceAvg(db, lo, hi)
+	if res.Rows != rows || math.Abs(res.Value-want) > 1e-9 {
+		t.Errorf("PAX scan: got (%v,%d), want (%v,%d)", res.Value, res.Rows, want, rows)
+	}
+}
+
+func TestIndexScanMatchesSeqScan(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	eNoIdx := engine.New(engine.SystemA, db.Catalog) // A does not use the index
+	eIdx := engine.New(engine.SystemD, db.Catalog)
+	q := db.Dims.QuerySRS(0.05)
+
+	planA, err := eNoIdx.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planA.Outer.UseIndex {
+		t.Fatal("System A must not use the index (Section 5.1)")
+	}
+	planD, err := eIdx.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !planD.Outer.UseIndex {
+		t.Fatal("System D should use the index")
+	}
+
+	ra, err := eNoIdx.Run(planA, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := eIdx.Run(planD, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Rows != rd.Rows || math.Abs(ra.Value-rd.Value) > 1e-9 {
+		t.Errorf("index scan disagrees with seq scan: (%v,%d) vs (%v,%d)",
+			rd.Value, rd.Rows, ra.Value, ra.Rows)
+	}
+}
+
+func TestJoinCorrectness(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	res, err := e.Query(db.Dims.QuerySJ(), trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every R record's a2 is in [1, SRecords], S.a1 is the PK 1..S:
+	// every R row matches exactly once, so the join result is avg(a3)
+	// over all of R.
+	want, rows := referenceAvg(db, 0, int32(db.Dims.SRecords)+1)
+	if res.Rows != rows {
+		t.Errorf("join rows = %d, want %d (= |R|)", res.Rows, rows)
+	}
+	if math.Abs(res.Value-want) > 1e-9 {
+		t.Errorf("join avg = %v, want %v", res.Value, want)
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemB, db.Catalog)
+	for _, tc := range []struct {
+		agg string
+	}{{"count(*)"}, {"count(a3)"}, {"sum(a3)"}, {"min(a3)"}, {"max(a3)"}, {"avg(a3)"}} {
+		q := "select " + tc.agg + " from r where a2 < 40 and a2 > 0"
+		res, err := e.Query(q, trace.Discard{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.agg, err)
+		}
+		if res.Rows == 0 {
+			t.Errorf("%s returned no rows", tc.agg)
+		}
+	}
+	// Cross-check min <= avg <= max and sum = avg*count.
+	get := func(q string) engine.Result {
+		res, err := e.Query(q, trace.Discard{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	where := " from r where a2 < 40 and a2 > 0"
+	mn := get("select min(a3)" + where).Value
+	mx := get("select max(a3)" + where).Value
+	av := get("select avg(a3)" + where)
+	sm := get("select sum(a3)" + where).Value
+	if mn > av.Value || av.Value > mx {
+		t.Errorf("min %v / avg %v / max %v out of order", mn, av.Value, mx)
+	}
+	if math.Abs(sm-av.Value*float64(av.Rows)) > 1e-6*math.Abs(sm) {
+		t.Errorf("sum %v != avg*count %v", sm, av.Value*float64(av.Rows))
+	}
+}
+
+func TestEmptyRangeYieldsNaNAvg(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	res, err := e.Query("select avg(a3) from r where a2 < 1 and a2 > 0", trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 0 || !math.IsNaN(res.Value) {
+		t.Errorf("empty range: got (%v,%d)", res.Value, res.Rows)
+	}
+}
+
+func TestInstructionsPerRecordOrdering(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	q := db.Dims.QuerySRS(0.10)
+	var perRecord [4]float64
+	for _, s := range engine.Systems() {
+		e := engine.New(s, db.Catalog)
+		var c trace.Counting
+		plan, err := sql.Prepare(db.Catalog, q, sql.PlanOptions{UseIndex: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Run(plan, &c); err != nil {
+			t.Fatal(err)
+		}
+		if c.Records != uint64(db.Dims.RRecords) {
+			t.Fatalf("system %s processed %d records, want %d", s, c.Records, db.Dims.RRecords)
+		}
+		perRecord[s] = float64(c.Instructions) / float64(c.Records)
+	}
+	// Figure 5.3: System A retires the fewest instructions per record
+	// on the sequential selection; D the most in our builds.
+	if !(perRecord[engine.SystemA] < perRecord[engine.SystemB] &&
+		perRecord[engine.SystemB] < perRecord[engine.SystemC] &&
+		perRecord[engine.SystemC] < perRecord[engine.SystemD]) {
+		t.Errorf("per-record instruction ordering violated: %v", perRecord)
+	}
+	// Sanity band: hundreds to a few thousand (Figure 5.3's axis).
+	for s, v := range perRecord {
+		if v < 300 || v > 16000 {
+			t.Errorf("system %d: %v instructions/record outside Figure 5.3 range", s, v)
+		}
+	}
+}
+
+func TestBranchFractionNear20Percent(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	var c trace.Counting
+	if _, err := e.Query(db.Dims.QuerySRS(0.10), &c); err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(c.Branches) / float64(c.Instructions)
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("branch fraction = %v, want ~0.20 (Section 5.3)", frac)
+	}
+}
+
+func TestIndexScanRecordDenominatorIsSelected(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	var c trace.Counting
+	res, err := e.Query(db.Dims.QuerySRS(0.10), &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IRS: RecordProcessed fires once per selected record (Fig 5.3's
+	// IRS denominator).
+	if c.Records != res.Rows {
+		t.Errorf("IRS records = %d, want %d selected", c.Records, res.Rows)
+	}
+}
+
+func TestCodeFootprintOrdering(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	a := engine.New(engine.SystemA, db.Catalog)
+	d := engine.New(engine.SystemD, db.Catalog)
+	if a.CodeFootprint() >= d.CodeFootprint() {
+		t.Errorf("System A footprint %d should be below System D %d",
+			a.CodeFootprint(), d.CodeFootprint())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	run := func() trace.Counting {
+		e := engine.New(engine.SystemB, db.Catalog)
+		var c trace.Counting
+		if _, err := e.Query(db.Dims.QuerySRS(0.10), &c); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("two identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestOLTPPrimitives(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	var c trace.Counting
+	txn := e.Begin(&c)
+
+	// Point lookup through the S.a1 index.
+	vals, err := txn.PointLookup(db.S, 0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 {
+		t.Fatalf("point lookup found %d rows, want 1 (primary key)", len(vals))
+	}
+
+	// Update a field and read it back.
+	rids := db.S.Indexes[0].Search(5)
+	if len(rids) != 1 {
+		t.Fatal("search failed")
+	}
+	txn.UpdateField(db.S, rids[0], 2, 777)
+	if got := txn.FetchByRID(db.S, rids[0], 2); got != 777 {
+		t.Errorf("updated field = %d, want 777", got)
+	}
+
+	// Insert maintains indexes.
+	before := db.S.Indexes[0].Len()
+	rid := txn.InsertRecord(db.S, []int32{9999, 1, 2})
+	if db.S.Indexes[0].Len() != before+1 {
+		t.Error("insert did not maintain the index")
+	}
+	if got := txn.FetchByRID(db.S, rid, 0); got != 9999 {
+		t.Errorf("inserted record a1 = %d", got)
+	}
+	if txn.Locks() == 0 {
+		t.Error("transaction acquired no locks")
+	}
+	txn.Commit()
+	if c.Instructions == 0 || c.Stores == 0 {
+		t.Error("transaction emitted no trace")
+	}
+}
+
+func TestCommitTwicePanics(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	txn := e.Begin(trace.Discard{})
+	txn.Commit()
+	defer func() {
+		if recover() == nil {
+			t.Error("double commit should panic")
+		}
+	}()
+	txn.Commit()
+}
+
+func TestPointLookupWithoutIndexFails(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	txn := e.Begin(trace.Discard{})
+	defer txn.Commit()
+	if _, err := txn.PointLookup(db.R, 2, 5, 0); err == nil {
+		t.Error("lookup on unindexed column should fail")
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	want := map[engine.System]string{engine.SystemA: "A", engine.SystemB: "B", engine.SystemC: "C", engine.SystemD: "D"}
+	for s, n := range want {
+		if s.String() != n {
+			t.Errorf("System %d string = %q", s, s.String())
+		}
+		p := engine.DefaultProfile(s)
+		if p.System != s || p.Name == "" {
+			t.Errorf("profile for %s malformed: %+v", n, p)
+		}
+	}
+	if engine.SystemB.String() != "B" {
+		t.Error("B")
+	}
+}
+
+func TestOnlySystemAAvoidsIndex(t *testing.T) {
+	for _, s := range engine.Systems() {
+		p := engine.DefaultProfile(s)
+		if (s == engine.SystemA) == p.UseIndex {
+			t.Errorf("system %s UseIndex = %v", s, p.UseIndex)
+		}
+	}
+}
+
+func TestOnlySystemBUsesPAX(t *testing.T) {
+	for _, s := range engine.Systems() {
+		p := engine.DefaultProfile(s)
+		if (s == engine.SystemB) != (p.DataLayout == storage.PAX) {
+			t.Errorf("system %s layout = %v", s, p.DataLayout)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// hashEntry is one build-side tuple in the join hash table.
+type hashEntry struct {
+	key int32
+	rid storage.RID
+	// idx is the entry's allocation index: its simulated address is
+	// entriesBase + idx*hashEntryBytes.
+	idx uint32
+}
+
+// Simulated hash-table geometry: a bucket-head array followed by an
+// entry arena, the classic chained table. Entry size covers key, RID,
+// chain pointer and padding.
+const (
+	hashBucketBytes = 8
+	hashEntryBytes  = 24
+)
+
+// runHashJoin executes query (2): a hash equijoin with the second FROM
+// table as the build side (the paper's S, 30x smaller than R) and the
+// first as the probe side. One RecordProcessed fires per probe-side
+// record — the paper's SJ per-record denominator is |R|.
+func (e *Engine) runHashJoin(p *sql.Plan, proc trace.Processor) (Result, error) {
+	build, probe := p.Inner, p.Outer
+	buildCol, probeCol := p.InnerCol, p.OuterCol
+
+	agg := newAggState(p.Agg)
+	readsOuter := !p.CountAll && p.AggTable == probe.Table
+	readsInner := !p.CountAll && p.AggTable == build.Table
+	aggCol := p.AggCol
+
+	pool := e.cat.Pool()
+
+	// --- Build phase -------------------------------------------------
+	nBuild := build.Table.Heap.NumRecords()
+	nBuckets := nextPow2(nBuild + 1)
+	bucketMask := nBuckets - 1
+	entriesBase := workspaceBase + nBuckets*hashBucketBytes
+
+	table := make(map[int32][]hashEntry, nBuild)
+	var entryIdx uint32
+
+	qual := e.rt[rkQualEval]
+	qualPC := qual.Addr + uint64(qual.CodeBytes) - 8
+
+	for _, pid := range build.Table.Heap.PageIDs() {
+		pg := pool.Get(pid)
+		e.rt[rkPageNext].Invoke(proc)
+		proc.Load(pg.HeaderAddr(), 16)
+		for s := 0; s < pg.NumRecords(); s++ {
+			slot := uint16(s)
+			e.rt[rkScanNext].Invoke(proc)
+			touchRecord(proc, pg, slot, buildCol, build.FilterCol)
+			e.deformat(proc, pg, 2)
+			if build.HasFilter {
+				qual.Invoke(proc)
+				v := pg.Field(slot, build.FilterCol)
+				if ok := v >= build.Lo && v < build.Hi; !ok {
+					proc.Branch(qualPC, qualPC+96, true)
+					continue
+				}
+				proc.Branch(qualPC, qualPC+96, false)
+			}
+			key := pg.Field(slot, buildCol)
+			e.rt[rkHashBuild].Invoke(proc)
+			// Bucket-head update and entry write.
+			b := uint64(hash32(key)) & bucketMask
+			proc.Store(workspaceBase+b*hashBucketBytes, hashBucketBytes)
+			proc.Store(entriesBase+uint64(entryIdx)*hashEntryBytes, hashEntryBytes)
+			table[key] = append(table[key], hashEntry{key: key, rid: storage.RID{Page: pg.ID(), Slot: slot}, idx: entryIdx})
+			entryIdx++
+		}
+	}
+
+	// --- Probe phase -------------------------------------------------
+	probeRt := e.rt[rkHashProbe]
+	matchPC := probeRt.Addr + uint64(probeRt.CodeBytes) - 8
+	for _, pid := range probe.Table.Heap.PageIDs() {
+		pg := pool.Get(pid)
+		e.rt[rkPageNext].Invoke(proc)
+		proc.Load(pg.HeaderAddr(), 16)
+		for s := 0; s < pg.NumRecords(); s++ {
+			slot := uint16(s)
+			e.rt[rkScanNext].Invoke(proc)
+			touchRecord(proc, pg, slot, probeCol, probe.FilterCol)
+			e.deformat(proc, pg, 2)
+			if probe.HasFilter {
+				qual.Invoke(proc)
+				v := pg.Field(slot, probe.FilterCol)
+				if ok := v >= probe.Lo && v < probe.Hi; !ok {
+					proc.Branch(qualPC, qualPC+96, true)
+					proc.RecordProcessed()
+					continue
+				}
+				proc.Branch(qualPC, qualPC+96, false)
+			}
+			key := pg.Field(slot, probeCol)
+			probeRt.Invoke(proc)
+			b := uint64(hash32(key)) & bucketMask
+			proc.Load(workspaceBase+b*hashBucketBytes, hashBucketBytes)
+			chain := table[key]
+			// Walk the chain entries; the key-compare branch outcome
+			// depends on data, so it retires as an architectural
+			// branch per entry.
+			for _, ent := range chain {
+				proc.Load(entriesBase+uint64(ent.idx)*hashEntryBytes, hashEntryBytes)
+				proc.Branch(matchPC, matchPC+64, true)
+				e.rt[rkJoinMatch].Invoke(proc)
+				// Verify against the build-side record (random access
+				// into the build heap) and aggregate.
+				bpg := pool.Get(ent.rid.Page)
+				touchRecord(proc, bpg, ent.rid.Slot, buildCol)
+				switch {
+				case readsOuter:
+					proc.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
+					agg.add(pg.Field(slot, aggCol))
+				case readsInner:
+					proc.Load(bpg.FieldAddr(ent.rid.Slot, aggCol), storage.FieldSize)
+					agg.add(bpg.Field(ent.rid.Slot, aggCol))
+				default:
+					agg.addCount()
+				}
+			}
+			if len(chain) == 0 {
+				proc.Branch(matchPC, matchPC+64, false)
+			}
+			proc.RecordProcessed()
+		}
+	}
+	return agg.result(), nil
+}
+
+// hash32 is a Fibonacci-style integer hash.
+func hash32(v int32) uint32 {
+	x := uint32(v)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+func nextPow2(v uint64) uint64 {
+	n := uint64(1)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+
+	"wheretime/internal/catalog"
+	"wheretime/internal/index"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// OLTP primitives: the building blocks the TPC-C-style workload
+// composes into transactions. Each primitive does real storage work
+// and narrates the corresponding engine code paths — transaction
+// bracketing, lock manager calls, log writes, index point lookups and
+// in-place field updates.
+
+// Txn is an open transaction handle. The engine model is single-
+// threaded (the paper runs a single command stream), so a Txn is just
+// the bracketing state for trace emission.
+type Txn struct {
+	e     *Engine
+	proc  trace.Processor
+	locks int
+	open  bool
+}
+
+// Begin opens a transaction.
+func (e *Engine) Begin(proc trace.Processor) *Txn {
+	e.rt[rkTxnBegin].Invoke(proc)
+	return &Txn{e: e, proc: proc, open: true}
+}
+
+// Commit closes the transaction: one log force plus commit processing.
+func (t *Txn) Commit() {
+	if !t.open {
+		panic("engine: commit of a closed transaction")
+	}
+	t.open = false
+	t.e.rt[rkLogWrite].Invoke(t.proc)
+	t.e.rt[rkTxnCommit].Invoke(t.proc)
+}
+
+// lock charges one lock-manager call; locks are charged per record
+// touched, the dominant locking cost in OLTP paths.
+func (t *Txn) lock() {
+	t.locks++
+	t.e.rt[rkLockAcquire].Invoke(t.proc)
+}
+
+// Locks returns how many locks the transaction acquired.
+func (t *Txn) Locks() int { return t.locks }
+
+// PointLookup finds the records with the given key through the index
+// on the given column, reads readCol of each, and returns the values.
+// It errors if the table has no such index.
+func (t *Txn) PointLookup(tab *catalog.Table, keyCol int, key int32, readCol int) ([]int32, error) {
+	if !t.open {
+		panic("engine: lookup on a closed transaction")
+	}
+	tree := tab.Indexes[keyCol]
+	if tree == nil {
+		return nil, fmt.Errorf("engine: table %s has no index on column %d", tab.Name, keyCol)
+	}
+	e, proc := t.e, t.proc
+	pool := e.cat.Pool()
+	var out []int32
+	tree.RangeTrace(key, key+1,
+		func(step index.DescentStep) {
+			e.rt[rkIdxDescend].Invoke(proc)
+			span := uint64(storage.PageSize)
+			for i := 0; i < step.KeysInspected; i++ {
+				span >>= 1
+				proc.Load(step.Addr+span, storage.FieldSize)
+			}
+		},
+		func(k int32, rid storage.RID, pos index.LeafPos) bool {
+			e.rt[rkIdxLeafNext].Invoke(proc)
+			proc.Load(pos.Addr+32+uint64(pos.Index)*12, 12)
+			e.rt[rkRidFetch].Invoke(proc)
+			t.lock()
+			pg := pool.Get(rid.Page)
+			proc.Load(pg.HeaderAddr(), 16)
+			proc.Load(pg.FieldAddr(rid.Slot, readCol), storage.FieldSize)
+			out = append(out, pg.Field(rid.Slot, readCol))
+			return true
+		})
+	return out, nil
+}
+
+// UpdateField updates one field of one record in place, with lock,
+// log and buffer traffic.
+func (t *Txn) UpdateField(tab *catalog.Table, rid storage.RID, col int, value int32) {
+	if !t.open {
+		panic("engine: update on a closed transaction")
+	}
+	e, proc := t.e, t.proc
+	pg := e.cat.Pool().Get(rid.Page)
+	t.lock()
+	e.rt[rkRidFetch].Invoke(proc)
+	proc.Load(pg.HeaderAddr(), 16)
+	e.rt[rkUpdateField].Invoke(proc)
+	proc.Load(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
+	pg.SetField(rid.Slot, col, value)
+	proc.Store(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
+	e.rt[rkLogWrite].Invoke(proc)
+}
+
+// InsertRecord appends a record to the table with lock and log
+// traffic, returning its RID.
+func (t *Txn) InsertRecord(tab *catalog.Table, values []int32) storage.RID {
+	if !t.open {
+		panic("engine: insert on a closed transaction")
+	}
+	e, proc := t.e, t.proc
+	t.lock()
+	rid := tab.Heap.Append(values)
+	pg := e.cat.Pool().Get(rid.Page)
+	e.rt[rkUpdateField].Invoke(proc)
+	proc.Store(pg.RecordAddr(rid.Slot), uint32(min(int(pg.RecordSize()), 64)))
+	e.rt[rkLogWrite].Invoke(proc)
+	// Maintain any indexes.
+	for col, tree := range tab.Indexes {
+		e.rt[rkIdxDescend].Invoke(proc)
+		tree.Insert(pg.Field(rid.Slot, col), rid)
+	}
+	return rid
+}
+
+// FetchByRID reads one field of a known record under lock (the
+// pattern of TPC-C order-status reads).
+func (t *Txn) FetchByRID(tab *catalog.Table, rid storage.RID, col int) int32 {
+	if !t.open {
+		panic("engine: fetch on a closed transaction")
+	}
+	e, proc := t.e, t.proc
+	t.lock()
+	e.rt[rkRidFetch].Invoke(proc)
+	pg := e.cat.Pool().Get(rid.Page)
+	proc.Load(pg.HeaderAddr(), 16)
+	proc.Load(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
+	return pg.Field(rid.Slot, col)
+}

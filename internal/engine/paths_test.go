@@ -1,0 +1,246 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+)
+
+func TestJoinWithBuildSideFilter(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	// Restrict the build side: only S.a1 < 50 builds, so only R rows
+	// with a2 < 50 match.
+	res, err := e.Query("select avg(r.a3) from r, s where r.a2 = s.a1 and s.a1 < 50", trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, rows := referenceAvg(db, 0, 50)
+	if res.Rows != rows || math.Abs(res.Value-want) > 1e-9 {
+		t.Errorf("filtered join: got (%v,%d), want (%v,%d)", res.Value, res.Rows, want, rows)
+	}
+}
+
+func TestJoinWithProbeSideFilter(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	res, err := e.Query("select count(*) from r, s where r.a2 = s.a1 and r.a2 < 30", trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows := referenceAvg(db, 0, 30)
+	if res.Rows != rows || res.Value != float64(rows) {
+		t.Errorf("probe-filtered join count = (%v,%d), want %d", res.Value, res.Rows, rows)
+	}
+}
+
+func TestJoinAggregateOverInnerTable(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemB, db.Catalog)
+	// avg over the build side's column: every R row contributes its
+	// matched S row's a3.
+	res, err := e.Query("select avg(s.a3) from r, s where r.a2 = s.a1", trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != db.R.NumRecords() {
+		t.Errorf("rows = %d, want |R| = %d", res.Rows, db.R.NumRecords())
+	}
+	// Reference: map S.a1 -> a3, average over R's a2 references.
+	sByKey := map[int32]int32{}
+	db.S.Heap.Scan(func(pg *storage.Page) bool {
+		for s := 0; s < pg.NumRecords(); s++ {
+			sByKey[pg.Field(uint16(s), 0)] = pg.Field(uint16(s), 2)
+		}
+		return true
+	})
+	var sum, n int64
+	db.R.Heap.Scan(func(pg *storage.Page) bool {
+		for s := 0; s < pg.NumRecords(); s++ {
+			sum += int64(sByKey[pg.Field(uint16(s), 1)])
+			n++
+		}
+		return true
+	})
+	want := float64(sum) / float64(n)
+	if math.Abs(res.Value-want) > 1e-9 {
+		t.Errorf("avg(s.a3) = %v, want %v", res.Value, want)
+	}
+}
+
+func TestPAXJoinCorrectness(t *testing.T) {
+	db := testDB(t, storage.PAX)
+	e := engine.New(engine.SystemB, db.Catalog)
+	res, err := e.Query(db.Dims.QuerySJ(), trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, rows := referenceAvg(db, 0, int32(db.Dims.SRecords)+1)
+	if res.Rows != rows || math.Abs(res.Value-want) > 1e-9 {
+		t.Errorf("PAX join: got (%v,%d), want (%v,%d)", res.Value, res.Rows, want, rows)
+	}
+}
+
+func TestIndexScanCountStar(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	res, err := e.Query("select count(*) from r where a2 < 20 and a2 > 0", trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows := referenceAvg(db, 0, 20)
+	if res.Rows != rows || res.Value != float64(rows) {
+		t.Errorf("indexed count(*) = (%v,%d), want %d", res.Value, res.Rows, rows)
+	}
+}
+
+func TestDeformatScalesWithRecordWidth(t *testing.T) {
+	// NSM engines walk every field of the record: a 200-byte record
+	// retires more instructions per record than a 20-byte one.
+	count := func(recSize int) float64 {
+		d := workload.Dims{RRecords: 1000, SRecords: 33, RecordSize: recSize, Seed: 42}
+		db, err := workload.Build(d, storage.NSM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine.New(engine.SystemD, db.Catalog)
+		plan, err := sql.Prepare(db.Catalog, d.QuerySRS(0.10), sql.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c trace.Counting
+		if _, err := e.Run(plan, &c); err != nil {
+			t.Fatal(err)
+		}
+		return float64(c.Instructions) / float64(c.Records)
+	}
+	narrow := count(20)
+	wide := count(200)
+	if wide <= narrow*1.5 {
+		t.Errorf("deformat cost flat: %v (20B) vs %v (200B)", narrow, wide)
+	}
+}
+
+func TestPAXDeformatInsensitiveToWidth(t *testing.T) {
+	// PAX engines deformat only the touched columns, so record width
+	// barely moves their per-record instruction count.
+	count := func(recSize int) float64 {
+		d := workload.Dims{RRecords: 1000, SRecords: 33, RecordSize: recSize, Seed: 42}
+		db, err := workload.Build(d, storage.PAX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine.New(engine.SystemB, db.Catalog)
+		plan, err := sql.Prepare(db.Catalog, d.QuerySRS(0.10), sql.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c trace.Counting
+		if _, err := e.Run(plan, &c); err != nil {
+			t.Fatal(err)
+		}
+		return float64(c.Instructions) / float64(c.Records)
+	}
+	narrow := count(20)
+	wide := count(200)
+	if wide > narrow*1.1 {
+		t.Errorf("PAX deformat should be width-insensitive: %v (20B) vs %v (200B)", narrow, wide)
+	}
+}
+
+func TestSRSRecordDenominatorIsWholeTable(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	plan, err := sql.Prepare(db.Catalog, db.Dims.QuerySRS(0.01), sql.PlanOptions{UseIndex: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c trace.Counting
+	if _, err := e.Run(plan, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Records != db.R.NumRecords() {
+		t.Errorf("SRS records = %d, want |R| = %d", c.Records, db.R.NumRecords())
+	}
+}
+
+func TestSJRecordDenominatorIsProbeTable(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	var c trace.Counting
+	if _, err := e.Query(db.Dims.QuerySJ(), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Records != db.R.NumRecords() {
+		t.Errorf("SJ records = %d, want |R| = %d", c.Records, db.R.NumRecords())
+	}
+}
+
+func TestRunNilPlanFails(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemA, db.Catalog)
+	if _, err := e.Run(nil, trace.Discard{}); err == nil {
+		t.Error("nil plan should error")
+	}
+}
+
+func TestQueryBadSQLFails(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemA, db.Catalog)
+	if _, err := e.Query("select * from r", trace.Discard{}); err == nil {
+		t.Error("unsupported SQL should error")
+	}
+}
+
+func TestIndexPlanWithoutIndexErrors(t *testing.T) {
+	// Build a database without indexes, then force an index plan.
+	d := workload.Dims{RRecords: 500, SRecords: 16, RecordSize: 100, Seed: 1}
+	db, err := workload.Build(d, storage.NSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New(engine.SystemD, db.Catalog)
+	plan, err := sql.Prepare(db.Catalog, d.QuerySRS(0.10), sql.PlanOptions{UseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planner falls back to a scan when no index exists, so this
+	// must run fine and agree with the reference.
+	res, err := e.Run(plan, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.SelectivityBounds(0.10)
+	want, rows := referenceAvg(db, lo, hi)
+	if res.Rows != rows || math.Abs(res.Value-want) > 1e-9 {
+		t.Errorf("fallback scan: got (%v,%d), want (%v,%d)", res.Value, res.Rows, want, rows)
+	}
+}
+
+func TestEnginesShareCatalogSafely(t *testing.T) {
+	// All four engines over one catalog: same results, independent
+	// trace state.
+	db := testDB(t, storage.NSM)
+	var first engine.Result
+	for i, s := range engine.Systems() {
+		e := engine.New(s, db.Catalog)
+		plan, err := sql.Prepare(db.Catalog, db.Dims.QuerySRS(0.10), sql.PlanOptions{UseIndex: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(plan, trace.Discard{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+		} else if res != first {
+			t.Errorf("system %s result %+v != %+v", s, res, first)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"wheretime/internal/trace"
+)
+
+// RoutineKind names the engine code paths that execute per query, per
+// page, per record, or per transaction step. Each kind becomes one
+// trace.Routine placed in the engine's text segment.
+type RoutineKind int
+
+// Engine routines. Names describe the work the code path does.
+const (
+	// rkQueryStart runs once per query: parse, optimise, open cursors.
+	rkQueryStart RoutineKind = iota
+	// rkPageNext runs per page: buffer-pool fix, header checks, slot
+	// directory setup.
+	rkPageNext
+	// rkScanNext runs per scanned record: slot arithmetic, visibility,
+	// tuple pointer setup.
+	rkScanNext
+	// rkQualEval runs per scanned record with a predicate: expression
+	// evaluation over the qualification attribute.
+	rkQualEval
+	// rkAggAccum runs per qualifying record: aggregate accumulation.
+	rkAggAccum
+	// rkIdxDescend runs per B+-tree level on a descent: node binary
+	// search and child selection.
+	rkIdxDescend
+	// rkIdxLeafNext runs per index entry scanned in a leaf.
+	rkIdxLeafNext
+	// rkRidFetch runs per RID materialisation: buffer-pool hash
+	// lookup, page fix, slot dereference.
+	rkRidFetch
+	// rkHashBuild runs per inner (build-side) record of a hash join.
+	rkHashBuild
+	// rkHashProbe runs per outer (probe-side) record.
+	rkHashProbe
+	// rkJoinMatch runs per join match: tuple concatenation and
+	// projection.
+	rkJoinMatch
+	// rkTxnBegin and rkTxnCommit bracket an OLTP transaction.
+	rkTxnBegin
+	rkTxnCommit
+	// rkLockAcquire runs per lock taken in OLTP transactions.
+	rkLockAcquire
+	// rkLogWrite runs per logged update.
+	rkLogWrite
+	// rkUpdateField runs per field update.
+	rkUpdateField
+	// rkFieldIter runs per materialised record, scaled by the number
+	// of record fields: the tuple-deformatting loop that walks the
+	// record's attribute descriptors (the "<rest of fields>" cost that
+	// makes execution time grow with record size, Section 5.2.2).
+	rkFieldIter
+	// rkColdPath models error-handling and utility code interleaved
+	// with the hot path in unoptimised layouts. Never invoked; it only
+	// occupies address space between hot routines.
+	rkColdPath
+
+	numRoutineKinds
+)
+
+// String names the routine kind.
+func (k RoutineKind) String() string {
+	names := [...]string{
+		"query_start", "page_next", "scan_next", "qual_eval", "agg_accum",
+		"idx_descend", "idx_leaf_next", "rid_fetch", "hash_build",
+		"hash_probe", "join_match", "txn_begin", "txn_commit",
+		"lock_acquire", "log_write", "update_field", "field_iter", "cold_path",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("RoutineKind(%d)", int(k))
+}
+
+// routineBase gives, for the baseline (scale 1) build, each routine's
+// per-invocation instruction count, its static body size (the hot
+// region its many data-dependent paths occupy — this, not the dynamic
+// count, is what pressures the I-cache), and its private working set.
+// Instruction counts are sized so the per-record totals land in
+// Figure 5.3's ranges.
+type routineBase struct {
+	instrs    uint32
+	bodyBytes uint32
+	privBytes uint32
+	perQuery  bool // scale-invariant startup code
+	// ilpMult scales the profile's resource-stall rates for this
+	// routine; transaction-path code (locking, logging) has denser
+	// dependency chains (Section 5.5: TPC-C resource stalls are
+	// significantly higher).
+	ilpMult float64
+	// irrMult scales the profile's irregular-branch fraction for this
+	// routine; aggregation code branches on data values (null checks,
+	// overflow paths), which is what makes TB climb with selectivity
+	// in Figure 5.4 (right).
+	irrMult float64
+}
+
+var routineBases = [numRoutineKinds]routineBase{
+	rkQueryStart:  {instrs: 24000, bodyBytes: 96 * 1024, privBytes: 4096, perQuery: true},
+	rkPageNext:    {instrs: 2300, bodyBytes: 20 * 1024, privBytes: 1536},
+	rkScanNext:    {instrs: 700, bodyBytes: 18 * 1024, privBytes: 2048},
+	rkQualEval:    {instrs: 850, bodyBytes: 13 * 1024, privBytes: 1024},
+	rkAggAccum:    {instrs: 950, bodyBytes: 13 * 1024, privBytes: 1024, irrMult: 6},
+	rkIdxDescend:  {instrs: 700, bodyBytes: 8 * 1024, privBytes: 1536},
+	rkIdxLeafNext: {instrs: 1100, bodyBytes: 9 * 1024, privBytes: 1536},
+	rkRidFetch:    {instrs: 2100, bodyBytes: 16 * 1024, privBytes: 2560},
+	rkHashBuild:   {instrs: 1400, bodyBytes: 14 * 1024, privBytes: 2048},
+	rkHashProbe:   {instrs: 1800, bodyBytes: 18 * 1024, privBytes: 2048},
+	rkJoinMatch:   {instrs: 1200, bodyBytes: 12 * 1024, privBytes: 1024, irrMult: 2},
+	rkTxnBegin:    {instrs: 3600, bodyBytes: 28 * 1024, privBytes: 2048, ilpMult: 2.6},
+	rkTxnCommit:   {instrs: 4200, bodyBytes: 32 * 1024, privBytes: 2048, ilpMult: 2.6},
+	rkLockAcquire: {instrs: 900, bodyBytes: 10 * 1024, privBytes: 1024, ilpMult: 3.2},
+	rkLogWrite:    {instrs: 1900, bodyBytes: 18 * 1024, privBytes: 2048, ilpMult: 2.9},
+	rkUpdateField: {instrs: 1100, bodyBytes: 12 * 1024, privBytes: 1024, ilpMult: 2.2},
+	rkFieldIter:   {instrs: 1400, bodyBytes: 16 * 1024, privBytes: 1024},
+	rkColdPath:    {instrs: 6000, bodyBytes: 24 * 1024, privBytes: 0},
+}
+
+// buildRoutines lays out one routine per kind according to the
+// profile.
+func buildRoutines(p Profile) (*trace.Layout, [numRoutineKinds]*trace.Routine) {
+	l := trace.NewLayout()
+	l.Gap = p.CodeGap
+	l.Align = p.CodeAlign
+
+	var rts [numRoutineKinds]*trace.Routine
+	for k := RoutineKind(0); k < numRoutineKinds; k++ {
+		base := routineBases[k]
+		scale := p.CodeScale
+		if base.perQuery {
+			// Startup code is a fixed cost independent of the
+			// per-record path-length differences.
+			scale = 1
+		}
+		instrs := uint32(math.Round(float64(base.instrs) * scale))
+		if instrs == 0 {
+			instrs = 1
+		}
+		exec := uint32(math.Round(float64(instrs) * p.BytesPerInstr))
+		body := uint32(math.Round(float64(base.bodyBytes) * p.FootprintScale))
+		if body < exec {
+			body = exec
+		}
+		r := &trace.Routine{
+			Name:      fmt.Sprintf("%s/%s", p.Name, k),
+			CodeBytes: body,
+			ExecBytes: exec,
+			Instrs:    instrs,
+			Uops:      uint32(math.Round(float64(instrs) * p.UopsPerInstr)),
+			Branches:  branchMixFor(instrs, p.IrrFrac*irrMult(base)),
+			LoopIters: 4,
+			ILP: trace.ILP{
+				DepPerKuop: p.DepPerKuop * ilpMult(base),
+				FUPerKuop:  p.FUPerKuop * ilpMult(base),
+				ILDPerKuop: p.ILDPerKuop * ilpMult(base),
+			},
+			PrivateBytes:  uint32(math.Round(float64(base.privBytes) * p.PrivateScale)),
+			SharedBytes:   sharedBytesFor(k, p),
+			SharedWindow:  sharedWindowFor(k, p),
+			PrivateLoads:  uint16(min32(instrs/8, 60000)),
+			PrivateStores: uint16(min32(instrs/48, 20000)),
+		}
+		l.Place(r)
+		rts[k] = r
+	}
+	return l, rts
+}
+
+// branchMixFor sizes a routine's branch mix so that branch executions
+// are ~20% of retired instructions (Section 5.3), with the requested
+// fraction of irregular executions, 40% of the rest loop-branch
+// executions (4 iterations per site) and the remainder regular
+// pattern branches.
+func branchMixFor(instrs uint32, irrFrac float64) trace.BranchMix {
+	if irrFrac > 0.5 {
+		irrFrac = 0.5
+	}
+	exec := float64(instrs) / 5
+	irr := exec * irrFrac
+	loopExec := (exec - irr) * 0.4
+	reg := exec - irr - loopExec
+	mix := trace.BranchMix{
+		Loop:      uint16(math.Round(loopExec / 4)),
+		Regular:   uint16(math.Round(reg)),
+		Irregular: uint16(math.Round(irr)),
+	}
+	if mix.Total() == 0 && instrs >= 8 {
+		mix.Regular = 1
+	}
+	return mix
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sharedRoutine reports whether a routine kind walks the engine's
+// shared working set (the per-record entry points of each access
+// path).
+func sharedRoutine(k RoutineKind) bool {
+	switch k {
+	case rkScanNext, rkRidFetch, rkHashProbe, rkUpdateField:
+		return true
+	}
+	return false
+}
+
+func sharedBytesFor(k RoutineKind, p Profile) uint32 {
+	if !sharedRoutine(k) || p.SharedKB <= 0 {
+		return 0
+	}
+	return uint32(p.SharedKB) * 1024
+}
+
+func sharedWindowFor(k RoutineKind, p Profile) uint32 {
+	if !sharedRoutine(k) || p.SharedWindowBytes <= 0 {
+		return 0
+	}
+	return uint32(p.SharedWindowBytes)
+}
+
+func ilpMult(b routineBase) float64 {
+	if b.ilpMult == 0 {
+		return 1
+	}
+	return b.ilpMult
+}
+
+func irrMult(b routineBase) float64 {
+	if b.irrMult == 0 {
+		return 1
+	}
+	if b.irrMult*1 > 10 {
+		return 10
+	}
+	return b.irrMult
+}

@@ -1,0 +1,58 @@
+package engine
+
+import "testing"
+
+func TestRoutineKindStrings(t *testing.T) {
+	for k := RoutineKind(0); k < numRoutineKinds; k++ {
+		if s := k.String(); s == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if rkScanNext.String() != "scan_next" {
+		t.Errorf("scan_next name = %q", rkScanNext.String())
+	}
+	if RoutineKind(99).String() != "RoutineKind(99)" {
+		t.Errorf("unknown kind name = %q", RoutineKind(99).String())
+	}
+}
+
+func TestBranchMixSizing(t *testing.T) {
+	mix := branchMixFor(1500, 0.2)
+	exec := mix.Executions(4)
+	// Branch executions should be ~20% of instructions.
+	frac := float64(exec) / 1500
+	if frac < 0.17 || frac > 0.23 {
+		t.Errorf("branch executions fraction = %v, want ~0.20", frac)
+	}
+	irrFrac := float64(mix.Irregular) / float64(exec)
+	if irrFrac < 0.15 || irrFrac > 0.25 {
+		t.Errorf("irregular fraction = %v, want ~0.20", irrFrac)
+	}
+	tiny := branchMixFor(10, 0)
+	if tiny.Total() == 0 {
+		t.Error("tiny routine should still have a branch site")
+	}
+}
+
+func TestBuildRoutinesPlacesEverything(t *testing.T) {
+	for _, s := range Systems() {
+		p := DefaultProfile(s)
+		layout, rts := buildRoutines(p)
+		if layout.CodeFootprint() == 0 {
+			t.Fatalf("system %s: empty layout", s)
+		}
+		for k := RoutineKind(0); k < numRoutineKinds; k++ {
+			r := rts[k]
+			if r == nil || r.Addr == 0 {
+				t.Fatalf("system %s: routine %s not placed", s, k)
+			}
+			if r.Uops < r.Instrs {
+				t.Errorf("system %s: routine %s uops %d < instrs %d", s, k, r.Uops, r.Instrs)
+			}
+		}
+		// Startup code is CodeScale-invariant.
+		if rts[rkQueryStart].Instrs != routineBases[rkQueryStart].instrs {
+			t.Errorf("system %s: query_start scaled: %d", s, rts[rkQueryStart].Instrs)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"fmt"
+
+	"wheretime/internal/index"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// runSeqScan executes query (1) of the paper without an index: a full
+// scan of the outer table with an optional range predicate and an
+// aggregate. One RecordProcessed fires per scanned record — the
+// paper's SRS per-record denominator is |R|.
+func (e *Engine) runSeqScan(p *sql.Plan, proc trace.Processor) (Result, error) {
+	acc := p.Outer
+	t := acc.Table
+	agg := newAggState(p.Agg)
+	aggCol := p.AggCol
+	readsAggCol := !p.CountAll && p.AggTable == t
+
+	// The data-dependent predicate branch lives at a fixed site near
+	// the end of the qualification routine.
+	qual := e.rt[rkQualEval]
+	qualPC := qual.Addr + uint64(qual.CodeBytes) - 8
+
+	pool := e.cat.Pool()
+	for _, pid := range t.Heap.PageIDs() {
+		pg := pool.Get(pid)
+		e.rt[rkPageNext].Invoke(proc)
+		proc.Load(pg.HeaderAddr(), 16)
+		n := pg.NumRecords()
+		for s := 0; s < n; s++ {
+			slot := uint16(s)
+			e.rt[rkScanNext].Invoke(proc)
+			// Materialise the record (row stores copy the whole
+			// record; PAX touches the needed columns).
+			touchRecord(proc, pg, slot, acc.FilterCol)
+			e.deformat(proc, pg, 2)
+			matched := true
+			if acc.HasFilter {
+				qual.Invoke(proc)
+				v := pg.Field(slot, acc.FilterCol)
+				matched = v >= acc.Lo && v < acc.Hi
+				// Taken means "record rejected, skip the aggregate".
+				proc.Branch(qualPC, qualPC+96, !matched)
+			}
+			if matched {
+				e.rt[rkAggAccum].Invoke(proc)
+				if readsAggCol {
+					proc.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
+					agg.add(pg.Field(slot, aggCol))
+				} else {
+					agg.addCount()
+				}
+			}
+			proc.RecordProcessed()
+		}
+	}
+	return agg.result(), nil
+}
+
+// runIndexScan executes query (1) through the non-clustered B+-tree:
+// one descent to the start of the range, then a leaf-chain walk, with
+// each qualifying entry materialised through a RID fetch into the
+// heap. One RecordProcessed fires per selected record — the paper's
+// IRS per-record denominator.
+func (e *Engine) runIndexScan(p *sql.Plan, proc trace.Processor) (Result, error) {
+	acc := p.Outer
+	t := acc.Table
+	tree := t.Indexes[acc.FilterCol]
+	if tree == nil {
+		return Result{}, fmt.Errorf("engine: plan wants an index on %s column %d but none exists",
+			t.Name, acc.FilterCol)
+	}
+	agg := newAggState(p.Agg)
+	aggCol := p.AggCol
+	readsAggCol := !p.CountAll && p.AggTable == t
+
+	const entryBytes = 12 // 4-byte key + 8-byte RID in the leaf
+	pool := e.cat.Pool()
+
+	tree.RangeTrace(acc.Lo, acc.Hi,
+		func(step index.DescentStep) {
+			// One node visit per level: the binary search touches
+			// log2(keys) positions spread through the node page.
+			e.rt[rkIdxDescend].Invoke(proc)
+			span := uint64(storage.PageSize)
+			for i := 0; i < step.KeysInspected; i++ {
+				span >>= 1
+				proc.Load(step.Addr+span, storage.FieldSize)
+			}
+		},
+		func(key int32, rid storage.RID, pos index.LeafPos) bool {
+			e.rt[rkIdxLeafNext].Invoke(proc)
+			proc.Load(pos.Addr+32+uint64(pos.Index)*entryBytes, entryBytes)
+
+			// Materialise the record: buffer-pool lookup, page fix,
+			// slot dereference — a random page access for a
+			// non-clustered index.
+			e.rt[rkRidFetch].Invoke(proc)
+			pg := pool.Get(rid.Page)
+			proc.Load(pg.HeaderAddr(), 16)
+			touchRecord(proc, pg, rid.Slot, acc.FilterCol, aggCol)
+			e.deformat(proc, pg, 2)
+			e.rt[rkAggAccum].Invoke(proc)
+			if readsAggCol {
+				agg.add(pg.Field(rid.Slot, aggCol))
+			} else {
+				agg.addCount()
+			}
+			proc.RecordProcessed()
+			return true
+		})
+	return agg.result(), nil
+}

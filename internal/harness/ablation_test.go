@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"testing"
+
+	"wheretime/internal/core"
+	"wheretime/internal/engine"
+)
+
+// ablation runs System D SRS under a mutated platform configuration at
+// a small scale.
+func ablation(t *testing.T, mutate func(*Options)) Cell {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Scale = 0.005
+	mutate(&opts)
+	env, err := NewEnv(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := env.Run(engine.SystemD, SRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+func TestAblationBiggerBTBReducesMisses(t *testing.T) {
+	small := ablation(t, func(o *Options) {})
+	big := ablation(t, func(o *Options) { o.Config.BTBEntries = 16384 })
+	if big.Breakdown.BTBMissRate() >= small.Breakdown.BTBMissRate() {
+		t.Errorf("16K BTB miss rate %v should be below 512-entry %v",
+			big.Breakdown.BTBMissRate(), small.Breakdown.BTBMissRate())
+	}
+	if big.Breakdown.BranchMispredictionRate() > small.Breakdown.BranchMispredictionRate() {
+		t.Errorf("bigger BTB should not mispredict more: %v vs %v",
+			big.Breakdown.BranchMispredictionRate(), small.Breakdown.BranchMispredictionRate())
+	}
+}
+
+func TestAblationBiggerL2ReducesDataStalls(t *testing.T) {
+	small := ablation(t, func(o *Options) {})
+	big := ablation(t, func(o *Options) { o.Config.L2SizeKB = 2048 })
+	if big.Breakdown.Cycles[core.TL2D] >= small.Breakdown.Cycles[core.TL2D] {
+		t.Errorf("2MB L2 TL2D %v should be below 512KB %v",
+			big.Breakdown.Cycles[core.TL2D], small.Breakdown.Cycles[core.TL2D])
+	}
+}
+
+func TestAblationInterruptsRaiseL1IMisses(t *testing.T) {
+	quiet := ablation(t, func(o *Options) { o.Config.InterruptCycles = 0 })
+	noisy := ablation(t, func(o *Options) { o.Config.InterruptCycles = 200_000 })
+	qm := float64(quiet.Breakdown.Counts.L1IMisses) / float64(quiet.Breakdown.Counts.Records)
+	nm := float64(noisy.Breakdown.Counts.L1IMisses) / float64(noisy.Breakdown.Counts.Records)
+	if nm <= qm {
+		t.Errorf("interrupt pollution should raise L1I misses/record: %v vs %v", nm, qm)
+	}
+}
+
+func TestAblationPAXCutsL2DataTraffic(t *testing.T) {
+	// System B (PAX) vs System C (NSM) on the same query: B's scan
+	// touches ~1/8 of the data lines.
+	opts := DefaultOptions()
+	opts.Scale = 0.005
+	env, err := NewEnv(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Run(engine.SystemB, SRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := env.Run(engine.SystemC, SRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := float64(b.Breakdown.Counts.Records)
+	bl2 := float64(b.Breakdown.Counts.L2DataMisses) / recs
+	cl2 := float64(c.Breakdown.Counts.L2DataMisses) / float64(c.Breakdown.Counts.Records)
+	if bl2*2 >= cl2 {
+		t.Errorf("PAX scan should miss L2 far less: B %v vs C %v misses/record", bl2, cl2)
+	}
+}
+
+func TestSlowerMemoryRaisesMemoryShare(t *testing.T) {
+	fast := ablation(t, func(o *Options) { o.Config.MemoryLatency = 30 })
+	slow := ablation(t, func(o *Options) { o.Config.MemoryLatency = 130 })
+	if slow.Breakdown.GroupPercent(core.GroupMemory) <= fast.Breakdown.GroupPercent(core.GroupMemory) {
+		t.Error("doubling memory latency should raise the memory stall share")
+	}
+}

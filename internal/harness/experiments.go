@@ -1,0 +1,613 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wheretime/internal/core"
+	"wheretime/internal/engine"
+)
+
+// Experiment regenerates one figure or table of the paper.
+type Experiment struct {
+	// Name is the CLI identifier (e.g. "fig5.1").
+	Name string
+	// Paper locates the result in the paper.
+	Paper string
+	// Run produces the rendered tables.
+	Run func(env *Env) ([]Table, error)
+}
+
+// Experiments returns the registry of every reproducible figure and
+// table, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "fig5.1", Paper: "Figure 5.1: execution time breakdown", Run: Fig51},
+		{Name: "fig5.2", Paper: "Figure 5.2: memory stall breakdown", Run: Fig52},
+		{Name: "fig5.3", Paper: "Figure 5.3: instructions retired per record", Run: Fig53},
+		{Name: "fig5.4a", Paper: "Figure 5.4 (left): branch misprediction rates", Run: Fig54a},
+		{Name: "fig5.4b", Paper: "Figure 5.4 (right): TB and TL1I vs selectivity (System D, SRS)", Run: Fig54b},
+		{Name: "fig5.5", Paper: "Figure 5.5: TDEP and TFU contributions", Run: Fig55},
+		{Name: "fig5.6", Paper: "Figure 5.6: CPI breakdown, SRS vs TPC-D", Run: Fig56},
+		{Name: "fig5.7", Paper: "Figure 5.7: cache stall breakdown, SRS vs TPC-D", Run: Fig57},
+		{Name: "recsize", Paper: "Section 5.2.1-5.2.2: record size sweep", Run: RecordSize},
+		{Name: "tpcc", Paper: "Section 5.5: TPC-C behaviour", Run: TPCC},
+		{Name: "claims", Paper: "Section 1/5: headline claims check", Run: Claims},
+	}
+}
+
+// Find returns the named experiment.
+func Find(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range Experiments() {
+		names = append(names, e.Name)
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// queriesFor lists the query kinds in paper order.
+var allQueries = []QueryKind{SRS, IRS, SJ}
+
+// Fig51 regenerates the execution time breakdown: one table per query,
+// one row per system, columns TC/TM/TB/TR as percentages of execution
+// time.
+func Fig51(env *Env) ([]Table, error) {
+	var tables []Table
+	for _, q := range allQueries {
+		t := Table{
+			Title:  fmt.Sprintf("Figure 5.1 (%s): query execution time breakdown (%%)", q),
+			Header: []string{"System", "Computation", "Memory", "Branch mispred", "Resource"},
+		}
+		if q == IRS {
+			t.Note = "System A omitted: it does not use the index (Section 5.1)."
+		}
+		for _, s := range engine.Systems() {
+			cell, err := env.Run(s, q)
+			if err != nil {
+				if q == IRS && s == engine.SystemA {
+					continue
+				}
+				return nil, err
+			}
+			b := cell.Breakdown
+			t.AddRow(s.String(),
+				pct(b.GroupPercent(core.GroupComputation)),
+				pct(b.GroupPercent(core.GroupMemory)),
+				pct(b.GroupPercent(core.GroupBranch)),
+				pct(b.GroupPercent(core.GroupResource)))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig52 regenerates the memory stall breakdown: the five components of
+// TM as percentages of TM.
+func Fig52(env *Env) ([]Table, error) {
+	var tables []Table
+	for _, q := range allQueries {
+		t := Table{
+			Title:  fmt.Sprintf("Figure 5.2 (%s): memory stall time breakdown (%% of TM)", q),
+			Header: []string{"System", "L1D", "L1I", "L2D", "L2I", "ITLB"},
+		}
+		for _, s := range engine.Systems() {
+			cell, err := env.Run(s, q)
+			if err != nil {
+				if q == IRS && s == engine.SystemA {
+					continue
+				}
+				return nil, err
+			}
+			b := cell.Breakdown
+			t.AddRow(s.String(),
+				pct(b.MemoryPercent(core.TL1D)),
+				pct(b.MemoryPercent(core.TL1I)),
+				pct(b.MemoryPercent(core.TL2D)),
+				pct(b.MemoryPercent(core.TL2I)),
+				pct(b.MemoryPercent(core.TITLB)))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Fig53 regenerates instructions retired per record. Denominators
+// follow the figure's caption: records of R for SRS and SJ, selected
+// records for IRS.
+func Fig53(env *Env) ([]Table, error) {
+	t := Table{
+		Title:  "Figure 5.3: instructions retired per record",
+		Note:   "SRS/SJ: per record of R; IRS: per selected record.",
+		Header: []string{"System", "SRS", "IRS", "SJ"},
+	}
+	for _, s := range engine.Systems() {
+		row := []string{s.String()}
+		for _, q := range allQueries {
+			cell, err := env.Run(s, q)
+			if err != nil {
+				if q == IRS && s == engine.SystemA {
+					row = append(row, "-")
+					continue
+				}
+				return nil, err
+			}
+			row = append(row, num(cell.Breakdown.InstructionsPerRecord()))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// Fig54a regenerates the branch misprediction rates (left graph).
+func Fig54a(env *Env) ([]Table, error) {
+	t := Table{
+		Title:  "Figure 5.4 (left): branch misprediction rates",
+		Header: []string{"System", "SRS", "IRS", "SJ", "BTB miss (SRS)"},
+	}
+	for _, s := range engine.Systems() {
+		row := []string{s.String()}
+		var btb string
+		for _, q := range allQueries {
+			cell, err := env.Run(s, q)
+			if err != nil {
+				if q == IRS && s == engine.SystemA {
+					row = append(row, "-")
+					continue
+				}
+				return nil, err
+			}
+			row = append(row, pct(100*cell.Breakdown.BranchMispredictionRate()))
+			if q == SRS {
+				btb = pct(100 * cell.Breakdown.BTBMissRate())
+			}
+		}
+		row = append(row, btb)
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}
+
+// Fig54b regenerates the right graph: TB and TL1I as percentages of
+// execution time for System D running SRS across selectivities.
+func Fig54b(env *Env) ([]Table, error) {
+	t := Table{
+		Title:  "Figure 5.4 (right): System D sequential selection vs selectivity",
+		Header: []string{"Selectivity", "Branch mispred stalls", "L1 I-cache stalls"},
+	}
+	for _, sel := range []float64{0, 0.01, 0.05, 0.10, 0.50, 1.00} {
+		sub := *env
+		sub.Opts.Selectivity = sel
+		cell, err := sub.Run(engine.SystemD, SRS)
+		if err != nil {
+			return nil, err
+		}
+		b := cell.Breakdown
+		t.AddRow(fmt.Sprintf("%.0f%%", sel*100),
+			pct(b.GroupPercent(core.GroupBranch)),
+			pct(b.ComponentPercent(core.TL1I)))
+	}
+	return []Table{t}, nil
+}
+
+// Fig55 regenerates the TDEP/TFU contributions to execution time.
+func Fig55(env *Env) ([]Table, error) {
+	dep := Table{
+		Title:  "Figure 5.5 (TDEP): dependency stall contribution (% of execution time)",
+		Header: []string{"System", "SRS", "IRS", "SJ"},
+	}
+	fu := Table{
+		Title:  "Figure 5.5 (TFU): functional unit stall contribution (% of execution time)",
+		Header: []string{"System", "SRS", "IRS", "SJ"},
+	}
+	for _, s := range engine.Systems() {
+		depRow := []string{s.String()}
+		fuRow := []string{s.String()}
+		for _, q := range allQueries {
+			cell, err := env.Run(s, q)
+			if err != nil {
+				if q == IRS && s == engine.SystemA {
+					depRow = append(depRow, "-")
+					fuRow = append(fuRow, "-")
+					continue
+				}
+				return nil, err
+			}
+			depRow = append(depRow, pct(cell.Breakdown.ComponentPercent(core.TDEP)))
+			fuRow = append(fuRow, pct(cell.Breakdown.ComponentPercent(core.TFU)))
+		}
+		dep.AddRow(depRow...)
+		fu.AddRow(fuRow...)
+	}
+	return []Table{dep, fu}, nil
+}
+
+// tpcdSystems is the subset the paper ran TPC-D on (Section 5.5).
+var tpcdSystems = []engine.System{engine.SystemA, engine.SystemB, engine.SystemD}
+
+// Fig56 regenerates the clocks-per-instruction breakdown for the 10%
+// SRS (left) and the TPC-D suite (right).
+func Fig56(env *Env) ([]Table, error) {
+	mk := func(title string, get func(engine.System) (*core.Breakdown, error)) (Table, error) {
+		t := Table{
+			Title:  title,
+			Header: []string{"System", "CPI", "Computation", "Memory", "Branch", "Resource"},
+		}
+		for _, s := range tpcdSystems {
+			b, err := get(s)
+			if err != nil {
+				return t, err
+			}
+			t.AddRow(s.String(), f2(b.CPI()),
+				f2(b.CPIOf(core.GroupComputation)),
+				f2(b.CPIOf(core.GroupMemory)),
+				f2(b.CPIOf(core.GroupBranch)),
+				f2(b.CPIOf(core.GroupResource)))
+		}
+		return t, nil
+	}
+	left, err := mk("Figure 5.6 (left): CPI breakdown, 10% sequential range selection",
+		func(s engine.System) (*core.Breakdown, error) {
+			cell, err := env.Run(s, SRS)
+			return cell.Breakdown, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	right, err := mk("Figure 5.6 (right): CPI breakdown, TPC-D queries",
+		func(s engine.System) (*core.Breakdown, error) {
+			cell, err := env.RunTPCD(s)
+			return cell.Breakdown, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []Table{left, right}, nil
+}
+
+// Fig57 regenerates the cache-related stall breakdown for SRS vs the
+// TPC-D suite.
+func Fig57(env *Env) ([]Table, error) {
+	mk := func(title string, get func(engine.System) (*core.Breakdown, error)) (Table, error) {
+		t := Table{
+			Title:  title,
+			Header: []string{"System", "L1D", "L1I", "L2D", "L2I"},
+		}
+		for _, s := range tpcdSystems {
+			b, err := get(s)
+			if err != nil {
+				return t, err
+			}
+			cache := b.Cycles[core.TL1D] + b.Cycles[core.TL1I] + b.Cycles[core.TL2D] + b.Cycles[core.TL2I]
+			share := func(c core.Component) string {
+				if cache == 0 {
+					return pct(0)
+				}
+				return pct(100 * b.Cycles[c] / cache)
+			}
+			t.AddRow(s.String(), share(core.TL1D), share(core.TL1I), share(core.TL2D), share(core.TL2I))
+		}
+		return t, nil
+	}
+	left, err := mk("Figure 5.7 (left): cache-related stalls, 10% sequential range selection",
+		func(s engine.System) (*core.Breakdown, error) {
+			cell, err := env.Run(s, SRS)
+			return cell.Breakdown, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	right, err := mk("Figure 5.7 (right): cache-related stalls, TPC-D queries",
+		func(s engine.System) (*core.Breakdown, error) {
+			cell, err := env.RunTPCD(s)
+			return cell.Breakdown, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []Table{left, right}, nil
+}
+
+// RecordSize regenerates the record-size discussion of Sections
+// 5.2.1-5.2.2: TL2D grows with record size, and execution time per
+// record grows by 2.5-4x from 20 to 200 bytes.
+func RecordSize(env *Env) ([]Table, error) {
+	t := Table{
+		Title:  "Section 5.2.1-5.2.2: record size sweep (System D, 10% SRS)",
+		Header: []string{"Record bytes", "TL2D cycles/rec", "L1I misses/rec", "Cycles/rec", "vs 20B"},
+	}
+	var base float64
+	for _, size := range []int{20, 48, 100, 152, 200} {
+		opts := env.Opts
+		opts.RecordSize = size
+		sub, err := NewEnv(opts)
+		if err != nil {
+			return nil, err
+		}
+		cell, err := sub.Run(engine.SystemD, SRS)
+		if err != nil {
+			return nil, err
+		}
+		b := cell.Breakdown
+		recs := float64(b.Counts.Records)
+		perRec := b.GrossTotal() / recs
+		if size == 20 {
+			base = perRec
+		}
+		t.AddRow(fmt.Sprintf("%d", size),
+			f2(b.Cycles[core.TL2D]/recs),
+			f2(float64(b.Counts.L1IMisses)/recs),
+			num(perRec),
+			fmt.Sprintf("%.2fx", perRec/base))
+	}
+	return []Table{t}, nil
+}
+
+// TPCC regenerates the Section 5.5 TPC-C observations: CPI 2.5-4.5,
+// 60-80% memory stalls, dominated by L2, with elevated resource
+// stalls.
+func TPCC(env *Env) ([]Table, error) {
+	t := Table{
+		Title:  "Section 5.5: 10-user, 1-warehouse TPC-C mix",
+		Header: []string{"System", "CPI", "Computation", "Memory", "Branch", "Resource", "L2(D+I) % of TM"},
+	}
+	txns := 400
+	for _, s := range engine.Systems() {
+		cell, _, err := env.RunTPCC(s, txns)
+		if err != nil {
+			return nil, err
+		}
+		b := cell.Breakdown
+		l2share := b.MemoryPercent(core.TL2D) + b.MemoryPercent(core.TL2I)
+		t.AddRow(s.String(), f2(b.CPI()),
+			pct(b.GroupPercent(core.GroupComputation)),
+			pct(b.GroupPercent(core.GroupMemory)),
+			pct(b.GroupPercent(core.GroupBranch)),
+			pct(b.GroupPercent(core.GroupResource)),
+			pct(l2share))
+	}
+	return []Table{t}, nil
+}
+
+// Claim is one verifiable headline claim of the paper.
+type Claim struct {
+	ID        string
+	Statement string
+	Measured  string
+	Holds     bool
+}
+
+// CheckClaims evaluates the headline claims of Sections 1 and 5
+// against a full run, returning structured results.
+func CheckClaims(env *Env) ([]Claim, error) {
+	cells, err := env.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	get := func(s engine.System, q QueryKind) *core.Breakdown {
+		for _, c := range cells {
+			if c.System == s && c.Query == q {
+				return c.Breakdown
+			}
+		}
+		return nil
+	}
+
+	var claims []Claim
+	add := func(id, statement, measured string, holds bool) {
+		claims = append(claims, Claim{ID: id, Statement: statement, Measured: measured, Holds: holds})
+	}
+
+	// C1: on average, computation is at most ~half the execution time.
+	var compSum float64
+	var n int
+	for _, c := range cells {
+		compSum += c.Breakdown.GroupPercent(core.GroupComputation)
+		n++
+	}
+	avgComp := compSum / float64(n)
+	add("C1", "computation is about half of execution time or less; stalls dominate",
+		fmt.Sprintf("avg computation %.1f%%", avgComp), avgComp <= 55)
+
+	// C2: TL1I + TL2D account for ~90% of TM in all cells.
+	worst := 100.0
+	var worstAt string
+	for _, c := range cells {
+		v := c.Breakdown.MemoryPercent(core.TL1I) + c.Breakdown.MemoryPercent(core.TL2D)
+		if v < worst {
+			worst = v
+			worstAt = fmt.Sprintf("%s/%s", c.System, c.Query)
+		}
+	}
+	add("C2", "~90% of memory stalls are L1 I-cache and L2 data misses",
+		fmt.Sprintf("minimum TL1I+TL2D share %.1f%% (%s)", worst, worstAt), worst >= 80)
+
+	// C3: System A has the fewest instructions/record on SRS, the
+	// smallest TB, and the highest TR (20-40%).
+	aSRS := get(engine.SystemA, SRS)
+	aLowest := true
+	aSmallestTB := true
+	for _, s := range []engine.System{engine.SystemB, engine.SystemC, engine.SystemD} {
+		b := get(s, SRS)
+		if b.InstructionsPerRecord() <= aSRS.InstructionsPerRecord() {
+			aLowest = false
+		}
+		if b.GroupPercent(core.GroupBranch) <= aSRS.GroupPercent(core.GroupBranch) {
+			aSmallestTB = false
+		}
+	}
+	aTR := aSRS.GroupPercent(core.GroupResource)
+	add("C3", "System A: fewest instructions/record (SRS), smallest TB, highest TR (20-40%)",
+		fmt.Sprintf("A inst/rec lowest=%v, TB smallest=%v, TR=%.1f%%", aLowest, aSmallestTB, aTR),
+		aLowest && aSmallestTB && aTR >= 20 && aTR <= 42)
+
+	// C4: System B's L2 data miss rate on SRS is far below the others'.
+	bRate := get(engine.SystemB, SRS).L2DataMissRate()
+	othersMin := 1.0
+	for _, s := range []engine.System{engine.SystemA, engine.SystemC, engine.SystemD} {
+		if r := get(s, SRS).L2DataMissRate(); r < othersMin {
+			othersMin = r
+		}
+	}
+	add("C4", "System B: ~2% L2 data miss rate on SRS vs 40-90% for the others",
+		fmt.Sprintf("B %.1f%%, others' minimum %.1f%%", 100*bRate, 100*othersMin),
+		bRate < 0.10 && othersMin >= 0.40)
+
+	// C5: L1D miss rate ~2%, never exceeding ~4%.
+	maxL1D := 0.0
+	for _, c := range cells {
+		if r := c.Breakdown.L1DMissRate(); r > maxL1D {
+			maxL1D = r
+		}
+	}
+	add("C5", "L1 D-cache miss rate around 2%, never above ~4%",
+		fmt.Sprintf("maximum %.2f%%", 100*maxL1D), maxL1D <= 0.045)
+
+	// C6: branches ~20% of instructions; BTB misses roughly half the
+	// time for the large-footprint systems.
+	var minBF, maxBF = 1.0, 0.0
+	for _, c := range cells {
+		bf := c.Breakdown.BranchFraction()
+		if bf < minBF {
+			minBF = bf
+		}
+		if bf > maxBF {
+			maxBF = bf
+		}
+	}
+	btbOK := true
+	for _, s := range []engine.System{engine.SystemB, engine.SystemC, engine.SystemD} {
+		r := get(s, SRS).BTBMissRate()
+		if r < 0.25 || r > 0.70 {
+			btbOK = false
+		}
+	}
+	add("C6", "branches ~20% of instructions; BTB misses ~50% of the time",
+		fmt.Sprintf("branch fraction %.1f-%.1f%%, B/C/D BTB in band=%v", 100*minBF, 100*maxBF, btbOK),
+		minBF >= 0.15 && maxBF <= 0.25 && btbOK)
+
+	// C7: TB and TL1I co-vary with selectivity for System D SRS.
+	var tbs, l1is []float64
+	for _, sel := range []float64{0.01, 0.10, 0.50} {
+		sub := *env
+		sub.Opts.Selectivity = sel
+		cell, err := sub.Run(engine.SystemD, SRS)
+		if err != nil {
+			return nil, err
+		}
+		tbs = append(tbs, cell.Breakdown.GroupPercent(core.GroupBranch))
+		l1is = append(l1is, cell.Breakdown.ComponentPercent(core.TL1I))
+	}
+	mono := tbs[0] < tbs[2] && l1is[0] < l1is[2]
+	add("C7", "TB and TL1I both increase with selectivity (System D, SRS)",
+		fmt.Sprintf("TB %.1f->%.1f%%, TL1I %.1f->%.1f%% over 1%%->50%%", tbs[0], tbs[2], l1is[0], l1is[2]),
+		mono)
+
+	// C8: execution time per record grows ~2.5-4x from 20B to 200B
+	// records, and TL2D grows with record size.
+	growth, l2dGrowth, err := recordSizeGrowth(env)
+	if err != nil {
+		return nil, err
+	}
+	add("C8", "20B->200B records: time/record grows 2.5-4x; TL2D grows with record size",
+		fmt.Sprintf("time/record x%.2f, TL2D x%.2f", growth, l2dGrowth),
+		growth >= 2.0 && growth <= 5.0 && l2dGrowth > 1.5)
+
+	// C9: SRS CPI in 1.2-1.8; TPC-D breakdown similar to SRS; TPC-D
+	// memory stalls dominated by L1I.
+	cpiOK := true
+	for _, s := range engine.Systems() {
+		cpi := get(s, SRS).CPI()
+		if cpi < 1.1 || cpi > 1.9 {
+			cpiOK = false
+		}
+	}
+	tpcdSimilar := true
+	tpcdL1I := true
+	for _, s := range []engine.System{engine.SystemB, engine.SystemD} {
+		cell, err := env.RunTPCD(s)
+		if err != nil {
+			return nil, err
+		}
+		srs := get(s, SRS)
+		d := cell.Breakdown.GroupPercent(core.GroupMemory) - srs.GroupPercent(core.GroupMemory)
+		if d < -15 || d > 15 {
+			tpcdSimilar = false
+		}
+		if cell.Breakdown.MemoryPercent(core.TL1I) < 50 {
+			tpcdL1I = false
+		}
+	}
+	add("C9", "SRS CPI 1.2-1.8, similar to TPC-D; TPC-D memory stalls dominated by L1I",
+		fmt.Sprintf("CPI band=%v, TPC-D similar=%v, TPC-D L1I-dominated=%v", cpiOK, tpcdSimilar, tpcdL1I),
+		cpiOK && tpcdSimilar && tpcdL1I)
+
+	// C10: TPC-C CPI 2.5-4.5, memory stalls >= ~55%, L2-heavy.
+	cell, _, err := env.RunTPCC(engine.SystemC, 300)
+	if err != nil {
+		return nil, err
+	}
+	b := cell.Breakdown
+	cpi := b.CPI()
+	mem := b.GroupPercent(core.GroupMemory)
+	l2 := b.MemoryPercent(core.TL2D) + b.MemoryPercent(core.TL2I)
+	add("C10", "TPC-C: CPI 2.5-4.5, 60-80% memory stalls, L2-dominated",
+		fmt.Sprintf("CPI %.2f, memory %.1f%%, L2 share of TM %.1f%%", cpi, mem, l2),
+		cpi >= 2.3 && cpi <= 4.6 && mem >= 48 && l2 >= 55)
+
+	sort.Slice(claims, func(i, j int) bool { return claims[i].ID < claims[j].ID })
+	return claims, nil
+}
+
+// recordSizeGrowth measures per-record time and TL2D growth from 20B
+// to 200B records for System D.
+func recordSizeGrowth(env *Env) (timeGrowth, l2dGrowth float64, err error) {
+	measure := func(size int) (perRec, l2d float64, err error) {
+		opts := env.Opts
+		opts.RecordSize = size
+		sub, err := NewEnv(opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		cell, err := sub.Run(engine.SystemD, SRS)
+		if err != nil {
+			return 0, 0, err
+		}
+		recs := float64(cell.Breakdown.Counts.Records)
+		return cell.Breakdown.GrossTotal() / recs, cell.Breakdown.Cycles[core.TL2D] / recs, nil
+	}
+	small, smallL2D, err := measure(20)
+	if err != nil {
+		return 0, 0, err
+	}
+	big, bigL2D, err := measure(200)
+	if err != nil {
+		return 0, 0, err
+	}
+	return big / small, bigL2D / smallL2D, nil
+}
+
+// Claims renders the headline-claims check as a table.
+func Claims(env *Env) ([]Table, error) {
+	claims, err := CheckClaims(env)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		Title:  "Headline claims (Sections 1 and 5) vs simulation",
+		Header: []string{"Claim", "Statement", "Measured", "Holds"},
+	}
+	for _, c := range claims {
+		holds := "yes"
+		if !c.Holds {
+			holds = "NO"
+		}
+		t.AddRow(c.ID, c.Statement, c.Measured, holds)
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,302 @@
+// Package harness reproduces the paper's experiments: it wires
+// workload, engine and simulator together, applies the measurement
+// protocol of Section 4.3 (warm the caches with runs of the query,
+// then measure), and renders each figure and table of Section 5.
+package harness
+
+import (
+	"fmt"
+
+	"wheretime/internal/core"
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+	"wheretime/internal/xeon"
+)
+
+// QueryKind names the three microbenchmark queries of Section 3.3.
+type QueryKind int
+
+// The workload queries, with the paper's abbreviations.
+const (
+	// SRS is the sequential range selection.
+	SRS QueryKind = iota
+	// IRS is the indexed range selection.
+	IRS
+	// SJ is the sequential join.
+	SJ
+)
+
+// String returns the paper's abbreviation.
+func (q QueryKind) String() string {
+	switch q {
+	case SRS:
+		return "SRS"
+	case IRS:
+		return "IRS"
+	case SJ:
+		return "SJ"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(q))
+	}
+}
+
+// Options configure an experiment run.
+type Options struct {
+	// Scale shrinks the paper's dataset (1.0 = the paper's 1.2M-row R).
+	// Per-record behaviour converges within a few thousand records.
+	Scale float64
+	// RecordSize is the R/S record width in bytes.
+	RecordSize int
+	// Selectivity of the range selections (the paper's default is 10%).
+	Selectivity float64
+	// Config is the simulated platform.
+	Config xeon.Config
+	// Warmup is how many unmeasured runs warm the caches (Section 4.3).
+	Warmup int
+}
+
+// DefaultOptions returns the paper's experimental setup at a
+// simulation-friendly scale.
+func DefaultOptions() Options {
+	return Options{
+		Scale:       0.01,
+		RecordSize:  100,
+		Selectivity: 0.10,
+		Config:      xeon.DefaultConfig(),
+		Warmup:      1,
+	}
+}
+
+// Cell is one measured (system, query) combination.
+type Cell struct {
+	System    engine.System
+	Query     QueryKind
+	Breakdown *core.Breakdown
+	Rates     xeon.HardwareRates
+	Result    engine.Result
+}
+
+// Env holds the built databases and engines for one option set, so
+// multiple experiments can share the (expensive) data generation.
+type Env struct {
+	Opts    Options
+	Dims    workload.Dims
+	nsm     *workload.Database
+	pax     *workload.Database
+	engines [4]*engine.Engine
+
+	// memo caches measured cells at the env's own options, so several
+	// figures over the same cells don't re-simulate.
+	memo map[memoKey]Cell
+}
+
+type memoKey struct {
+	s   engine.System
+	q   QueryKind
+	sel float64
+}
+
+// NewEnv builds the two databases (row layout for systems A/C/D,
+// PAX layout for the cache-conscious System B) and four engines.
+func NewEnv(opts Options) (*Env, error) {
+	dims := workload.PaperDims()
+	dims.RecordSize = opts.RecordSize
+	dims = dims.Scaled(opts.Scale)
+
+	nsm, err := workload.Build(dims, storage.NSM)
+	if err != nil {
+		return nil, err
+	}
+	if err := nsm.BuildIndexes(); err != nil {
+		return nil, err
+	}
+	pax, err := workload.Build(dims, storage.PAX)
+	if err != nil {
+		return nil, err
+	}
+	if err := pax.BuildIndexes(); err != nil {
+		return nil, err
+	}
+	env := &Env{Opts: opts, Dims: dims, nsm: nsm, pax: pax, memo: make(map[memoKey]Cell)}
+	for _, s := range engine.Systems() {
+		env.engines[s] = engine.New(s, env.database(s).Catalog)
+	}
+	return env, nil
+}
+
+// database returns the database a system runs over (B gets PAX).
+func (env *Env) database(s engine.System) *workload.Database {
+	if engine.DefaultProfile(s).DataLayout == storage.PAX {
+		return env.pax
+	}
+	return env.nsm
+}
+
+// Engine returns the engine for a system.
+func (env *Env) Engine(s engine.System) *engine.Engine { return env.engines[s] }
+
+// queryFor returns the SQL and plan for a (system, query) pair, and
+// whether the pair is valid (System A skips IRS: it does not use the
+// index, Section 5.1).
+func (env *Env) queryFor(s engine.System, q QueryKind) (string, bool) {
+	switch q {
+	case SRS:
+		return env.Dims.QuerySRS(env.Opts.Selectivity), true
+	case IRS:
+		if !engine.DefaultProfile(s).UseIndex {
+			return "", false
+		}
+		return env.Dims.QueryIRS(env.Opts.Selectivity), true
+	case SJ:
+		return env.Dims.QuerySJ(), true
+	default:
+		return "", false
+	}
+}
+
+// planFor builds the plan with the right physical choice for the
+// query kind: SRS forces a sequential scan even on systems whose
+// planner would pick the index, matching the paper's protocol of
+// running query (1) before the index exists.
+func (env *Env) planFor(s engine.System, q QueryKind, query string) (*sql.Plan, error) {
+	opts := env.engines[s].PlanOptions()
+	if q == SRS {
+		opts.UseIndex = false
+	}
+	return sql.Prepare(env.database(s).Catalog, query, opts)
+}
+
+// Run measures one (system, query) cell: warm-up runs, counter reset,
+// then one measured execution, exactly the warm-cache protocol of
+// Section 4.3. Results are memoised per (system, query, selectivity).
+func (env *Env) Run(s engine.System, q QueryKind) (Cell, error) {
+	key := memoKey{s: s, q: q, sel: env.Opts.Selectivity}
+	if env.memo != nil {
+		if c, ok := env.memo[key]; ok {
+			return c, nil
+		}
+	}
+	c, err := env.run(s, q)
+	if err == nil && env.memo != nil {
+		env.memo[key] = c
+	}
+	return c, err
+}
+
+func (env *Env) run(s engine.System, q QueryKind) (Cell, error) {
+	query, ok := env.queryFor(s, q)
+	if !ok {
+		return Cell{}, fmt.Errorf("harness: system %s does not run %s", s, q)
+	}
+	e := env.engines[s]
+	plan, err := env.planFor(s, q, query)
+	if err != nil {
+		return Cell{}, err
+	}
+	pipe := xeon.New(env.Opts.Config)
+	e.ResetState()
+	var res engine.Result
+	for i := 0; i < env.Opts.Warmup; i++ {
+		if res, err = e.Run(plan, pipe); err != nil {
+			return Cell{}, err
+		}
+	}
+	pipe.ResetStats()
+	if res, err = e.Run(plan, pipe); err != nil {
+		return Cell{}, err
+	}
+	b := pipe.Breakdown()
+	if err := b.Validate(); err != nil {
+		return Cell{}, fmt.Errorf("harness: %s/%s breakdown invalid: %w", s, q, err)
+	}
+	return Cell{System: s, Query: q, Breakdown: b, Rates: pipe.Rates(), Result: res}, nil
+}
+
+// RunAll measures every valid (system, query) cell.
+func (env *Env) RunAll() ([]Cell, error) {
+	var cells []Cell
+	for _, q := range []QueryKind{SRS, IRS, SJ} {
+		for _, s := range engine.Systems() {
+			if _, ok := env.queryFor(s, q); !ok {
+				continue
+			}
+			c, err := env.Run(s, q)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells, nil
+}
+
+// RunTPCD runs the 17-query decision-support suite on one system and
+// returns the summed breakdown (the paper reports TPC-D averages).
+// Results are memoised.
+func (env *Env) RunTPCD(s engine.System) (Cell, error) {
+	key := memoKey{s: s, q: QueryKind(-1)}
+	if env.memo != nil {
+		if c, ok := env.memo[key]; ok {
+			return c, nil
+		}
+	}
+	c, err := env.runTPCD(s)
+	if err == nil && env.memo != nil {
+		env.memo[key] = c
+	}
+	return c, err
+}
+
+func (env *Env) runTPCD(s engine.System) (Cell, error) {
+	e := env.engines[s]
+	pipe := xeon.New(env.Opts.Config)
+	e.ResetState()
+	queries := env.Dims.TPCDQueries()
+	// Warm-up pass over the suite.
+	for _, q := range queries {
+		if _, err := e.Query(q, pipe); err != nil {
+			return Cell{}, err
+		}
+	}
+	pipe.ResetStats()
+	for _, q := range queries {
+		if _, err := e.Query(q, pipe); err != nil {
+			return Cell{}, err
+		}
+	}
+	b := pipe.Breakdown()
+	if err := b.Validate(); err != nil {
+		return Cell{}, fmt.Errorf("harness: %s/TPC-D breakdown invalid: %w", s, err)
+	}
+	return Cell{System: s, Breakdown: b, Rates: pipe.Rates()}, nil
+}
+
+// RunTPCC runs the OLTP mix on one system.
+func (env *Env) RunTPCC(s engine.System, txns int) (Cell, workload.TPCCStats, error) {
+	dims := workload.DefaultTPCCDims()
+	db, err := workload.BuildTPCC(dims)
+	if err != nil {
+		return Cell{}, workload.TPCCStats{}, err
+	}
+	e := engine.New(s, db.Catalog)
+	pipe := xeon.New(env.Opts.Config)
+	// Warm up with a slice of the mix.
+	if _, err := workload.RunTPCC(db, e, pipe, txns/4+1); err != nil {
+		return Cell{}, workload.TPCCStats{}, err
+	}
+	pipe.ResetStats()
+	stats, err := workload.RunTPCC(db, e, pipe, txns)
+	if err != nil {
+		return Cell{}, stats, err
+	}
+	b := pipe.Breakdown()
+	if err := b.Validate(); err != nil {
+		return Cell{}, stats, fmt.Errorf("harness: %s/TPC-C breakdown invalid: %w", s, err)
+	}
+	return Cell{System: s, Breakdown: b, Rates: pipe.Rates()}, stats, nil
+}
+
+var _ trace.Processor = (*xeon.Pipeline)(nil)

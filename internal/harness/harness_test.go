@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"wheretime/internal/core"
+	"wheretime/internal/engine"
+)
+
+// testEnv builds a small environment shared by the tests in this file.
+// Scale 0.01 keeps a single cell under a second while staying past
+// cache steady state.
+var sharedEnv *Env
+
+func getEnv(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		opts := DefaultOptions()
+		env, err := NewEnv(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedEnv = env
+	}
+	return sharedEnv
+}
+
+func TestQueryKindStrings(t *testing.T) {
+	if SRS.String() != "SRS" || IRS.String() != "IRS" || SJ.String() != "SJ" {
+		t.Error("query kind names wrong")
+	}
+	if !strings.Contains(QueryKind(9).String(), "9") {
+		t.Error("unknown kind should carry its number")
+	}
+}
+
+func TestSystemASkipsIRS(t *testing.T) {
+	env := getEnv(t)
+	if _, err := env.Run(engine.SystemA, IRS); err == nil {
+		t.Error("System A must not run IRS (Section 5.1)")
+	}
+	if _, ok := env.queryFor(engine.SystemA, IRS); ok {
+		t.Error("queryFor should reject A/IRS")
+	}
+}
+
+func TestRunProducesValidBreakdowns(t *testing.T) {
+	env := getEnv(t)
+	cells, err := env.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 systems x SRS + 3 x IRS + 4 x SJ = 11 cells.
+	if len(cells) != 11 {
+		t.Fatalf("got %d cells, want 11", len(cells))
+	}
+	for _, c := range cells {
+		if err := c.Breakdown.Validate(); err != nil {
+			t.Errorf("%s/%s: %v", c.System, c.Query, err)
+		}
+		if c.Breakdown.Counts.Records == 0 {
+			t.Errorf("%s/%s processed no records", c.System, c.Query)
+		}
+		if c.Breakdown.GrossTotal() <= 0 {
+			t.Errorf("%s/%s has no time", c.System, c.Query)
+		}
+	}
+}
+
+func TestRunMemoised(t *testing.T) {
+	env := getEnv(t)
+	a, err := env.Run(engine.SystemB, SRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Run(engine.SystemB, SRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Breakdown != b.Breakdown {
+		t.Error("memoised run should return the identical cell")
+	}
+}
+
+func TestQueryResultsAgreeAcrossSystems(t *testing.T) {
+	env := getEnv(t)
+	// All four systems must compute the same SRS aggregate: different
+	// builds, same semantics.
+	var ref *Cell
+	for _, s := range engine.Systems() {
+		c, err := env.Run(s, SRS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			cc := c
+			ref = &cc
+			continue
+		}
+		if c.Result.Rows != ref.Result.Rows {
+			t.Errorf("system %s rows %d != %d", s, c.Result.Rows, ref.Result.Rows)
+		}
+		if c.Result.Value != ref.Result.Value {
+			t.Errorf("system %s avg %v != %v", s, c.Result.Value, ref.Result.Value)
+		}
+	}
+	// IRS must agree with SRS.
+	srs, _ := env.Run(engine.SystemD, SRS)
+	irs, err := env.Run(engine.SystemD, IRS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srs.Result != irs.Result {
+		t.Errorf("IRS result %+v != SRS %+v", irs.Result, srs.Result)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 11 {
+		t.Errorf("registry has %d experiments", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Name == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("malformed experiment %+v", e)
+		}
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment %s", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	if _, err := Find("fig5.1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find of unknown experiment should fail")
+	}
+}
+
+func TestFiguresRender(t *testing.T) {
+	env := getEnv(t)
+	for _, exp := range []struct {
+		name string
+		run  func(*Env) ([]Table, error)
+		want []string
+	}{
+		{"fig5.1", Fig51, []string{"Computation", "Memory", "A", "D"}},
+		{"fig5.2", Fig52, []string{"L1D", "L1I", "L2D", "ITLB"}},
+		{"fig5.3", Fig53, []string{"SRS", "IRS", "SJ"}},
+		{"fig5.4a", Fig54a, []string{"BTB"}},
+		{"fig5.5", Fig55, []string{"TDEP", "TFU"}},
+	} {
+		tables, err := exp.run(env)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.name, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", exp.name)
+		}
+		all := ""
+		for _, tb := range tables {
+			all += tb.Render()
+		}
+		for _, w := range exp.want {
+			if !strings.Contains(all, w) {
+				t.Errorf("%s output missing %q:\n%s", exp.name, w, all)
+			}
+		}
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"a", "bb"}, Rows: [][]string{{"xxx", "y"}}}
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "T") || !strings.Contains(lines[1], "bb") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+// TestHeadlineClaims is the repository's central assertion: the
+// simulated platform reproduces the paper's headline results (DESIGN.md
+// section 3 maps each claim to the paper).
+func TestHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims check runs the full experiment set")
+	}
+	env := getEnv(t)
+	claims, err := CheckClaims(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != 10 {
+		t.Fatalf("expected 10 claims, got %d", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Holds {
+			t.Errorf("claim %s does not hold: %s (measured: %s)", c.ID, c.Statement, c.Measured)
+		} else {
+			t.Logf("claim %s holds: %s", c.ID, c.Measured)
+		}
+	}
+}
+
+func TestFig54bSelectivityTrend(t *testing.T) {
+	env := getEnv(t)
+	tables, err := Fig54b(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 6 {
+		t.Fatalf("selectivity sweep rows = %d, want 6", len(tables[0].Rows))
+	}
+}
+
+func TestBreakdownGroupsSumTo100(t *testing.T) {
+	env := getEnv(t)
+	c, err := env.Run(engine.SystemC, SJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for g := core.GroupComputation; g <= core.GroupResource; g++ {
+		sum += c.Breakdown.GroupPercent(g)
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("group percentages sum to %v", sum)
+	}
+}

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: the rows/series a figure or
+// table of the paper reports.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, formatting each cell.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render draws the table in aligned ASCII.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteString("\n")
+	if t.Note != "" {
+		sb.WriteString(t.Note)
+		sb.WriteString("\n")
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// pct formats a percentage cell.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// num formats a numeric cell.
+func num(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// rate formats a ratio cell.
+func rate(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f2 formats a two-decimal cell.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

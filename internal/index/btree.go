@@ -1,0 +1,308 @@
+// Package index implements the non-clustered B+-tree the paper builds
+// on R.a2 for the indexed range selection. Keys are int32 field
+// values; entries carry RIDs into the heap file, and duplicate keys
+// are supported (each a2 value appears ~30 times in the paper's R).
+//
+// Every node occupies one simulated page so an index descent produces
+// the address trace a real descent would: one page-sized random jump
+// per level plus a key search within the node.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"wheretime/internal/storage"
+)
+
+// DefaultOrder is the maximum number of keys per node: sized so a node
+// of 4-byte keys and 8-byte child pointers/RIDs fills most of an 8KB
+// page, giving the 3-level trees typical for the paper's 1.2M-row R.
+const DefaultOrder = 256
+
+// Tree is a B+-tree mapping int32 keys to RIDs.
+type Tree struct {
+	order    int
+	root     *node
+	height   int
+	len      int
+	addrBase uint64
+	nodes    int
+}
+
+type node struct {
+	addr uint64
+	leaf bool
+	keys []int32
+	kids []*node       // internal nodes: len(kids) == len(keys)+1
+	rids []storage.RID // leaf nodes: parallel to keys
+	next *node         // leaf chain
+}
+
+// New returns an empty tree whose nodes are addressed starting at
+// addrBase (one storage.PageSize page per node).
+func New(addrBase uint64, order int) *Tree {
+	if order < 4 {
+		panic(fmt.Sprintf("index: order %d too small (need >= 4)", order))
+	}
+	t := &Tree{order: order, addrBase: addrBase, height: 1}
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *node {
+	n := &node{addr: t.addrBase + uint64(t.nodes)*storage.PageSize, leaf: leaf}
+	t.nodes++
+	return n
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.len }
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Nodes returns the number of allocated nodes.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Order returns the maximum keys per node.
+func (t *Tree) Order() int { return t.order }
+
+// Insert adds an entry. Duplicate keys are allowed.
+func (t *Tree) Insert(key int32, rid storage.RID) {
+	sep, right := t.insert(t.root, key, rid)
+	if right != nil {
+		newRoot := t.newNode(false)
+		newRoot.keys = append(newRoot.keys, sep)
+		newRoot.kids = append(newRoot.kids, t.root, right)
+		t.root = newRoot
+		t.height++
+	}
+	t.len++
+}
+
+// insert descends into n; a non-nil return describes a split: sep is
+// the smallest key reachable through the returned right sibling.
+func (t *Tree) insert(n *node, key int32, rid storage.RID) (sep int32, right *node) {
+	if n.leaf {
+		// Upper bound: insert after existing duplicates.
+		pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n.keys = append(n.keys, 0)
+		copy(n.keys[pos+1:], n.keys[pos:])
+		n.keys[pos] = key
+		n.rids = append(n.rids, storage.RID{})
+		copy(n.rids[pos+1:], n.rids[pos:])
+		n.rids[pos] = rid
+		if len(n.keys) <= t.order {
+			return 0, nil
+		}
+		mid := len(n.keys) / 2
+		r := t.newNode(true)
+		r.keys = append(r.keys, n.keys[mid:]...)
+		r.rids = append(r.rids, n.rids[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.rids = n.rids[:mid:mid]
+		r.next = n.next
+		n.next = r
+		return r.keys[0], r
+	}
+
+	// Leftmost descent among equal separators keeps duplicate runs
+	// reachable from the leaf chain.
+	pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if pos < len(n.keys) && n.keys[pos] == key {
+		// Equal separator: duplicates may continue in the right
+		// subtree; standard B+-trees send equal keys right.
+		pos++
+	}
+	s, r := t.insert(n.kids[pos], key, rid)
+	if r == nil {
+		return 0, nil
+	}
+	n.keys = append(n.keys, 0)
+	copy(n.keys[pos+1:], n.keys[pos:])
+	n.keys[pos] = s
+	n.kids = append(n.kids, nil)
+	copy(n.kids[pos+2:], n.kids[pos+1:])
+	n.kids[pos+1] = r
+	if len(n.keys) <= t.order {
+		return 0, nil
+	}
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	r2 := t.newNode(false)
+	r2.keys = append(r2.keys, n.keys[mid+1:]...)
+	r2.kids = append(r2.kids, n.kids[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.kids = n.kids[: mid+1 : mid+1]
+	return sepUp, r2
+}
+
+// DescentStep describes one node visited while locating a key: the
+// node's simulated address, its level (0 = root), and how many keys
+// the binary search inspected.
+type DescentStep struct {
+	Addr          uint64
+	Level         int
+	KeysInspected int
+}
+
+// descend walks from the root to the leaf where keys >= lo begin,
+// optionally reporting each step. It returns the leaf and the position
+// of the first key >= lo within it (which may equal len(keys), in
+// which case the caller advances along the chain).
+func (t *Tree) descend(lo int32, visit func(DescentStep)) (*node, int) {
+	n := t.root
+	level := 0
+	for !n.leaf {
+		pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+		if visit != nil {
+			visit(DescentStep{Addr: n.addr, Level: level, KeysInspected: log2ceil(len(n.keys))})
+		}
+		n = n.kids[pos]
+		level++
+	}
+	pos := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+	if visit != nil {
+		visit(DescentStep{Addr: n.addr, Level: level, KeysInspected: log2ceil(len(n.keys))})
+	}
+	return n, pos
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Search returns the RIDs of every entry with the given key.
+func (t *Tree) Search(key int32) []storage.RID {
+	var out []storage.RID
+	t.Range(key, key+1, func(k int32, rid storage.RID, _ LeafPos) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out
+}
+
+// LeafPos locates an entry inside a leaf, for trace emission: the
+// leaf's simulated address and the entry's index within it.
+type LeafPos struct {
+	Addr  uint64
+	Index int
+}
+
+// Range calls fn for every entry with lo <= key < hi in key order,
+// stopping early if fn returns false.
+func (t *Tree) Range(lo, hi int32, fn func(key int32, rid storage.RID, pos LeafPos) bool) {
+	t.RangeTrace(lo, hi, nil, fn)
+}
+
+// RangeTrace is Range with descent reporting: visit (when non-nil)
+// receives one step per node on the root-to-leaf path before fn runs.
+func (t *Tree) RangeTrace(lo, hi int32, visit func(DescentStep), fn func(key int32, rid storage.RID, pos LeafPos) bool) {
+	if lo >= hi {
+		return
+	}
+	n, pos := t.descend(lo, visit)
+	for n != nil {
+		for ; pos < len(n.keys); pos++ {
+			if n.keys[pos] >= hi {
+				return
+			}
+			if !fn(n.keys[pos], n.rids[pos], LeafPos{Addr: n.addr, Index: pos}) {
+				return
+			}
+		}
+		n = n.next
+		pos = 0
+	}
+}
+
+// Validate checks the structural invariants of the tree and returns
+// the first violation found: keys sorted within nodes, uniform leaf
+// depth, child counts, separator ordering, and the leaf chain sorted
+// and complete.
+func (t *Tree) Validate() error {
+	leafDepth := -1
+	var walk func(n *node, depth int, lo, hi int64) error
+	walk = func(n *node, depth int, lo, hi int64) error {
+		for i := 1; i < len(n.keys); i++ {
+			if n.keys[i-1] > n.keys[i] {
+				return fmt.Errorf("index: node %#x keys unsorted at %d", n.addr, i)
+			}
+		}
+		for _, k := range n.keys {
+			if int64(k) < lo || int64(k) >= hi {
+				return fmt.Errorf("index: node %#x key %d outside separator range [%d,%d)", n.addr, k, lo, hi)
+			}
+		}
+		if n.leaf {
+			if len(n.rids) != len(n.keys) {
+				return fmt.Errorf("index: leaf %#x has %d rids for %d keys", n.addr, len(n.rids), len(n.keys))
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("index: leaf %#x at depth %d, expected %d", n.addr, depth, leafDepth)
+			}
+			return nil
+		}
+		if len(n.kids) != len(n.keys)+1 {
+			return fmt.Errorf("index: node %#x has %d kids for %d keys", n.addr, len(n.kids), len(n.keys))
+		}
+		childLo := lo
+		for i, kid := range n.kids {
+			childHi := hi
+			if i < len(n.keys) {
+				childHi = int64(n.keys[i])
+			}
+			// Duplicates may straddle a separator: keys equal to the
+			// separator are legal in the left subtree, so widen by one.
+			if err := walk(kid, depth+1, childLo, childHi+1); err != nil {
+				return err
+			}
+			if i < len(n.keys) {
+				childLo = int64(n.keys[i])
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1, -1<<40, 1<<40); err != nil {
+		return err
+	}
+	if leafDepth != t.height {
+		return fmt.Errorf("index: height %d but leaves at depth %d", t.height, leafDepth)
+	}
+	// Leaf chain: sorted, and covering exactly len entries.
+	n := t.leftmostLeaf()
+	count := 0
+	last := int32(-1 << 31)
+	for n != nil {
+		for _, k := range n.keys {
+			if k < last {
+				return fmt.Errorf("index: leaf chain unsorted (%d after %d)", k, last)
+			}
+			last = k
+			count++
+		}
+		n = n.next
+	}
+	if count != t.len {
+		return fmt.Errorf("index: chain has %d entries, tree has %d", count, t.len)
+	}
+	return nil
+}
+
+func (t *Tree) leftmostLeaf() *node {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	return n
+}

@@ -1,0 +1,265 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+const testBase = trace.HeapBase + 1<<28
+
+func ridFor(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i / 81), Slot: uint16(i % 81)}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(testBase, DefaultOrder)
+	if tr.Len() != 0 || tr.Height() != 1 || tr.Nodes() != 1 {
+		t.Errorf("empty tree: len=%d height=%d nodes=%d", tr.Len(), tr.Height(), tr.Nodes())
+	}
+	if got := tr.Search(5); len(got) != 0 {
+		t.Errorf("search in empty tree returned %v", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+}
+
+func TestNewRejectsTinyOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("order 2 should panic")
+		}
+	}()
+	New(testBase, 2)
+}
+
+func TestInsertSearchSequential(t *testing.T) {
+	tr := New(testBase, 8) // small order forces splits
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Insert(int32(i), ridFor(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid after sequential inserts: %v", err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height = %d, expected >= 3 for order 8 with 1000 keys", tr.Height())
+	}
+	for _, k := range []int{0, 1, 499, 998, 999} {
+		got := tr.Search(int32(k))
+		if len(got) != 1 || got[0] != ridFor(k) {
+			t.Errorf("search(%d) = %v, want [%v]", k, got, ridFor(k))
+		}
+	}
+	if got := tr.Search(int32(n)); len(got) != 0 {
+		t.Errorf("search of absent key returned %v", got)
+	}
+}
+
+func TestInsertSearchRandom(t *testing.T) {
+	tr := New(testBase, 16)
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(5000)
+	for i, k := range keys {
+		tr.Insert(int32(k), ridFor(i))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid after random inserts: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if got := tr.Search(int32(k)); len(got) != 1 {
+			t.Errorf("search(%d) found %d entries", k, len(got))
+		}
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New(testBase, 8)
+	// 30 duplicates of each of 40 keys, like R.a2's distribution.
+	const dups, distinct = 30, 40
+	idx := 0
+	rng := rand.New(rand.NewSource(3))
+	order := rng.Perm(dups * distinct)
+	for _, o := range order {
+		tr.Insert(int32(o%distinct), ridFor(idx))
+		idx++
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid with duplicates: %v", err)
+	}
+	for k := 0; k < distinct; k++ {
+		if got := tr.Search(int32(k)); len(got) != dups {
+			t.Errorf("search(%d) found %d, want %d", k, len(got), dups)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New(testBase, 8)
+	for i := 0; i < 500; i++ {
+		tr.Insert(int32(i*2), ridFor(i)) // even keys 0..998
+	}
+	var got []int32
+	tr.Range(100, 200, func(k int32, rid storage.RID, _ LeafPos) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 50 {
+		t.Fatalf("range [100,200) returned %d keys, want 50", len(got))
+	}
+	if got[0] != 100 || got[len(got)-1] != 198 {
+		t.Errorf("range bounds wrong: %d..%d", got[0], got[len(got)-1])
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("range results unsorted")
+	}
+	// Empty and inverted ranges.
+	count := 0
+	tr.Range(999, 999, func(int32, storage.RID, LeafPos) bool { count++; return true })
+	tr.Range(200, 100, func(int32, storage.RID, LeafPos) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("degenerate ranges returned %d entries", count)
+	}
+	// Early stop.
+	count = 0
+	tr.Range(0, 1000, func(int32, storage.RID, LeafPos) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop after %d", count)
+	}
+}
+
+func TestRangeTraceDescent(t *testing.T) {
+	tr := New(testBase, 8)
+	for i := 0; i < 2000; i++ {
+		tr.Insert(int32(i), ridFor(i))
+	}
+	var steps []DescentStep
+	tr.RangeTrace(1000, 1001, func(s DescentStep) { steps = append(steps, s) }, func(int32, storage.RID, LeafPos) bool { return true })
+	if len(steps) != tr.Height() {
+		t.Fatalf("descent visited %d nodes, height is %d", len(steps), tr.Height())
+	}
+	for i, s := range steps {
+		if s.Level != i {
+			t.Errorf("step %d at level %d", i, s.Level)
+		}
+		if s.Addr < testBase {
+			t.Errorf("step %d addr %#x below base", i, s.Addr)
+		}
+		if s.KeysInspected < 1 {
+			t.Errorf("step %d inspected %d keys", i, s.KeysInspected)
+		}
+	}
+	// Node addresses are distinct pages.
+	if steps[0].Addr == steps[1].Addr {
+		t.Error("descent revisited the same node address")
+	}
+}
+
+func TestLeafPosAddresses(t *testing.T) {
+	tr := New(testBase, 8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(int32(i), ridFor(i))
+	}
+	seen := map[uint64]bool{}
+	tr.Range(0, 100, func(k int32, rid storage.RID, pos LeafPos) bool {
+		if pos.Addr < testBase || pos.Index < 0 || pos.Index > tr.Order() {
+			t.Fatalf("bad leaf pos %+v", pos)
+		}
+		seen[pos.Addr] = true
+		return true
+	})
+	if len(seen) < 2 {
+		t.Errorf("100 keys at order 8 should span several leaves, saw %d", len(seen))
+	}
+}
+
+func TestNodeAddressesAreDistinctPages(t *testing.T) {
+	tr := New(testBase, 8)
+	for i := 0; i < 3000; i++ {
+		tr.Insert(int32(i), ridFor(i))
+	}
+	if tr.Nodes() < 100 {
+		t.Fatalf("expected many nodes, got %d", tr.Nodes())
+	}
+	// All node addresses are distinct and page-aligned by construction;
+	// validate the invariant the trace relies on via a full descent of
+	// every key's path staying in [base, base+nodes*PageSize).
+	limit := testBase + uint64(tr.Nodes())*storage.PageSize
+	tr.RangeTrace(0, 3000, func(s DescentStep) {
+		if s.Addr >= limit {
+			t.Fatalf("node addr %#x beyond allocation", s.Addr)
+		}
+	}, func(int32, storage.RID, LeafPos) bool { return true })
+}
+
+// Property: the tree agrees with a sorted reference slice for range
+// queries after arbitrary insertions, and stays structurally valid.
+func TestTreeMatchesReferenceProperty(t *testing.T) {
+	f := func(keysRaw []uint16, loRaw, spanRaw uint16) bool {
+		if len(keysRaw) > 400 {
+			keysRaw = keysRaw[:400]
+		}
+		tr := New(testBase, 8)
+		var ref []int32
+		for i, kr := range keysRaw {
+			k := int32(kr % 512)
+			tr.Insert(k, ridFor(i))
+			ref = append(ref, k)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		lo := int32(loRaw % 600)
+		hi := lo + int32(spanRaw%100)
+		var got []int32
+		tr.Range(lo, hi, func(k int32, _ storage.RID, _ LeafPos) bool {
+			got = append(got, k)
+			return true
+		})
+		var want []int32
+		for _, k := range ref {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := New(testBase, DefaultOrder)
+	for i := 0; i < 300000; i++ {
+		tr.Insert(int32(i%40000), ridFor(i))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("big tree invalid: %v", err)
+	}
+	if tr.Height() < 2 || tr.Height() > 4 {
+		t.Errorf("height = %d for 300k entries at order %d, want 2..4", tr.Height(), DefaultOrder)
+	}
+}

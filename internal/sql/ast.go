@@ -1,0 +1,130 @@
+package sql
+
+import "fmt"
+
+// Stmt is a parsed SQL statement: *CreateStmt or *SelectStmt.
+type Stmt interface{ stmt() }
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	NotNull bool
+}
+
+// CreateStmt is CREATE TABLE name (col integer [not null], ...).
+type CreateStmt struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+func (*CreateStmt) stmt() {}
+
+// AggFunc is the aggregate of a SELECT.
+type AggFunc int
+
+// Supported aggregates.
+const (
+	AggNone AggFunc = iota
+	AggAvg
+	AggSum
+	AggCount
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggNone:
+		return "none"
+	case AggAvg:
+		return "avg"
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// ColumnRef names a column, optionally qualified: R.a2 or a2.
+type ColumnRef struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+// String renders the reference.
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// CompareOp is a predicate comparison operator.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", int(op))
+	}
+}
+
+// Predicate is one conjunct of a WHERE clause: column op literal, or
+// column op column (the join predicate).
+type Predicate struct {
+	Left  ColumnRef
+	Op    CompareOp
+	Right ColumnRef // valid when IsJoin
+	Value int32     // valid when !IsJoin
+	// IsJoin distinguishes column-column from column-literal.
+	IsJoin bool
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	if p.IsJoin {
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Right)
+	}
+	return fmt.Sprintf("%s %s %d", p.Left, p.Op, p.Value)
+}
+
+// SelectStmt is SELECT agg(col) FROM tables [WHERE conjuncts].
+type SelectStmt struct {
+	Agg    AggFunc
+	AggCol ColumnRef // zero for COUNT(*)
+	Star   bool      // COUNT(*)
+	Tables []string
+	Where  []Predicate
+}
+
+func (*SelectStmt) stmt() {}

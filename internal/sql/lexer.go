@@ -1,0 +1,82 @@
+// Package sql implements the SQL subset the paper's workload uses:
+// CREATE TABLE with integer columns, and single-block SELECT queries
+// with an aggregate, one or two tables, and a conjunctive WHERE clause
+// of range and equality predicates — exactly queries (1) and (2) of
+// Section 3.3. A small planner lowers the AST onto catalog handles.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // single punctuation: ( ) , * . ;
+	tokOp     // < > <= >= = <>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits a statement into tokens. Keywords are returned as
+// identifiers; the parser matches them case-insensitively.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (isWordByte(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case c == '<' || c == '>':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokOp, l.src[start:l.pos], start})
+		case c == '=':
+			l.toks = append(l.toks, token{tokOp, "=", l.pos})
+			l.pos++
+		case strings.IndexByte("(),*.;", c) >= 0:
+			l.toks = append(l.toks, token{tokSymbol, string(c), l.pos})
+			l.pos++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' ||
+		unicode.IsLetter(rune(c))
+}

@@ -1,0 +1,273 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	p.acceptSymbol(";")
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d in %q)",
+		fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+// acceptKeyword consumes the next token if it is the given keyword.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %q, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %q", t.text)
+	}
+	p.next()
+	return strings.ToLower(t.text), nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.acceptKeyword("create"):
+		return p.createTable()
+	case p.acceptKeyword("select"):
+		return p.selectStmt()
+	default:
+		return nil, p.errorf("expected CREATE or SELECT, found %q", p.peek().text)
+	}
+}
+
+func (p *parser) createTable() (*CreateStmt, error) {
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &CreateStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("integer"); err != nil {
+			return nil, err
+		}
+		def := ColumnDef{Name: col}
+		if p.acceptKeyword("not") {
+			if err := p.expectKeyword("null"); err != nil {
+				return nil, err
+			}
+			def.NotNull = true
+		}
+		stmt.Columns = append(stmt.Columns, def)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Columns) == 0 {
+		return nil, p.errorf("table %q has no columns", name)
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	stmt := &SelectStmt{}
+	// Aggregate: avg|sum|count|min|max ( colref | * )
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errorf("expected aggregate function, found %q", t.text)
+	}
+	switch strings.ToLower(t.text) {
+	case "avg":
+		stmt.Agg = AggAvg
+	case "sum":
+		stmt.Agg = AggSum
+	case "count":
+		stmt.Agg = AggCount
+	case "min":
+		stmt.Agg = AggMin
+	case "max":
+		stmt.Agg = AggMax
+	default:
+		return nil, p.errorf("unsupported select list %q (the workload uses a single aggregate)", t.text)
+	}
+	p.next()
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("*") {
+		if stmt.Agg != AggCount {
+			return nil, p.errorf("* argument is only valid for count")
+		}
+		stmt.Star = true
+	} else {
+		ref, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.AggCol = ref
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Tables = append(stmt.Tables, name)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if len(stmt.Tables) > 2 {
+		return nil, p.errorf("at most two tables are supported")
+	}
+	if p.acceptKeyword("where") {
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.acceptKeyword("and") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) columnRef() (ColumnRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: first, Column: col}, nil
+	}
+	return ColumnRef{Column: first}, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	left, err := p.columnRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	opTok := p.peek()
+	if opTok.kind != tokOp {
+		return Predicate{}, p.errorf("expected comparison operator, found %q", opTok.text)
+	}
+	p.next()
+	var op CompareOp
+	switch opTok.text {
+	case "=":
+		op = OpEq
+	case "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	}
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseInt(t.text, 10, 32)
+		if err != nil {
+			return Predicate{}, p.errorf("bad integer literal %q", t.text)
+		}
+		return Predicate{Left: left, Op: op, Value: int32(v)}, nil
+	case tokIdent:
+		right, err := p.columnRef()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Left: left, Op: op, Right: right, IsJoin: true}, nil
+	default:
+		return Predicate{}, p.errorf("expected literal or column, found %q", t.text)
+	}
+}

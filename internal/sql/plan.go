@@ -1,0 +1,260 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"wheretime/internal/catalog"
+)
+
+// TableAccess describes how one relation is read: a full scan or an
+// index range scan, with an optional range restriction [Lo, Hi) on one
+// column.
+type TableAccess struct {
+	Table *catalog.Table
+	// HasFilter indicates a range restriction on FilterCol.
+	HasFilter bool
+	FilterCol int
+	// Lo (inclusive) and Hi (exclusive) bound the filter column.
+	Lo, Hi int32
+	// UseIndex selects an index range scan over the filter column.
+	// Only meaningful when HasFilter and the table has such an index.
+	UseIndex bool
+}
+
+// Selectivity estimates the fraction of records satisfying the filter,
+// assuming FilterCol is uniform on [min, max] as the workload
+// generates it. Used for reporting, not planning.
+func (a *TableAccess) Selectivity(min, max int32) float64 {
+	if !a.HasFilter {
+		return 1
+	}
+	span := float64(max) - float64(min) + 1
+	lo, hi := float64(a.Lo), float64(a.Hi)
+	if lo < float64(min) {
+		lo = float64(min)
+	}
+	if hi > float64(max)+1 {
+		hi = float64(max) + 1
+	}
+	if hi <= lo {
+		return 0
+	}
+	return (hi - lo) / span
+}
+
+// Plan is an executable lowering of a SELECT: an aggregate over a
+// single restricted table, or over an equijoin of two.
+type Plan struct {
+	Agg      AggFunc
+	CountAll bool // COUNT(*)
+	// AggTable/AggCol locate the aggregated column (unused for
+	// COUNT(*)).
+	AggTable *catalog.Table
+	AggCol   int
+
+	Outer *TableAccess
+	// Inner is nil for single-table plans.
+	Inner *TableAccess
+	// OuterCol/InnerCol are the equijoin columns.
+	OuterCol, InnerCol int
+}
+
+// IsJoin reports whether the plan joins two tables.
+func (p *Plan) IsJoin() bool { return p.Inner != nil }
+
+// PlanOptions steer physical choices the paper attributes to the
+// DBMS: whether to use an available index (System A ignored it for
+// the indexed range selection).
+type PlanOptions struct {
+	// UseIndex permits index range scans when an index matches.
+	UseIndex bool
+}
+
+// PlanSelect lowers a parsed SELECT against the catalog.
+func PlanSelect(cat *catalog.Catalog, stmt *SelectStmt, opts PlanOptions) (*Plan, error) {
+	if stmt.Agg == AggNone {
+		return nil, fmt.Errorf("sql: query must have an aggregate")
+	}
+	tables := make([]*catalog.Table, len(stmt.Tables))
+	for i, name := range stmt.Tables {
+		t, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = t
+	}
+	if len(tables) == 0 || len(tables) > 2 {
+		return nil, fmt.Errorf("sql: need one or two tables, got %d", len(tables))
+	}
+
+	resolve := func(ref ColumnRef) (*catalog.Table, int, error) {
+		var found *catalog.Table
+		idx := -1
+		for _, t := range tables {
+			if ref.Table != "" && ref.Table != t.Name {
+				continue
+			}
+			if ci := t.ColumnIndex(ref.Column); ci >= 0 {
+				if found != nil {
+					return nil, 0, fmt.Errorf("sql: column %s is ambiguous", ref)
+				}
+				found, idx = t, ci
+			}
+		}
+		if found == nil {
+			return nil, 0, fmt.Errorf("sql: unknown column %s", ref)
+		}
+		return found, idx, nil
+	}
+
+	p := &Plan{Agg: stmt.Agg, CountAll: stmt.Star}
+	if !stmt.Star {
+		t, ci, err := resolve(stmt.AggCol)
+		if err != nil {
+			return nil, err
+		}
+		p.AggTable, p.AggCol = t, ci
+	}
+
+	// Collect per-table range bounds and the join predicate.
+	type bounds struct {
+		lo, hi int64
+		col    int
+		has    bool
+	}
+	bnds := make(map[*catalog.Table]*bounds)
+	var joinPred *Predicate
+	for i := range stmt.Where {
+		pred := &stmt.Where[i]
+		if pred.IsJoin {
+			lt, _, err := resolve(pred.Left)
+			if err != nil {
+				return nil, err
+			}
+			rt, _, err := resolve(pred.Right)
+			if err != nil {
+				return nil, err
+			}
+			if lt == rt {
+				return nil, fmt.Errorf("sql: self-comparison %s is not supported", pred)
+			}
+			if pred.Op != OpEq {
+				return nil, fmt.Errorf("sql: only equijoins are supported, got %s", pred)
+			}
+			if joinPred != nil {
+				return nil, fmt.Errorf("sql: multiple join predicates are not supported")
+			}
+			joinPred = pred
+			continue
+		}
+		t, ci, err := resolve(pred.Left)
+		if err != nil {
+			return nil, err
+		}
+		b := bnds[t]
+		if b == nil {
+			b = &bounds{lo: math.MinInt32, hi: math.MaxInt32 + int64(1), col: ci}
+			bnds[t] = b
+		}
+		if b.has && b.col != ci {
+			return nil, fmt.Errorf("sql: range predicates on multiple columns of %s are not supported", t.Name)
+		}
+		b.col = ci
+		b.has = true
+		v := int64(pred.Value)
+		switch pred.Op {
+		case OpLt: // col < v
+			if v < b.hi {
+				b.hi = v
+			}
+		case OpLe:
+			if v+1 < b.hi {
+				b.hi = v + 1
+			}
+		case OpGt: // col > v
+			if v+1 > b.lo {
+				b.lo = v + 1
+			}
+		case OpGe:
+			if v > b.lo {
+				b.lo = v
+			}
+		case OpEq:
+			if v > b.lo {
+				b.lo = v
+			}
+			if v+1 < b.hi {
+				b.hi = v + 1
+			}
+		case OpNe:
+			return nil, fmt.Errorf("sql: <> predicates are not supported")
+		}
+	}
+
+	access := func(t *catalog.Table) *TableAccess {
+		a := &TableAccess{Table: t}
+		if b, ok := bnds[t]; ok && b.has {
+			a.HasFilter = true
+			a.FilterCol = b.col
+			a.Lo = int32(clampI64(b.lo, math.MinInt32, math.MaxInt32))
+			a.Hi = int32(clampI64(b.hi, math.MinInt32, math.MaxInt32))
+			if opts.UseIndex && t.Indexes[b.col] != nil {
+				a.UseIndex = true
+			}
+		}
+		return a
+	}
+
+	if len(tables) == 1 {
+		if joinPred != nil {
+			return nil, fmt.Errorf("sql: join predicate with a single table")
+		}
+		p.Outer = access(tables[0])
+		return p, nil
+	}
+
+	if joinPred == nil {
+		return nil, fmt.Errorf("sql: two tables require a join predicate (cross products are not supported)")
+	}
+	lt, lc, err := resolve(joinPred.Left)
+	if err != nil {
+		return nil, err
+	}
+	_, rc, err := resolve(joinPred.Right)
+	if err != nil {
+		return nil, err
+	}
+	// Outer = first FROM table, by convention.
+	p.Outer = access(tables[0])
+	p.Inner = access(tables[1])
+	if lt == tables[0] {
+		p.OuterCol, p.InnerCol = lc, rc
+	} else {
+		p.OuterCol, p.InnerCol = rc, lc
+	}
+	return p, nil
+}
+
+func clampI64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Prepare parses and plans a SELECT in one step.
+func Prepare(cat *catalog.Catalog, query string, opts PlanOptions) (*Plan, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement")
+	}
+	return PlanSelect(cat, sel, opts)
+}

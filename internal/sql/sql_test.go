@@ -1,0 +1,296 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"wheretime/internal/catalog"
+	"wheretime/internal/storage"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`create table R (a1 integer not null,
+		a2 integer not null, a3 integer not null, f4 integer)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := stmt.(*CreateStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Table != "r" || len(ct.Columns) != 4 {
+		t.Errorf("parsed %+v", ct)
+	}
+	if !ct.Columns[0].NotNull || ct.Columns[3].NotNull {
+		t.Errorf("not-null flags wrong: %+v", ct.Columns)
+	}
+}
+
+func TestParseRangeSelect(t *testing.T) {
+	stmt, err := Parse("select avg(a3) from R where a2 < 2000 and a2 > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.Agg != AggAvg || sel.AggCol.Column != "a3" {
+		t.Errorf("aggregate wrong: %+v", sel)
+	}
+	if len(sel.Tables) != 1 || sel.Tables[0] != "r" {
+		t.Errorf("tables wrong: %v", sel.Tables)
+	}
+	if len(sel.Where) != 2 {
+		t.Fatalf("conjuncts = %d", len(sel.Where))
+	}
+	if sel.Where[0].Op != OpLt || sel.Where[0].Value != 2000 || sel.Where[0].IsJoin {
+		t.Errorf("first predicate wrong: %+v", sel.Where[0])
+	}
+	if sel.Where[1].Op != OpGt || sel.Where[1].Value != 1000 {
+		t.Errorf("second predicate wrong: %+v", sel.Where[1])
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	stmt, err := Parse("select avg(R.a3) from R, S where R.a2 = S.a1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.AggCol.Table != "r" || sel.AggCol.Column != "a3" {
+		t.Errorf("qualified aggregate wrong: %+v", sel.AggCol)
+	}
+	if len(sel.Tables) != 2 {
+		t.Fatalf("tables: %v", sel.Tables)
+	}
+	if len(sel.Where) != 1 || !sel.Where[0].IsJoin || sel.Where[0].Op != OpEq {
+		t.Errorf("join predicate wrong: %+v", sel.Where)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt, err := Parse("select count(*) from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*SelectStmt)
+	if sel.Agg != AggCount || !sel.Star {
+		t.Errorf("count(*) wrong: %+v", sel)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"drop table R",
+		"create table R ()",
+		"create table R (a1 text)",
+		"select a3 from R",
+		"select avg(*) from R",
+		"select avg(a3) from",
+		"select avg(a3) from R where",
+		"select avg(a3) from R where a2 <",
+		"select avg(a3) from R where a2 ! 5",
+		"select avg(a3) from R, S, T where R.a = S.b",
+		"select avg(a3) from R where a2 < 99999999999999999999",
+		"select avg(a3) from R extra",
+		"select avg(a3) from R where a2 < 5 @",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks, err := lex("a <= 5 and b >= 6 and c <> 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokOp {
+			ops = append(ops, tk.text)
+		}
+	}
+	if strings.Join(ops, " ") != "<= >= <>" {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+// testCatalog builds R(a1,a2,a3) and S(a1,a2,a3) with a little data
+// and an index on r.a2.
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New(storage.NewBufferPool())
+	r, err := cat.Create("r", []string{"a1", "a2", "a3"}, storage.NSM, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cat.Create("s", []string{"a1", "a2", "a3"}, storage.NSM, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		r.Heap.Append([]int32{int32(i), int32(i % 100), int32(i * 2)})
+	}
+	for i := 0; i < 50; i++ {
+		s.Heap.Append([]int32{int32(i), int32(i % 10), int32(i)})
+	}
+	if _, err := cat.BuildIndex("r", "a2"); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestPlanRangeSelect(t *testing.T) {
+	cat := testCatalog(t)
+	p, err := Prepare(cat, "select avg(a3) from r where a2 < 80 and a2 > 40", PlanOptions{UseIndex: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsJoin() {
+		t.Fatal("single-table plan reported as join")
+	}
+	a := p.Outer
+	if !a.HasFilter || a.FilterCol != 1 {
+		t.Errorf("filter wrong: %+v", a)
+	}
+	// a2 > 40 and a2 < 80 -> [41, 80)
+	if a.Lo != 41 || a.Hi != 80 {
+		t.Errorf("bounds = [%d,%d), want [41,80)", a.Lo, a.Hi)
+	}
+	if a.UseIndex {
+		t.Error("index should not be used when disabled")
+	}
+	if p.AggTable.Name != "r" || p.AggCol != 2 {
+		t.Errorf("aggregate resolution wrong: %s col %d", p.AggTable.Name, p.AggCol)
+	}
+}
+
+func TestPlanUsesIndexWhenAllowed(t *testing.T) {
+	cat := testCatalog(t)
+	p, err := Prepare(cat, "select avg(a3) from r where a2 < 80 and a2 > 40", PlanOptions{UseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Outer.UseIndex {
+		t.Error("index should be used")
+	}
+	// No index on s.a2: plan must fall back to scan.
+	p2, err := Prepare(cat, "select avg(a3) from s where a2 < 8", PlanOptions{UseIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Outer.UseIndex {
+		t.Error("cannot use a nonexistent index")
+	}
+}
+
+func TestPlanBoundsNormalization(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		where  string
+		lo, hi int32
+	}{
+		{"a2 >= 10 and a2 <= 20", 10, 21},
+		{"a2 = 15", 15, 16},
+		{"a2 > 10 and a2 > 12 and a2 < 50 and a2 < 40", 13, 40},
+	}
+	for _, tc := range cases {
+		p, err := Prepare(cat, "select avg(a3) from r where "+tc.where, PlanOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.where, err)
+		}
+		if p.Outer.Lo != tc.lo || p.Outer.Hi != tc.hi {
+			t.Errorf("%s: bounds [%d,%d), want [%d,%d)", tc.where, p.Outer.Lo, p.Outer.Hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestPlanJoin(t *testing.T) {
+	cat := testCatalog(t)
+	p, err := Prepare(cat, "select avg(r.a3) from r, s where r.a2 = s.a1", PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsJoin() {
+		t.Fatal("join not recognized")
+	}
+	if p.Outer.Table.Name != "r" || p.Inner.Table.Name != "s" {
+		t.Errorf("join sides wrong: %s/%s", p.Outer.Table.Name, p.Inner.Table.Name)
+	}
+	if p.OuterCol != 1 || p.InnerCol != 0 {
+		t.Errorf("join columns = %d/%d, want 1/0", p.OuterCol, p.InnerCol)
+	}
+}
+
+func TestPlanJoinWithFilter(t *testing.T) {
+	cat := testCatalog(t)
+	p, err := Prepare(cat, "select avg(r.a3) from r, s where r.a2 = s.a1 and s.a2 < 5", PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Inner.HasFilter || p.Inner.Hi != 5 {
+		t.Errorf("inner filter wrong: %+v", p.Inner)
+	}
+	if p.Outer.HasFilter {
+		t.Errorf("outer should have no filter: %+v", p.Outer)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cat := testCatalog(t)
+	bad := []string{
+		"select avg(a3) from nosuch",
+		"select avg(nosuch) from r",
+		"select avg(a3) from r where zz < 5",
+		"select avg(a3) from r, s",                                     // cross product
+		"select avg(a3) from r, s where r.a2 < s.a1",                   // non-equi join
+		"select avg(a1) from r, s",                                     // ambiguous column + cross product
+		"select avg(a3) from r where a2 < 5 and a1 > 2",                // two filter columns
+		"select avg(a3) from r where a2 <> 5",                          // <>
+		"select avg(r.a3) from r, s where r.a2 = s.a1 and r.a1 = s.a2", // two join preds
+	}
+	for _, q := range bad {
+		if _, err := Prepare(cat, q, PlanOptions{}); err == nil {
+			t.Errorf("Prepare(%q) should fail", q)
+		}
+	}
+}
+
+func TestSelectivityEstimate(t *testing.T) {
+	a := &TableAccess{HasFilter: true, Lo: 1, Hi: 4001}
+	got := a.Selectivity(1, 40000)
+	if got < 0.099 || got > 0.101 {
+		t.Errorf("selectivity = %v, want ~0.10", got)
+	}
+	full := &TableAccess{}
+	if full.Selectivity(1, 40000) != 1 {
+		t.Error("no filter should mean selectivity 1")
+	}
+	empty := &TableAccess{HasFilter: true, Lo: 10, Hi: 10}
+	if empty.Selectivity(1, 40000) != 0 {
+		t.Error("empty range should mean selectivity 0")
+	}
+}
+
+func TestPredicateAndOpStrings(t *testing.T) {
+	p := Predicate{Left: ColumnRef{Table: "r", Column: "a2"}, Op: OpLt, Value: 7}
+	if p.String() != "r.a2 < 7" {
+		t.Errorf("predicate string = %q", p.String())
+	}
+	j := Predicate{Left: ColumnRef{Column: "a2"}, Op: OpEq, Right: ColumnRef{Column: "a1"}, IsJoin: true}
+	if j.String() != "a2 = a1" {
+		t.Errorf("join string = %q", j.String())
+	}
+	for op, s := range map[CompareOp]string{OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="} {
+		if op.String() != s {
+			t.Errorf("op %d string = %q, want %q", op, op.String(), s)
+		}
+	}
+	for f, s := range map[AggFunc]string{AggAvg: "avg", AggSum: "sum", AggCount: "count", AggMin: "min", AggMax: "max"} {
+		if f.String() != s {
+			t.Errorf("agg string = %q, want %q", f.String(), s)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package storage
+
+import "fmt"
+
+// HeapFile is an unordered collection of pages holding one relation.
+// Pages are allocated from the owning buffer pool as records arrive.
+type HeapFile struct {
+	name    string
+	pool    *BufferPool
+	layout  Layout
+	recSize int
+	pages   []PageID
+	n       uint64
+}
+
+// Name returns the relation name.
+func (h *HeapFile) Name() string { return h.name }
+
+// Layout returns the file's page layout.
+func (h *HeapFile) Layout() Layout { return h.layout }
+
+// RecordSize returns the record size in bytes.
+func (h *HeapFile) RecordSize() int { return h.recSize }
+
+// NumRecords returns the number of records in the file.
+func (h *HeapFile) NumRecords() uint64 { return h.n }
+
+// NumPages returns the number of pages in the file.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// PageIDs returns the file's pages in allocation (scan) order. The
+// returned slice is owned by the heap file; callers must not modify it.
+func (h *HeapFile) PageIDs() []PageID { return h.pages }
+
+// Append inserts a record at the end of the file and returns its RID.
+func (h *HeapFile) Append(values []int32) RID {
+	var pg *Page
+	if len(h.pages) > 0 {
+		pg = h.pool.Get(h.pages[len(h.pages)-1])
+	}
+	if pg == nil || pg.Full() {
+		pg = h.pool.Allocate(h.layout, h.recSize)
+		h.pages = append(h.pages, pg.ID())
+	}
+	slot, ok := pg.Insert(values)
+	if !ok {
+		panic(fmt.Sprintf("storage: heap %s: insert into fresh page failed", h.name))
+	}
+	h.n++
+	return RID{Page: pg.ID(), Slot: slot}
+}
+
+// Get returns the page holding the given RID's record.
+func (h *HeapFile) Get(rid RID) *Page { return h.pool.Get(rid.Page) }
+
+// Scan calls fn for every page of the file in order, stopping early if
+// fn returns false.
+func (h *HeapFile) Scan(fn func(*Page) bool) {
+	for _, id := range h.pages {
+		if !fn(h.pool.Get(id)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package storage implements the memory-resident storage manager the
+// queries run over: fixed-size pages holding fixed-length records,
+// heap files, and a buffer pool sized to hold the whole database
+// (Section 4.2: "the buffer pool size was large enough to fit the
+// datasets for all the queries").
+//
+// Every page has both real contents (records whose field values the
+// engines actually read and aggregate) and a simulated address in the
+// heap segment, so an access to a field yields the exact byte address
+// the cache simulator should see.
+//
+// Two page layouts are provided:
+//
+//   - NSM (N-ary storage model): records stored contiguously, the
+//     slotted row layout of conventional engines. Reading one field of
+//     every record touches one cache line per record once records are
+//     wider than a line.
+//   - PAX (partition attributes across): each page groups the values
+//     of one field together in a minipage. Reading one field of every
+//     record touches one line per eight records (32-byte lines, 4-byte
+//     values) — the cache-conscious placement that gives the paper's
+//     System B its 2% L2 data miss rate.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wheretime/internal/trace"
+)
+
+// PageSize is the size of a database page in bytes.
+const PageSize = 8192
+
+// pageHeaderBytes is the space reserved at the start of each page for
+// the page header (LSN, slot count, free-space pointers).
+const pageHeaderBytes = 32
+
+// FieldSize is the width of every record field in bytes. The paper's
+// table R is a row of integers: a1, a2, a3 and <rest of fields>.
+const FieldSize = 4
+
+// MinRecordSize is the smallest legal record: the three named fields.
+const MinRecordSize = 3 * FieldSize
+
+// Layout selects how records are arranged within a page.
+type Layout int
+
+const (
+	// NSM stores whole records contiguously (row store).
+	NSM Layout = iota
+	// PAX partitions each field into its own minipage within the page.
+	PAX
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case NSM:
+		return "NSM"
+	case PAX:
+		return "PAX"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// PageID identifies a page within the buffer pool's address space.
+type PageID uint32
+
+// Addr returns the simulated base address of the page.
+func (id PageID) Addr() uint64 { return trace.HeapBase + uint64(id)*PageSize }
+
+// RID identifies a record by page and slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Page is one fixed-size database page.
+type Page struct {
+	id      PageID
+	layout  Layout
+	recSize int // bytes per record
+	fields  int // fields per record
+	cap     int // record capacity
+	n       int // records present
+	buf     []byte
+}
+
+// NewPage allocates an empty page for records of recSize bytes
+// (a multiple of FieldSize, at least MinRecordSize).
+func NewPage(id PageID, layout Layout, recSize int) *Page {
+	if recSize < MinRecordSize || recSize%FieldSize != 0 {
+		panic(fmt.Sprintf("storage: record size %d must be a multiple of %d and at least %d",
+			recSize, FieldSize, MinRecordSize))
+	}
+	return &Page{
+		id:      id,
+		layout:  layout,
+		recSize: recSize,
+		fields:  recSize / FieldSize,
+		cap:     (PageSize - pageHeaderBytes) / recSize,
+		buf:     make([]byte, PageSize),
+	}
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// Layout returns the page's record layout.
+func (p *Page) Layout() Layout { return p.layout }
+
+// Capacity returns how many records the page can hold.
+func (p *Page) Capacity() int { return p.cap }
+
+// NumRecords returns how many records the page holds.
+func (p *Page) NumRecords() int { return p.n }
+
+// RecordSize returns the record size in bytes.
+func (p *Page) RecordSize() int { return p.recSize }
+
+// Fields returns the number of fields per record.
+func (p *Page) Fields() int { return p.fields }
+
+// Full reports whether the page has no free slot.
+func (p *Page) Full() bool { return p.n >= p.cap }
+
+// fieldOffset returns the byte offset within the page of field f of
+// the record in slot s.
+func (p *Page) fieldOffset(s, f int) int {
+	if p.layout == PAX {
+		// Minipage f holds cap values of field f.
+		return pageHeaderBytes + (f*p.cap+s)*FieldSize
+	}
+	return pageHeaderBytes + s*p.recSize + f*FieldSize
+}
+
+// Insert appends a record (one int32 per field; missing trailing
+// fields are zero-filled) and returns its slot. It reports false when
+// the page is full or the record has too many fields.
+func (p *Page) Insert(values []int32) (slot uint16, ok bool) {
+	if p.Full() || len(values) > p.fields {
+		return 0, false
+	}
+	s := p.n
+	p.n++
+	for f, v := range values {
+		off := p.fieldOffset(s, f)
+		binary.LittleEndian.PutUint32(p.buf[off:], uint32(v))
+	}
+	return uint16(s), true
+}
+
+// Field returns the value of field f of the record in slot s.
+func (p *Page) Field(s uint16, f int) int32 {
+	p.check(s, f)
+	off := p.fieldOffset(int(s), f)
+	return int32(binary.LittleEndian.Uint32(p.buf[off:]))
+}
+
+// SetField overwrites field f of the record in slot s (used by the
+// update transactions of the TPC-C workload).
+func (p *Page) SetField(s uint16, f int, v int32) {
+	p.check(s, f)
+	off := p.fieldOffset(int(s), f)
+	binary.LittleEndian.PutUint32(p.buf[off:], uint32(v))
+}
+
+// FieldAddr returns the simulated byte address of field f of the
+// record in slot s — what the processor's load unit sees.
+func (p *Page) FieldAddr(s uint16, f int) uint64 {
+	p.check(s, f)
+	return p.id.Addr() + uint64(p.fieldOffset(int(s), f))
+}
+
+// RecordAddr returns the simulated address of the start of the record
+// in slot s. Under PAX a record has no contiguous image; the address
+// of its first field is returned.
+func (p *Page) RecordAddr(s uint16) uint64 { return p.FieldAddr(s, 0) }
+
+// HeaderAddr returns the simulated address of the page header.
+func (p *Page) HeaderAddr() uint64 { return p.id.Addr() }
+
+func (p *Page) check(s uint16, f int) {
+	if int(s) >= p.n || f >= p.fields {
+		panic(fmt.Sprintf("storage: page %d: slot %d field %d out of range (%d records, %d fields)",
+			p.id, s, f, p.n, p.fields))
+	}
+}

@@ -1,0 +1,53 @@
+package storage
+
+import "fmt"
+
+// BufferPool owns every page of the memory-resident database and
+// assigns page identifiers (and with them, simulated heap addresses).
+// The paper configures each DBMS with a pool large enough that no I/O
+// occurs; likewise the pool here never evicts. It still counts
+// fix/unfix traffic so the engines can charge buffer-manager work per
+// page access.
+type BufferPool struct {
+	pages []*Page
+	fixes uint64
+}
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool {
+	return &BufferPool{}
+}
+
+// Allocate creates a new page and returns it.
+func (bp *BufferPool) Allocate(layout Layout, recSize int) *Page {
+	id := PageID(len(bp.pages))
+	pg := NewPage(id, layout, recSize)
+	bp.pages = append(bp.pages, pg)
+	return pg
+}
+
+// Get returns the page with the given id, counting one fix.
+func (bp *BufferPool) Get(id PageID) *Page {
+	if int(id) >= len(bp.pages) {
+		panic(fmt.Sprintf("storage: page %d not in pool (have %d)", id, len(bp.pages)))
+	}
+	bp.fixes++
+	return bp.pages[id]
+}
+
+// NumPages returns the number of pages in the pool.
+func (bp *BufferPool) NumPages() int { return len(bp.pages) }
+
+// Fixes returns how many page fixes have been counted.
+func (bp *BufferPool) Fixes() uint64 { return bp.fixes }
+
+// Bytes returns the total size of the pool in bytes.
+func (bp *BufferPool) Bytes() uint64 { return uint64(len(bp.pages)) * PageSize }
+
+// CreateHeap creates an empty heap file backed by this pool.
+func (bp *BufferPool) CreateHeap(name string, layout Layout, recSize int) *HeapFile {
+	if recSize < MinRecordSize || recSize%FieldSize != 0 {
+		panic(fmt.Sprintf("storage: heap %s: bad record size %d", name, recSize))
+	}
+	return &HeapFile{name: name, pool: bp, layout: layout, recSize: recSize}
+}

@@ -1,0 +1,267 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wheretime/internal/trace"
+)
+
+func TestPageGeometry(t *testing.T) {
+	p := NewPage(0, NSM, 100)
+	if got := p.Capacity(); got != (PageSize-pageHeaderBytes)/100 {
+		t.Errorf("capacity = %d", got)
+	}
+	if p.Fields() != 25 {
+		t.Errorf("fields = %d, want 25", p.Fields())
+	}
+	if p.RecordSize() != 100 {
+		t.Errorf("record size = %d", p.RecordSize())
+	}
+}
+
+func TestNewPageRejectsBadSizes(t *testing.T) {
+	for _, sz := range []int{0, 8, 10, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("record size %d should panic", sz)
+				}
+			}()
+			NewPage(0, NSM, sz)
+		}()
+	}
+}
+
+func TestInsertAndRead(t *testing.T) {
+	for _, layout := range []Layout{NSM, PAX} {
+		p := NewPage(3, layout, 100)
+		s1, ok := p.Insert([]int32{1, 20, 300})
+		if !ok || s1 != 0 {
+			t.Fatalf("%v: first insert slot=%d ok=%v", layout, s1, ok)
+		}
+		s2, _ := p.Insert([]int32{2, 40, 600, 7})
+		if p.Field(s1, 0) != 1 || p.Field(s1, 1) != 20 || p.Field(s1, 2) != 300 {
+			t.Errorf("%v: record 1 fields wrong", layout)
+		}
+		if p.Field(s2, 3) != 7 || p.Field(s2, 4) != 0 {
+			t.Errorf("%v: record 2 trailing fields wrong", layout)
+		}
+		p.SetField(s2, 1, 99)
+		if p.Field(s2, 1) != 99 {
+			t.Errorf("%v: SetField did not stick", layout)
+		}
+		if p.NumRecords() != 2 {
+			t.Errorf("%v: NumRecords = %d", layout, p.NumRecords())
+		}
+	}
+}
+
+func TestInsertUntilFull(t *testing.T) {
+	p := NewPage(0, NSM, 100)
+	n := 0
+	for {
+		if _, ok := p.Insert([]int32{int32(n)}); !ok {
+			break
+		}
+		n++
+	}
+	if n != p.Capacity() {
+		t.Errorf("inserted %d, capacity %d", n, p.Capacity())
+	}
+	if !p.Full() {
+		t.Error("page should be full")
+	}
+}
+
+func TestInsertTooManyFieldsFails(t *testing.T) {
+	p := NewPage(0, NSM, 12)
+	if _, ok := p.Insert([]int32{1, 2, 3, 4}); ok {
+		t.Error("4 fields into a 3-field record should fail")
+	}
+}
+
+func TestNSMAddresses(t *testing.T) {
+	p := NewPage(2, NSM, 100)
+	p.Insert([]int32{1, 2, 3})
+	p.Insert([]int32{4, 5, 6})
+	base := PageID(2).Addr()
+	if p.HeaderAddr() != base {
+		t.Errorf("header at %#x, want %#x", p.HeaderAddr(), base)
+	}
+	// NSM: record s at header + s*recSize, field f at +f*4.
+	if got, want := p.FieldAddr(1, 1), base+uint64(pageHeaderBytes+100+4); got != want {
+		t.Errorf("FieldAddr(1,1) = %#x, want %#x", got, want)
+	}
+	// Consecutive records' a2 fields are recSize apart: different
+	// cache lines for 100-byte records.
+	d := p.FieldAddr(1, 1) - p.FieldAddr(0, 1)
+	if d != 100 {
+		t.Errorf("NSM a2 stride = %d, want 100", d)
+	}
+}
+
+func TestPAXAddresses(t *testing.T) {
+	p := NewPage(1, PAX, 100)
+	for i := 0; i < 10; i++ {
+		p.Insert([]int32{int32(i), int32(i * 10), int32(i * 100)})
+	}
+	// PAX: consecutive records' a2 values are adjacent (4 bytes apart):
+	// eight per 32-byte line.
+	d := p.FieldAddr(1, 1) - p.FieldAddr(0, 1)
+	if d != FieldSize {
+		t.Errorf("PAX a2 stride = %d, want %d", d, FieldSize)
+	}
+	// Values still read back correctly.
+	if p.Field(7, 1) != 70 || p.Field(7, 2) != 700 {
+		t.Error("PAX values wrong")
+	}
+	// Different fields live in different minipages.
+	if p.FieldAddr(0, 2)-p.FieldAddr(0, 1) != uint64(p.Capacity()*FieldSize) {
+		t.Error("PAX minipages misplaced")
+	}
+}
+
+func TestPageAddressSpace(t *testing.T) {
+	if PageID(0).Addr() != trace.HeapBase {
+		t.Error("page 0 should start the heap segment")
+	}
+	if PageID(5).Addr()-PageID(4).Addr() != PageSize {
+		t.Error("pages should be PageSize apart")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	p := NewPage(0, NSM, 12)
+	p.Insert([]int32{1, 2, 3})
+	cases := []func(){
+		func() { p.Field(1, 0) },
+		func() { p.Field(0, 3) },
+		func() { p.SetField(5, 0, 1) },
+		func() { p.FieldAddr(0, 99) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHeapFileAppendScan(t *testing.T) {
+	bp := NewBufferPool()
+	h := bp.CreateHeap("R", NSM, 100)
+	const n = 500
+	for i := 0; i < n; i++ {
+		rid := h.Append([]int32{int32(i), int32(i % 7), int32(i * 3)})
+		if got := h.Get(rid).Field(rid.Slot, 0); got != int32(i) {
+			t.Fatalf("record %d readback = %d", i, got)
+		}
+	}
+	if h.NumRecords() != n {
+		t.Errorf("NumRecords = %d, want %d", h.NumRecords(), n)
+	}
+	wantPages := (n + 80) / 81 // capacity (8192-32)/100 = 81
+	if h.NumPages() != wantPages {
+		t.Errorf("NumPages = %d, want %d", h.NumPages(), wantPages)
+	}
+	seen := 0
+	h.Scan(func(pg *Page) bool {
+		seen += pg.NumRecords()
+		return true
+	})
+	if seen != n {
+		t.Errorf("scan saw %d records, want %d", seen, n)
+	}
+	// Early termination.
+	pages := 0
+	h.Scan(func(pg *Page) bool {
+		pages++
+		return false
+	})
+	if pages != 1 {
+		t.Errorf("early-terminated scan visited %d pages", pages)
+	}
+}
+
+func TestBufferPoolAccounting(t *testing.T) {
+	bp := NewBufferPool()
+	h := bp.CreateHeap("R", NSM, 100)
+	rid := h.Append([]int32{1, 2, 3})
+	before := bp.Fixes()
+	bp.Get(rid.Page)
+	if bp.Fixes() != before+1 {
+		t.Error("Get should count a fix")
+	}
+	if bp.Bytes() != uint64(bp.NumPages())*PageSize {
+		t.Error("Bytes inconsistent")
+	}
+}
+
+func TestBufferPoolGetOutOfRangePanics(t *testing.T) {
+	bp := NewBufferPool()
+	defer func() {
+		if recover() == nil {
+			t.Error("Get of unknown page should panic")
+		}
+	}()
+	bp.Get(42)
+}
+
+func TestCreateHeapRejectsBadRecordSize(t *testing.T) {
+	bp := NewBufferPool()
+	defer func() {
+		if recover() == nil {
+			t.Error("bad record size should panic")
+		}
+	}()
+	bp.CreateHeap("bad", NSM, 7)
+}
+
+// Property: for both layouts, any sequence of inserted records reads
+// back unchanged, and every field address is unique and within the
+// page.
+func TestLayoutRoundTripProperty(t *testing.T) {
+	f := func(recs [][3]int32, usePAX bool) bool {
+		layout := NSM
+		if usePAX {
+			layout = PAX
+		}
+		p := NewPage(7, layout, 24)
+		if len(recs) > p.Capacity() {
+			recs = recs[:p.Capacity()]
+		}
+		for _, r := range recs {
+			if _, ok := p.Insert(r[:]); !ok {
+				return false
+			}
+		}
+		addrs := map[uint64]bool{}
+		for s, r := range recs {
+			for f := 0; f < 3; f++ {
+				if p.Field(uint16(s), f) != r[f] {
+					return false
+				}
+				a := p.FieldAddr(uint16(s), f)
+				if a < p.HeaderAddr() || a >= p.HeaderAddr()+PageSize || addrs[a] {
+					return false
+				}
+				addrs[a] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if NSM.String() != "NSM" || PAX.String() != "PAX" {
+		t.Error("layout names wrong")
+	}
+}

@@ -1,0 +1,381 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ILP describes the instruction-level-parallelism character of a
+// routine's micro-operation stream: how many execution-resource stall
+// cycles it generates per thousand retired μops. Long dependency
+// chains (pointer chasing, accumulator loops) raise Dep; bursts of
+// same-class operations (multiplies, address generation) raise FU;
+// long x86 encodings with prefixes raise ILD. The Pentium II exposed
+// these as directly measured stall-time counters (Table 4.2), so the
+// simulator charges them at issue time rather than deriving them from
+// a full out-of-order model.
+type ILP struct {
+	// DepPerKuop is dependency-stall cycles per 1000 μops.
+	DepPerKuop float64
+	// FUPerKuop is functional-unit contention stall cycles per 1000 μops.
+	FUPerKuop float64
+	// ILDPerKuop is instruction-length-decoder stall cycles per 1000 μops.
+	ILDPerKuop float64
+}
+
+// DefaultLoopIters is the loop trip count assumed for loop branches
+// when a routine does not specify one.
+const DefaultLoopIters = 4
+
+// BranchMix describes the internal branches a routine retires per full
+// invocation, split by predictability class.
+type BranchMix struct {
+	// Loop branches close tight loops: taken except on exit. A warmed
+	// predictor gets nearly all of them right.
+	Loop uint16
+	// Regular branches follow short repeating patterns (alternating
+	// paths, unrolled checks). Predictable by a two-level predictor.
+	Regular uint16
+	// Irregular branches depend on effectively random data (hash
+	// buckets, byte comparisons); no predictor does much better than
+	// chance on them.
+	Irregular uint16
+}
+
+// Total returns the number of internal branch sites per invocation.
+func (m BranchMix) Total() uint16 { return m.Loop + m.Regular + m.Irregular }
+
+// Executions returns the number of branch instructions retired per
+// full invocation given the loop trip count.
+func (m BranchMix) Executions(loopIters uint16) uint64 {
+	if loopIters == 0 {
+		loopIters = DefaultLoopIters
+	}
+	return uint64(m.Loop)*uint64(loopIters) + uint64(m.Regular) + uint64(m.Irregular)
+}
+
+// BranchExecutions returns the branch instructions the routine retires
+// per full invocation.
+func (r *Routine) BranchExecutions() uint64 {
+	return r.Branches.Executions(r.LoopIters)
+}
+
+// Routine is a unit of engine code with a fixed position in the text
+// segment and a fixed per-invocation hardware cost profile. Invoking a
+// routine emits its instruction fetches, internal branches, private
+// data-structure accesses and resource stalls into a Processor. The
+// relation-data accesses and data-dependent branches are emitted by
+// the engine itself, because only the engine knows the record
+// addresses and predicate outcomes.
+type Routine struct {
+	// Name identifies the routine in diagnostics.
+	Name string
+	// Addr is the routine's start address in the text segment,
+	// assigned by a Layout.
+	Addr uint64
+	// CodeBytes is the routine's static body size: the address range
+	// its code occupies. Large bodies model the many data-dependent
+	// paths of layered engine code.
+	CodeBytes uint32
+	// ExecBytes is the number of instruction bytes fetched per full
+	// invocation: a fixed kernel plus a variable tail selected from
+	// the body. Zero (or anything above CodeBytes) means the whole
+	// body executes each time.
+	ExecBytes uint32
+	// Instrs is the number of x86 instructions retired per full
+	// invocation.
+	Instrs uint32
+	// Uops is the number of μops retired per full invocation
+	// (1–3 per instruction on the Pentium II).
+	Uops uint32
+	// Branches is the internal branch mix per full invocation.
+	// Branch instructions are included in (not additional to) Instrs.
+	Branches BranchMix
+	// LoopIters is how many times each loop branch executes per
+	// invocation (its loop trip count). Zero means DefaultLoopIters.
+	LoopIters uint16
+	// ILP is the resource-stall profile.
+	ILP ILP
+	// PrivateBytes is the size of the routine's private data structures
+	// (cursors, latches, scratch). Assigned a region by Layout.
+	PrivateBytes uint32
+	// PrivateLoads and PrivateStores are the per-invocation accesses to
+	// the private region.
+	PrivateLoads  uint16
+	PrivateStores uint16
+	// SharedBytes is the size of the routine's larger shared working
+	// set (buffer descriptors, lock tables, metadata) — too big for the
+	// L1 D-cache but L2-resident. SharedWindow bytes of it are walked
+	// per invocation, rotating through the region, so these references
+	// miss L1D and hit L2: the traffic that sets the L2 data miss
+	// *rate* without adding memory-latency stalls.
+	SharedBytes  uint32
+	SharedWindow uint32
+
+	privAddr   uint64 // base of private region, assigned by Layout
+	sharedAddr uint64 // base of shared region, assigned by Layout
+	invoked    uint64 // invocation counter, drives branch patterns
+	rng        uint64 // per-routine PRNG state for irregular branches
+	privPos    uint32 // rotating cursor within the private region
+	sharedPos  uint32 // rotating cursor within the shared region
+}
+
+// PrivateAddr returns the base address of the routine's private data
+// region (zero before the routine is placed by a Layout).
+func (r *Routine) PrivateAddr() uint64 { return r.privAddr }
+
+// Invoked returns how many times the routine has been invoked.
+func (r *Routine) Invoked() uint64 { return r.invoked }
+
+// Reset clears the routine's dynamic state (invocation counter, branch
+// pattern phase, PRNG) without moving it in the address space.
+func (r *Routine) Reset() {
+	r.invoked = 0
+	r.privPos = 0
+	r.sharedPos = 0
+	h := fnv.New64a()
+	h.Write([]byte(r.Name))
+	r.rng = h.Sum64() | 1
+}
+
+// nextRand advances the routine's xorshift PRNG and returns a
+// pseudo-random 64-bit value. Deterministic per routine name.
+func (r *Routine) nextRand() uint64 {
+	x := r.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	return x
+}
+
+// Invoke emits one full execution of the routine into p.
+func (r *Routine) Invoke(p Processor) { r.invoke(p, 1, 1) }
+
+// InvokeFrac emits a scaled execution: num/den of the routine's
+// per-invocation profile (instructions, μops, branches, private
+// accesses). Fractions below one model early-exit paths; fractions
+// above one model bodies whose internal loops run extra iterations
+// (e.g. per-field deformatting of wider records). Fetched bytes are
+// capped at the routine's body size. den must be positive.
+func (r *Routine) InvokeFrac(p Processor, num, den uint32) {
+	if den == 0 {
+		panic(fmt.Sprintf("trace: routine %s: InvokeFrac with zero denominator", r.Name))
+	}
+	r.invoke(p, num, den)
+}
+
+func (r *Routine) invoke(p Processor, num, den uint32) {
+	if r.Addr == 0 {
+		panic(fmt.Sprintf("trace: routine %s invoked before being placed in a Layout", r.Name))
+	}
+	r.invoked++
+	if num == 0 {
+		return
+	}
+	scale := func(v uint32) uint32 {
+		s := uint64(v) * uint64(num) / uint64(den)
+		if s == 0 && v > 0 {
+			s = 1
+		}
+		return uint32(s)
+	}
+	exec := r.ExecBytes
+	if exec == 0 || exec > r.CodeBytes {
+		exec = r.CodeBytes
+	}
+	exec = scale(exec)
+	if exec > r.CodeBytes {
+		exec = r.CodeBytes
+	}
+	instrs := scale(r.Instrs)
+	uops := scale(r.Uops)
+	if uops < instrs {
+		uops = instrs
+	}
+
+	// The executed path splits into a fixed kernel (the straight-line
+	// entry code every invocation runs) and a variable tail at a
+	// pseudo-random offset in the body (the data-dependent paths large
+	// engines take: different record states, error checks, layers).
+	// When the body is much larger than the I-cache, consecutive
+	// invocations fetch mostly-disjoint tails — the "large instruction
+	// footprint" behaviour of commercial DBMS code.
+	fixed := exec / 2
+	varLen := exec - fixed
+	varOff := uint64(fixed)
+	if r.CodeBytes > exec {
+		span := uint64(r.CodeBytes - fixed - varLen)
+		varOff = uint64(fixed) + (r.nextRand()%(span/LineSize+1))*LineSize
+	}
+	p.FetchBlock(r.Addr, fixed, instrs/2, uops/2)
+	p.FetchBlock(r.Addr+varOff, varLen, instrs-instrs/2, uops-uops/2)
+
+	// Internal branches. Loop branches live in the fixed kernel (tight
+	// loops re-execute the same PCs — BTB-resident); regular and
+	// irregular branch sites split between the kernel and the variable
+	// tail, whose PCs change between invocations and keep missing the
+	// BTB, the mix behind the paper's ~50% BTB miss rate. Each loop
+	// branch executes LoopIters times per invocation.
+	nb := uint32(r.Branches.Total())
+	if nb > 0 {
+		emit := scale(nb)
+		loopCut := uint32(r.Branches.Loop) * num / den
+		regCut := loopCut + uint32(r.Branches.Regular)*num/den
+		stride := exec / (emit + 1)
+		if stride == 0 {
+			stride = 4
+		}
+		iters := uint64(r.LoopIters)
+		if iters == 0 {
+			iters = DefaultLoopIters
+		}
+		for i := uint32(0); i < emit; i++ {
+			// A quarter of the non-loop sites sit in the fixed kernel;
+			// the rest live in the variable tail, whose PCs change
+			// between invocations and keep pressuring the BTB (loop
+			// branches always sit in the kernel).
+			off := uint64((i + 1) * stride / 2)
+			var pc uint64
+			if i < loopCut || i%4 == 0 {
+				pc = r.Addr + off%uint64(maxU32(fixed, 8))
+			} else {
+				pc = r.Addr + varOff + off%uint64(maxU32(varLen, 8))
+			}
+			switch {
+			case i < loopCut:
+				target := pc - uint64(stride) - 4
+				// Loop branch: taken on every iteration except the
+				// exit; a two-level predictor learns the period.
+				for it := uint64(1); it < iters; it++ {
+					p.Branch(pc, target, true)
+				}
+				p.Branch(pc, target, false)
+			case i < regCut:
+				// Regular branch: a rarely-taken forward check (error
+				// paths, boundary cases) — static forward-not-taken is
+				// usually right, and not-taken branches are never
+				// allocated into the BTB.
+				p.Branch(pc, pc+uint64(stride)+8, (r.invoked+uint64(7*i))%32 == 0)
+			default:
+				p.Branch(pc, pc+uint64(stride)+8, r.nextRand()&1 == 0)
+			}
+		}
+	}
+
+	// Private data-structure traffic: one burst over the routine's
+	// private region.
+	loads := uint32(r.PrivateLoads) * num / den
+	stores := uint32(r.PrivateStores) * num / den
+	if r.PrivateBytes > 0 && loads+stores > 0 {
+		p.DataBurst(r.privAddr, r.PrivateBytes, loads, stores)
+	}
+
+	// Shared working-set traffic: walk a window of the large region,
+	// rotating so revisits happen long after L1D eviction.
+	if r.SharedBytes > 0 && r.SharedWindow > 0 {
+		w := r.SharedWindow * num / den
+		if w > r.SharedBytes {
+			w = r.SharedBytes
+		}
+		if w > 0 {
+			start := r.sharedPos
+			if start+w <= r.SharedBytes {
+				p.DataBurst(r.sharedAddr+uint64(start), w, w/LineSize+1, 0)
+			} else {
+				first := r.SharedBytes - start
+				p.DataBurst(r.sharedAddr+uint64(start), first, first/LineSize+1, 0)
+				p.DataBurst(r.sharedAddr, w-first, (w-first)/LineSize+1, 0)
+			}
+			r.sharedPos = (start + w) % r.SharedBytes
+		}
+	}
+
+	if r.ILP != (ILP{}) && uops > 0 {
+		k := float64(uops) / 1000
+		p.ResourceStall(r.ILP.DepPerKuop*k, r.ILP.FUPerKuop*k, r.ILP.ILDPerKuop*k)
+	}
+}
+
+// Layout assigns routines addresses in the synthetic text segment and
+// private-data regions in the private segment. The placement strategy
+// models how a build lays out its hot code:
+//
+//   - A compact layout packs routines back to back, the
+//     instruction-placement optimisation the paper recommends.
+//   - A scattered layout separates routines with cold-code gaps and
+//     aligns them so their lines collide in the L1 I-cache's sets,
+//     which is how large unoptimised binaries behave.
+type Layout struct {
+	nextCode uint64
+	nextPriv uint64
+	// Gap is the cold-code padding inserted between routines, in bytes.
+	Gap uint32
+	// Align, when nonzero, rounds each routine's start address up to a
+	// multiple of Align. Aligning to a multiple of the I-cache way
+	// size (4 KB on the Xeon) makes routine prefixes contend for the
+	// same cache sets.
+	Align uint32
+
+	routines []*Routine
+}
+
+// NewLayout returns an empty layout starting at the canonical segment
+// bases.
+func NewLayout() *Layout {
+	return &Layout{nextCode: CodeBase, nextPriv: PrivateBase}
+}
+
+// Place assigns r the next code address and a private-data region,
+// resets its dynamic state, and returns r.
+func (l *Layout) Place(r *Routine) *Routine {
+	if r.CodeBytes == 0 {
+		panic(fmt.Sprintf("trace: routine %s has no code", r.Name))
+	}
+	addr := l.nextCode
+	if l.Align > 1 {
+		a := uint64(l.Align)
+		addr = (addr + a - 1) / a * a
+	}
+	r.Addr = addr
+	l.nextCode = addr + uint64(r.CodeBytes) + uint64(l.Gap)
+
+	if r.PrivateBytes > 0 {
+		r.privAddr = l.nextPriv
+		// Keep private regions line-aligned and non-adjacent.
+		l.nextPriv += uint64((r.PrivateBytes/LineSize + 2) * LineSize)
+	}
+	if r.SharedBytes > 0 {
+		r.sharedAddr = l.nextPriv
+		l.nextPriv += uint64((r.SharedBytes/LineSize + 2) * LineSize)
+	}
+	r.Reset()
+	l.routines = append(l.routines, r)
+	return r
+}
+
+// Routines returns the routines placed so far, in placement order.
+func (l *Layout) Routines() []*Routine { return l.routines }
+
+// CodeFootprint returns the total text-segment bytes spanned by the
+// placed routines, including gaps and alignment padding.
+func (l *Layout) CodeFootprint() uint64 {
+	if len(l.routines) == 0 {
+		return 0
+	}
+	return l.nextCode - CodeBase
+}
+
+// ResetAll resets the dynamic state of every placed routine.
+func (l *Layout) ResetAll() {
+	for _, r := range l.routines {
+		r.Reset()
+	}
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

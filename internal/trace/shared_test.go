@@ -1,0 +1,138 @@
+package trace
+
+import "testing"
+
+// sharedRoutine builds a routine with a large shared working set.
+func sharedTestRoutine() *Routine {
+	return &Routine{
+		Name:         "shared",
+		CodeBytes:    256,
+		Instrs:       64,
+		Uops:         100,
+		SharedBytes:  4096,
+		SharedWindow: 512,
+	}
+}
+
+func TestSharedWindowRotates(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(sharedTestRoutine())
+	if r.sharedAddr == 0 {
+		t.Fatal("shared region not placed")
+	}
+	// Track the distinct addresses the bursts cover.
+	probe := &burstProbe{}
+	// 8 invocations x 512B windows cover the whole 4KB region once.
+	for i := 0; i < 8; i++ {
+		r.Invoke(probe)
+	}
+	if probe.minAddr != r.sharedAddr {
+		t.Errorf("window never hit region start: %#x vs %#x", probe.minAddr, r.sharedAddr)
+	}
+	span := probe.maxEnd - r.sharedAddr
+	if span != 4096 {
+		t.Errorf("rotation covered %d bytes, want 4096", span)
+	}
+	// Wrap: further invocations stay inside the region.
+	for i := 0; i < 20; i++ {
+		r.Invoke(probe)
+	}
+	if probe.maxEnd > r.sharedAddr+4096 {
+		t.Errorf("burst escaped region: end %#x", probe.maxEnd)
+	}
+}
+
+type burstProbe struct {
+	Discard
+	minAddr uint64
+	maxEnd  uint64
+}
+
+func (b *burstProbe) DataBurst(base uint64, bytes, loads, stores uint32) {
+	if b.minAddr == 0 || base < b.minAddr {
+		b.minAddr = base
+	}
+	if end := base + uint64(bytes); end > b.maxEnd {
+		b.maxEnd = end
+	}
+}
+
+func TestSharedWindowLargerThanRegionClamps(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(&Routine{
+		Name: "clamp", CodeBytes: 64, Instrs: 8, Uops: 10,
+		SharedBytes: 256, SharedWindow: 1 << 20,
+	})
+	var c Counting
+	r.Invoke(&c)
+	// Window is clamped to the region: at most 256/32+1 load refs.
+	if c.Loads > 9 {
+		t.Errorf("clamped window produced %d loads", c.Loads)
+	}
+}
+
+func TestVariableTailStaysInBody(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(&Routine{
+		Name: "tail", CodeBytes: 64 * 1024, ExecBytes: 4096,
+		Instrs: 1000, Uops: 1700,
+	})
+	probe := &fetchProbe{lo: r.Addr, hi: r.Addr + uint64(r.CodeBytes), ok: true}
+	for i := 0; i < 200; i++ {
+		r.Invoke(probe)
+	}
+	if !probe.ok {
+		t.Error("fetch escaped the routine body")
+	}
+	if probe.distinct < 10 {
+		t.Errorf("variable tail visited only %d distinct offsets; expected spread", probe.distinct)
+	}
+}
+
+type fetchProbe struct {
+	Discard
+	lo, hi   uint64
+	ok       bool
+	seen     map[uint64]bool
+	distinct int
+}
+
+func (f *fetchProbe) FetchBlock(addr uint64, size, instrs, uops uint32) {
+	if addr < f.lo || addr+uint64(size) > f.hi {
+		f.ok = false
+	}
+	if f.seen == nil {
+		f.seen = map[uint64]bool{}
+	}
+	if !f.seen[addr] {
+		f.seen[addr] = true
+		f.distinct++
+	}
+}
+
+func TestExecBytesZeroMeansWholeBody(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(&Routine{Name: "whole", CodeBytes: 640, Instrs: 160, Uops: 200})
+	var c Counting
+	r.Invoke(&c)
+	if c.CodeBytes != 640 {
+		t.Errorf("fetched %d bytes, want the whole 640-byte body", c.CodeBytes)
+	}
+}
+
+func TestLayoutPlacesSharedAfterPrivate(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(&Routine{
+		Name: "both", CodeBytes: 64, Instrs: 8, Uops: 10,
+		PrivateBytes: 128, SharedBytes: 1024, SharedWindow: 64,
+	})
+	if r.privAddr == 0 || r.sharedAddr == 0 {
+		t.Fatal("regions not placed")
+	}
+	if r.sharedAddr <= r.privAddr {
+		t.Error("shared region should follow the private region")
+	}
+	if r.sharedAddr < PrivateBase || r.sharedAddr >= StackBase {
+		t.Errorf("shared region outside private segment: %#x", r.sharedAddr)
+	}
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountingProcessor(t *testing.T) {
+	var c Counting
+	c.FetchBlock(CodeBase, 64, 16, 24)
+	c.FetchBlock(CodeBase+64, 32, 8, 12)
+	c.Load(HeapBase, 8)
+	c.Store(PrivateBase, 4)
+	c.Branch(CodeBase+10, CodeBase, true)
+	c.Branch(CodeBase+20, CodeBase+100, false)
+	c.ResourceStall(1.5, 0.5, 0.25)
+	c.RecordProcessed()
+
+	if c.Blocks != 2 || c.CodeBytes != 96 || c.Instructions != 24 || c.Uops != 36 {
+		t.Errorf("fetch tallies wrong: %+v", c)
+	}
+	if c.Loads != 1 || c.LoadBytes != 8 || c.Stores != 1 || c.StoreBytes != 4 {
+		t.Errorf("data tallies wrong: %+v", c)
+	}
+	if c.Branches != 2 || c.Taken != 1 {
+		t.Errorf("branch tallies wrong: %+v", c)
+	}
+	if c.DepCycles != 1.5 || c.FUCycles != 0.5 || c.ILDCycles != 0.25 {
+		t.Errorf("stall tallies wrong: %+v", c)
+	}
+	if c.Records != 1 {
+		t.Errorf("records = %d, want 1", c.Records)
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	var a, b Counting
+	tee := Tee{&a, &b}
+	tee.FetchBlock(CodeBase, 32, 8, 10)
+	tee.Load(HeapBase, 8)
+	tee.Store(HeapBase, 8)
+	tee.Branch(CodeBase, CodeBase, true)
+	tee.ResourceStall(1, 1, 1)
+	tee.RecordProcessed()
+	if a != b {
+		t.Errorf("tee branches diverged: %+v vs %+v", a, b)
+	}
+	if a.Blocks != 1 || a.Records != 1 {
+		t.Errorf("tee did not deliver: %+v", a)
+	}
+}
+
+func newTestRoutine() *Routine {
+	return &Routine{
+		Name:          "scan_next",
+		CodeBytes:     400,
+		Instrs:        100,
+		Uops:          150,
+		Branches:      BranchMix{Loop: 4, Regular: 4, Irregular: 2},
+		ILP:           ILP{DepPerKuop: 100, FUPerKuop: 50, ILDPerKuop: 10},
+		PrivateBytes:  256,
+		PrivateLoads:  4,
+		PrivateStores: 2,
+	}
+}
+
+func TestLayoutPlacement(t *testing.T) {
+	l := NewLayout()
+	r1 := l.Place(newTestRoutine())
+	r2t := newTestRoutine()
+	r2t.Name = "qual_eval"
+	r2 := l.Place(r2t)
+
+	if r1.Addr != CodeBase {
+		t.Errorf("first routine at %#x, want %#x", r1.Addr, CodeBase)
+	}
+	if r2.Addr != CodeBase+400 {
+		t.Errorf("second routine at %#x, want %#x", r2.Addr, CodeBase+400)
+	}
+	if r1.PrivateAddr() < PrivateBase || r2.PrivateAddr() <= r1.PrivateAddr() {
+		t.Errorf("private regions misplaced: %#x, %#x", r1.PrivateAddr(), r2.PrivateAddr())
+	}
+	if got := l.CodeFootprint(); got != 800 {
+		t.Errorf("footprint = %d, want 800", got)
+	}
+	if len(l.Routines()) != 2 {
+		t.Errorf("routines = %d, want 2", len(l.Routines()))
+	}
+}
+
+func TestLayoutGapAndAlign(t *testing.T) {
+	l := NewLayout()
+	l.Gap = 1024
+	l.Align = 4096
+	r1 := l.Place(newTestRoutine())
+	r2t := newTestRoutine()
+	r2t.Name = "other"
+	r2 := l.Place(r2t)
+	if r1.Addr%4096 != 0 || r2.Addr%4096 != 0 {
+		t.Errorf("alignment violated: %#x %#x", r1.Addr, r2.Addr)
+	}
+	if r2.Addr <= r1.Addr+400 {
+		t.Errorf("gap not applied: %#x after %#x", r2.Addr, r1.Addr)
+	}
+}
+
+func TestInvokeEmitsProfile(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(newTestRoutine())
+	var c Counting
+	r.Invoke(&c)
+	// Two fetch blocks per invocation: the fixed kernel plus the
+	// variable tail.
+	if c.Blocks != 2 || c.CodeBytes != 400 || c.Instructions != 100 || c.Uops != 150 {
+		t.Errorf("fetch profile wrong: %+v", c)
+	}
+	// 4 loop sites x 4 iterations + 4 regular + 2 irregular = 22.
+	if c.Branches != 22 {
+		t.Errorf("branches = %d, want 22", c.Branches)
+	}
+	if got := r.BranchExecutions(); got != 22 {
+		t.Errorf("BranchExecutions = %d, want 22", got)
+	}
+	if c.Loads != 4 || c.Stores != 2 {
+		t.Errorf("private traffic wrong: loads=%d stores=%d", c.Loads, c.Stores)
+	}
+	if c.DepCycles <= 0 || c.FUCycles <= 0 || c.ILDCycles <= 0 {
+		t.Errorf("resource stalls not emitted: %+v", c)
+	}
+	wantDep := 150.0 / 1000 * 100
+	if diff := c.DepCycles - wantDep; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("dep cycles = %v, want %v", c.DepCycles, wantDep)
+	}
+}
+
+func TestInvokeFracScales(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(newTestRoutine())
+	var half Counting
+	r.InvokeFrac(&half, 1, 2)
+	if half.CodeBytes != 200 || half.Instructions != 50 {
+		t.Errorf("half invocation wrong: %+v", half)
+	}
+	// 2 loop sites x 4 iterations + 2 regular + 1 irregular = 11.
+	if half.Branches != 11 {
+		t.Errorf("half branches = %d, want 11", half.Branches)
+	}
+	var zero Counting
+	r.InvokeFrac(&zero, 0, 4)
+	if zero.Blocks != 0 {
+		t.Errorf("zero fraction should emit nothing: %+v", zero)
+	}
+}
+
+func TestInvokeFracPanicsOnZeroDen(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(newTestRoutine())
+	defer func() {
+		if recover() == nil {
+			t.Error("InvokeFrac(1,0) should panic")
+		}
+	}()
+	r.InvokeFrac(Discard{}, 1, 0)
+}
+
+func TestInvokeFracAboveOneScalesUp(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(newTestRoutine())
+	var c Counting
+	r.InvokeFrac(&c, 3, 2)
+	if c.Instructions != 150 {
+		t.Errorf("3/2 invocation instructions = %d, want 150", c.Instructions)
+	}
+	// Fetched bytes never exceed the body.
+	if c.CodeBytes > uint64(r.CodeBytes) {
+		t.Errorf("fetched %d bytes from a %d-byte body", c.CodeBytes, r.CodeBytes)
+	}
+}
+
+func TestUnplacedRoutinePanics(t *testing.T) {
+	r := newTestRoutine()
+	defer func() {
+		if recover() == nil {
+			t.Error("invoking an unplaced routine should panic")
+		}
+	}()
+	r.Invoke(Discard{})
+}
+
+func TestBranchPCsWithinBody(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(newTestRoutine())
+	ok := true
+	probe := branchProbe{lo: r.Addr, hi: r.Addr + uint64(r.CodeBytes), ok: &ok}
+	for i := 0; i < 50; i++ {
+		r.Invoke(&probe)
+	}
+	if !ok {
+		t.Error("branch PCs escaped the routine body")
+	}
+}
+
+type branchProbe struct {
+	Discard
+	lo, hi uint64
+	ok     *bool
+}
+
+func (b *branchProbe) Branch(pc, target uint64, taken bool) {
+	if pc < b.lo || pc >= b.hi {
+		*b.ok = false
+	}
+}
+
+func TestResetRestartsPatterns(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(newTestRoutine())
+	run := func() Counting {
+		r.Reset()
+		var c Counting
+		for i := 0; i < 100; i++ {
+			r.Invoke(&c)
+		}
+		return c
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Errorf("runs after Reset differ: %+v vs %+v", a, b)
+	}
+	if r.Invoked() != 100 {
+		t.Errorf("Invoked = %d, want 100", r.Invoked())
+	}
+}
+
+func TestLoopBranchesMostlyTaken(t *testing.T) {
+	l := NewLayout()
+	r := l.Place(&Routine{
+		Name:      "loop_only",
+		CodeBytes: 200,
+		Instrs:    50,
+		Uops:      60,
+		Branches:  BranchMix{Loop: 4},
+	})
+	var c Counting
+	for i := 0; i < 256; i++ {
+		r.Invoke(&c)
+	}
+	// Each loop branch takes iters-1 of its iters executions.
+	frac := float64(c.Taken) / float64(c.Branches)
+	want := float64(DefaultLoopIters-1) / float64(DefaultLoopIters)
+	if frac < want-0.01 || frac > want+0.01 {
+		t.Errorf("loop branches taken fraction = %v, want ~%v", frac, want)
+	}
+}
+
+// Property: InvokeFrac with num=den equals Invoke exactly, and the
+// scaled counts never exceed the full counts.
+func TestInvokeFracProperty(t *testing.T) {
+	f := func(numRaw, denRaw uint8) bool {
+		den := uint32(denRaw%7) + 1
+		num := uint32(numRaw) % (den + 1)
+		l := NewLayout()
+		r1 := l.Place(newTestRoutine())
+		r2t := newTestRoutine()
+		r2 := l.Place(r2t)
+		var full, frac Counting
+		r1.Invoke(&full)
+		r2.InvokeFrac(&frac, num, den)
+		if num == den {
+			return frac.CodeBytes == full.CodeBytes && frac.Instructions == full.Instructions &&
+				frac.Branches == full.Branches
+		}
+		return frac.CodeBytes <= full.CodeBytes && frac.Instructions <= full.Instructions &&
+			frac.Branches <= full.Branches && frac.Uops <= full.Uops
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package workload builds the paper's datasets and query set: the
+// microbenchmark relations R and S of Section 3.3, the TPC-D-flavoured
+// selection suite and the TPC-C-flavoured transaction mix of
+// Section 5.5.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wheretime/internal/catalog"
+	"wheretime/internal/storage"
+)
+
+// Dims are the dataset dimensions. The paper's values (PaperDims) are
+// 1.2M 100-byte records in R with a2 uniform on [1, 40000], and 40,000
+// records in S whose primary key a1 joins with 30 records of R each.
+type Dims struct {
+	// RRecords and SRecords are the table cardinalities.
+	RRecords int
+	SRecords int
+	// RecordSize is the record width in bytes (Section 5.2.1 varies it
+	// from 20 to 200).
+	RecordSize int
+	// Seed makes data generation deterministic.
+	Seed int64
+}
+
+// PaperDims returns the dimensions of Section 3.3.
+func PaperDims() Dims {
+	return Dims{RRecords: 1_200_000, SRecords: 40_000, RecordSize: 100, Seed: 1999}
+}
+
+// Scaled shrinks the dataset by factor f, preserving the R:S ratio
+// (and with it the join fanout of 30) and the record size. Cache
+// steady state is reached within a few hundred records, so per-record
+// behaviour converges quickly in f.
+func (d Dims) Scaled(f float64) Dims {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("workload: scale %v out of (0,1]", f))
+	}
+	s := d
+	s.SRecords = int(float64(d.SRecords) * f)
+	if s.SRecords < 8 {
+		s.SRecords = 8
+	}
+	ratio := d.RRecords / d.SRecords
+	s.RRecords = s.SRecords * ratio
+	return s
+}
+
+// A2Max returns the largest a2 value: a2 is uniform on [1, SRecords]
+// so that every R record matches exactly one S primary key.
+func (d Dims) A2Max() int32 { return int32(d.SRecords) }
+
+// Fanout returns how many R records join with each S record.
+func (d Dims) Fanout() int { return d.RRecords / d.SRecords }
+
+// Database is a generated microbenchmark database.
+type Database struct {
+	Catalog *catalog.Catalog
+	R       *catalog.Table
+	S       *catalog.Table
+	Dims    Dims
+}
+
+// Build generates R and S with the given page layout. The a2 index of
+// the indexed range selection is NOT built here; call BuildIndexes (or
+// catalog.BuildIndex) so experiments can measure with and without it.
+func Build(d Dims, layout storage.Layout) (*Database, error) {
+	if d.RecordSize < storage.MinRecordSize {
+		return nil, fmt.Errorf("workload: record size %d below minimum %d", d.RecordSize, storage.MinRecordSize)
+	}
+	cat := catalog.New(storage.NewBufferPool())
+	r, err := cat.Create("r", []string{"a1", "a2", "a3"}, layout, d.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+	s, err := cat.Create("s", []string{"a1", "a2", "a3"}, layout, d.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	// R: a1 serial, a2 uniform on [1, A2Max], a3 uniform 32-bit-ish.
+	for i := 0; i < d.RRecords; i++ {
+		a2 := int32(rng.Intn(int(d.A2Max()))) + 1
+		a3 := int32(rng.Intn(1_000_000))
+		r.Heap.Append([]int32{int32(i + 1), a2, a3})
+	}
+	// S: a1 primary key 1..SRecords in shuffled physical order (heap
+	// order need not match key order), a2/a3 random.
+	perm := rng.Perm(d.SRecords)
+	for _, k := range perm {
+		s.Heap.Append([]int32{int32(k + 1), int32(rng.Intn(int(d.A2Max()))) + 1, int32(rng.Intn(1_000_000))})
+	}
+	return &Database{Catalog: cat, R: r, S: s, Dims: d}, nil
+}
+
+// BuildIndexes creates the non-clustered index on R.a2 (query 2 of
+// Section 3.3) and the S.a1 primary-key index used by join variants.
+func (db *Database) BuildIndexes() error {
+	if _, err := db.Catalog.BuildIndex("r", "a2"); err != nil {
+		return err
+	}
+	_, err := db.Catalog.BuildIndex("s", "a1")
+	return err
+}
+
+// SelectivityBounds returns Lo and Hi such that the paper's predicate
+// "a2 > Lo and a2 < Hi" selects ~sel of R. sel must be in [0, 1].
+func (d Dims) SelectivityBounds(sel float64) (lo, hi int32) {
+	if sel < 0 || sel > 1 {
+		panic(fmt.Sprintf("workload: selectivity %v out of [0,1]", sel))
+	}
+	span := int32(float64(d.A2Max()) * sel)
+	// a2 > 0 and a2 < span+1 selects keys 1..span.
+	return 0, span + 1
+}
+
+// QuerySRS returns the sequential range selection (query 1) at the
+// given selectivity.
+func (d Dims) QuerySRS(sel float64) string {
+	lo, hi := d.SelectivityBounds(sel)
+	return fmt.Sprintf("select avg(a3) from r where a2 < %d and a2 > %d", hi, lo)
+}
+
+// QueryIRS returns the same SQL as QuerySRS; it becomes the indexed
+// range selection when run on an engine whose planner uses the index
+// (query 2 is query 1 resubmitted after building the index).
+func (d Dims) QueryIRS(sel float64) string { return d.QuerySRS(sel) }
+
+// QuerySJ returns the sequential join (query 2 of Section 3.3).
+func (d Dims) QuerySJ() string {
+	return "select avg(r.a3) from r, s where r.a2 = s.a1"
+}

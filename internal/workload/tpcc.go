@@ -1,0 +1,348 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wheretime/internal/catalog"
+	"wheretime/internal/engine"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// TPCCDims sizes the OLTP database: one warehouse, ten districts,
+// TPC-C-proportioned customers, items and stock, scaled down so a run
+// completes in simulation time. Record widths follow the spirit of the
+// spec (customers and stock are wide, order lines narrow), which is
+// what drives the L2-dominated behaviour of Section 5.5.
+type TPCCDims struct {
+	Warehouses        int
+	DistrictsPerWH    int
+	CustomersPerDist  int
+	Items             int
+	StockPerWH        int
+	CustomerRecBytes  int
+	StockRecBytes     int
+	ItemRecBytes      int
+	OrderLineRecBytes int
+	Seed              int64
+}
+
+// DefaultTPCCDims returns the 1-warehouse configuration of Section 5.5
+// at simulation scale.
+func DefaultTPCCDims() TPCCDims {
+	return TPCCDims{
+		Warehouses:        1,
+		DistrictsPerWH:    10,
+		CustomersPerDist:  1200,
+		Items:             8000,
+		StockPerWH:        8000,
+		CustomerRecBytes:  200,
+		StockRecBytes:     192,
+		ItemRecBytes:      80,
+		OrderLineRecBytes: 56,
+		Seed:              1992,
+	}
+}
+
+// Column ordinals for the TPC-C tables.
+const (
+	// customer: c_id, c_d_id, c_w_id, c_balance, c_ytd, ...
+	custID = iota
+	custDID
+	custWID
+	custBalance
+	custYTD
+)
+
+const (
+	stockItemID = iota
+	stockWID
+	stockQty
+	stockYTD
+)
+
+const (
+	itemID = iota
+	itemPrice
+	itemIMID
+)
+
+const (
+	distID = iota
+	distWID
+	distNextOID
+	distYTD
+)
+
+const (
+	olOID = iota
+	olDID
+	olItemID
+	olQty
+	olAmount
+)
+
+// TPCC is a generated OLTP database plus the bookkeeping the driver
+// needs (next order ids, RID directories for direct access).
+type TPCC struct {
+	Dims     TPCCDims
+	Catalog  *catalog.Catalog
+	Customer *catalog.Table
+	Stock    *catalog.Table
+	Item     *catalog.Table
+	District *catalog.Table
+	Orders   *catalog.Table
+	History  *catalog.Table
+
+	districtRIDs []storage.RID
+	rng          *rand.Rand
+}
+
+// BuildTPCC generates the OLTP database with point-lookup indexes on
+// the access-path columns.
+func BuildTPCC(d TPCCDims) (*TPCC, error) {
+	cat := catalog.New(storage.NewBufferPool())
+	db := &TPCC{Dims: d, Catalog: cat, rng: rand.New(rand.NewSource(d.Seed))}
+
+	var err error
+	mk := func(name string, cols []string, recBytes int) *catalog.Table {
+		if err != nil {
+			return nil
+		}
+		var t *catalog.Table
+		t, err = cat.Create(name, cols, storage.NSM, recBytes)
+		return t
+	}
+	db.Customer = mk("customer", []string{"c_id", "c_d_id", "c_w_id", "c_balance", "c_ytd"}, d.CustomerRecBytes)
+	db.Stock = mk("stock", []string{"s_i_id", "s_w_id", "s_qty", "s_ytd"}, d.StockRecBytes)
+	db.Item = mk("item", []string{"i_id", "i_price", "i_im_id"}, d.ItemRecBytes)
+	db.District = mk("district", []string{"d_id", "d_w_id", "d_next_o_id", "d_ytd"}, 64)
+	db.Orders = mk("orders", []string{"o_id", "o_d_id", "o_c_id"}, 32)
+	db.History = mk("history", []string{"h_c_id", "h_d_id", "h_amount"}, 48)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := db.rng
+	for w := 0; w < d.Warehouses; w++ {
+		for dd := 0; dd < d.DistrictsPerWH; dd++ {
+			rid := db.District.Heap.Append([]int32{int32(dd + 1), int32(w + 1), 1, 0})
+			db.districtRIDs = append(db.districtRIDs, rid)
+			for c := 0; c < d.CustomersPerDist; c++ {
+				id := int32(dd*d.CustomersPerDist + c + 1)
+				db.Customer.Heap.Append([]int32{id, int32(dd + 1), int32(w + 1), int32(rng.Intn(5000)), 0})
+			}
+		}
+		for s := 0; s < d.StockPerWH; s++ {
+			db.Stock.Heap.Append([]int32{int32(s + 1), int32(w + 1), int32(10 + rng.Intn(90)), 0})
+		}
+	}
+	for i := 0; i < d.Items; i++ {
+		db.Item.Heap.Append([]int32{int32(i + 1), int32(1 + rng.Intn(100)), int32(rng.Intn(1000))})
+	}
+
+	for _, spec := range []struct{ table, col string }{
+		{"customer", "c_id"},
+		{"stock", "s_i_id"},
+		{"item", "i_id"},
+	} {
+		if _, err := cat.BuildIndex(spec.table, spec.col); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// TPCCStats reports what a transaction run did.
+type TPCCStats struct {
+	NewOrders     int
+	Payments      int
+	OrderStatuses int
+	Aborts        int
+	LinesInserted int
+}
+
+// Total returns the number of transactions executed.
+func (s TPCCStats) Total() int { return s.NewOrders + s.Payments + s.OrderStatuses }
+
+// Session-working-set geometry for the simulated 10 concurrent
+// clients. Each client owns a session region (sort buffers, cursor
+// state, private catalog caches); each transaction walks a window of
+// its client's region. With ten clients round-robin, a client's pages
+// return long after the L2 evicted them — the cache-capacity
+// contention that makes multi-user OLTP L2-bound (Section 5.5). This
+// stands in for the context-switching of ten server threads, which a
+// single-stream simulation cannot express directly.
+const (
+	tpccClients       = 10
+	sessionRegionBase = uint64(0x7800_0000)
+	sessionRegionSize = 256 * 1024
+	sessionWindow     = 64 * 1024
+)
+
+// session models one client's session working set.
+type session struct {
+	base uint64
+	pos  uint32
+}
+
+func (s *session) touch(proc trace.Processor) {
+	w := uint32(sessionWindow)
+	lines := w / trace.LineSize
+	if s.pos+w <= sessionRegionSize {
+		proc.DataBurst(s.base+uint64(s.pos), w, lines*3/4, lines/4)
+	} else {
+		first := uint32(sessionRegionSize) - s.pos
+		fl := first / trace.LineSize
+		proc.DataBurst(s.base+uint64(s.pos), first, fl*3/4, fl/4)
+		rest := w - first
+		rl := rest / trace.LineSize
+		proc.DataBurst(s.base, rest, rl*3/4, rl/4)
+	}
+	s.pos = (s.pos + w) % sessionRegionSize
+}
+
+// RunTPCC executes a 10-client transaction mix (Section 5.5 runs a
+// 10-user, 1-warehouse TPC-C) of the given length against an engine.
+// The mix is ~45% NewOrder, ~43% Payment, ~12% OrderStatus. Each
+// transaction counts as one "record" in the breakdown denominators.
+func RunTPCC(db *TPCC, e *engine.Engine, proc trace.Processor, txns int) (TPCCStats, error) {
+	var stats TPCCStats
+	rng := rand.New(rand.NewSource(db.Dims.Seed + 7))
+	sessions := make([]session, tpccClients)
+	for i := range sessions {
+		sessions[i] = session{base: sessionRegionBase + uint64(i)*(4<<20)}
+	}
+	for i := 0; i < txns; i++ {
+		// Round-robin among the clients: the active client's session
+		// state comes back through the memory hierarchy.
+		sessions[i%tpccClients].touch(proc)
+		roll := rng.Intn(100)
+		var err error
+		switch {
+		case roll < 45:
+			err = db.newOrder(e, proc, rng, &stats)
+			stats.NewOrders++
+		case roll < 88:
+			err = db.payment(e, proc, rng)
+			stats.Payments++
+		default:
+			err = db.orderStatus(e, proc, rng)
+			stats.OrderStatuses++
+		}
+		if err != nil {
+			return stats, fmt.Errorf("workload: txn %d: %w", i, err)
+		}
+		proc.RecordProcessed()
+	}
+	return stats, nil
+}
+
+// newOrder models the TPC-C NewOrder transaction: read + bump the
+// district's next order id, read the customer, insert an order, and
+// for 5-15 items: item lookup, stock lookup, stock update, order-line
+// insert.
+func (db *TPCC) newOrder(e *engine.Engine, proc trace.Processor, rng *rand.Rand, stats *TPCCStats) error {
+	d := db.Dims
+	txn := e.Begin(proc)
+	defer txn.Commit()
+
+	distRID := db.districtRIDs[rng.Intn(len(db.districtRIDs))]
+	nextOID := txn.FetchByRID(db.District, distRID, distNextOID)
+	txn.UpdateField(db.District, distRID, distNextOID, nextOID+1)
+
+	custKey := int32(rng.Intn(d.DistrictsPerWH*d.CustomersPerDist)) + 1
+	if _, err := txn.PointLookup(db.Customer, custID, custKey, custBalance); err != nil {
+		return err
+	}
+
+	txn.InsertRecord(db.Orders, []int32{nextOID, int32(distRID.Slot + 1), custKey})
+
+	items := 5 + rng.Intn(11)
+	for l := 0; l < items; l++ {
+		itemKey := int32(rng.Intn(d.Items)) + 1
+		prices, err := txn.PointLookup(db.Item, itemID, itemKey, itemPrice)
+		if err != nil {
+			return err
+		}
+		stockKey := itemKey
+		if stockKey > int32(d.StockPerWH) {
+			stockKey = stockKey%int32(d.StockPerWH) + 1
+		}
+		if _, err := txn.PointLookup(db.Stock, stockItemID, stockKey, stockQty); err != nil {
+			return err
+		}
+		rids := db.Stock.Indexes[stockItemID].Search(stockKey)
+		if len(rids) > 0 {
+			pg := db.Catalog.Pool().Get(rids[0].Page)
+			qty := pg.Field(rids[0].Slot, stockQty)
+			newQty := qty - int32(1+rng.Intn(5))
+			if newQty < 10 {
+				newQty += 91
+			}
+			txn.UpdateField(db.Stock, rids[0], stockQty, newQty)
+		}
+		amount := int32(1 + rng.Intn(5))
+		if len(prices) > 0 {
+			amount *= prices[0]
+		}
+		txn.InsertRecord(db.Orders, []int32{nextOID, int32(l), itemKey})
+		stats.LinesInserted++
+		_ = amount
+	}
+	return nil
+}
+
+// payment models the TPC-C Payment transaction: update district YTD,
+// update customer balance, insert a history record.
+func (db *TPCC) payment(e *engine.Engine, proc trace.Processor, rng *rand.Rand) error {
+	d := db.Dims
+	txn := e.Begin(proc)
+	defer txn.Commit()
+
+	distRID := db.districtRIDs[rng.Intn(len(db.districtRIDs))]
+	amount := int32(1 + rng.Intn(5000))
+	ytd := txn.FetchByRID(db.District, distRID, distYTD)
+	txn.UpdateField(db.District, distRID, distYTD, ytd+amount)
+
+	custKey := int32(rng.Intn(d.DistrictsPerWH*d.CustomersPerDist)) + 1
+	rids := db.Customer.Indexes[custID].Search(custKey)
+	if len(rids) == 0 {
+		return fmt.Errorf("customer %d not found", custKey)
+	}
+	bal := txn.FetchByRID(db.Customer, rids[0], custBalance)
+	txn.UpdateField(db.Customer, rids[0], custBalance, bal-amount)
+
+	txn.InsertRecord(db.History, []int32{custKey, int32(distRID.Slot + 1), amount})
+	return nil
+}
+
+// orderStatus models the TPC-C OrderStatus transaction: customer
+// lookup plus a read of recent orders.
+func (db *TPCC) orderStatus(e *engine.Engine, proc trace.Processor, rng *rand.Rand) error {
+	d := db.Dims
+	txn := e.Begin(proc)
+	defer txn.Commit()
+
+	custKey := int32(rng.Intn(d.DistrictsPerWH*d.CustomersPerDist)) + 1
+	if _, err := txn.PointLookup(db.Customer, custID, custKey, custBalance); err != nil {
+		return err
+	}
+	// Read a handful of order records if any exist.
+	n := db.Orders.Heap.NumRecords()
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < 5; i++ {
+		pick := uint64(rng.Intn(int(n)))
+		pids := db.Orders.Heap.PageIDs()
+		pg := db.Catalog.Pool().Get(pids[int(pick)%len(pids)])
+		if pg.NumRecords() == 0 {
+			continue
+		}
+		slot := uint16(int(pick) % pg.NumRecords())
+		txn.FetchByRID(db.Orders, storage.RID{Page: pg.ID(), Slot: slot}, olOID)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package workload
+
+import "fmt"
+
+// TPCDQueries returns the decision-support query suite of Section 5.5:
+// seventeen selection queries (the paper runs "the 17 TPC-D selection
+// queries" against a 100MB database). Ours are seventeen aggregate
+// selections and joins over R and S spanning the selectivity and
+// aggregate space, so the suite exercises the same mix of sequential
+// scans, index-friendly ranges and joins that makes the paper's TPC-D
+// breakdown resemble the microbenchmark's.
+func (d Dims) TPCDQueries() []string {
+	q := make([]string, 0, 17)
+	sel := func(agg string, selectivity float64, offFrac float64) string {
+		span := int32(float64(d.A2Max()) * selectivity)
+		lo := int32(float64(d.A2Max()) * offFrac)
+		hi := lo + span + 1
+		if hi > d.A2Max()+1 {
+			hi = d.A2Max() + 1
+			lo = hi - span - 1
+		}
+		return fmt.Sprintf("select %s from r where a2 < %d and a2 > %d", agg, hi, lo)
+	}
+	// Q1-Q6: avg at increasing selectivities across the key space.
+	q = append(q,
+		sel("avg(a3)", 0.01, 0.00),
+		sel("avg(a3)", 0.05, 0.10),
+		sel("avg(a3)", 0.10, 0.25),
+		sel("avg(a3)", 0.20, 0.40),
+		sel("avg(a3)", 0.50, 0.25),
+		sel("avg(a1)", 0.10, 0.60),
+	)
+	// Q7-Q11: other aggregates.
+	q = append(q,
+		sel("sum(a3)", 0.10, 0.05),
+		sel("count(*)", 0.15, 0.30),
+		sel("min(a3)", 0.08, 0.50),
+		sel("max(a3)", 0.08, 0.70),
+		sel("sum(a1)", 0.25, 0.10),
+	)
+	// Q12-Q14: full-table aggregates.
+	q = append(q,
+		"select avg(a3) from r",
+		"select count(*) from r",
+		"select sum(a2) from r",
+	)
+	// Q15-Q17: joins, one unrestricted and two with a restriction on
+	// either side.
+	hi := d.A2Max()/4 + 1
+	q = append(q,
+		"select avg(r.a3) from r, s where r.a2 = s.a1",
+		fmt.Sprintf("select avg(r.a3) from r, s where r.a2 = s.a1 and r.a2 < %d", hi),
+		fmt.Sprintf("select count(*) from r, s where r.a2 = s.a1 and s.a1 < %d", hi/2),
+	)
+	return q
+}

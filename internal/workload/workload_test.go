@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+func TestPaperDims(t *testing.T) {
+	d := PaperDims()
+	if d.RRecords != 1_200_000 || d.SRecords != 40_000 || d.RecordSize != 100 {
+		t.Errorf("paper dims wrong: %+v", d)
+	}
+	if d.A2Max() != 40_000 {
+		t.Errorf("a2 max = %d", d.A2Max())
+	}
+	if d.Fanout() != 30 {
+		t.Errorf("fanout = %d, want 30 (Section 3.3)", d.Fanout())
+	}
+}
+
+func TestScaledPreservesRatio(t *testing.T) {
+	d := PaperDims().Scaled(0.01)
+	if d.Fanout() != 30 {
+		t.Errorf("scaled fanout = %d", d.Fanout())
+	}
+	if d.RRecords != 12000 || d.SRecords != 400 {
+		t.Errorf("scaled dims: %+v", d)
+	}
+	tiny := PaperDims().Scaled(0.00001)
+	if tiny.SRecords < 8 {
+		t.Errorf("scaled S too small: %d", tiny.SRecords)
+	}
+}
+
+func TestScaledRejectsBadFactor(t *testing.T) {
+	for _, f := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scale %v should panic", f)
+				}
+			}()
+			PaperDims().Scaled(f)
+		}()
+	}
+}
+
+func TestBuildPopulatesTables(t *testing.T) {
+	d := Dims{RRecords: 900, SRecords: 30, RecordSize: 100, Seed: 5}
+	db, err := Build(d, storage.NSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.R.NumRecords() != 900 || db.S.NumRecords() != 30 {
+		t.Errorf("cardinalities: R=%d S=%d", db.R.NumRecords(), db.S.NumRecords())
+	}
+	// a2 within [1, A2Max]; S.a1 is a permutation of 1..30.
+	seen := map[int32]bool{}
+	db.S.Heap.Scan(func(pg *storage.Page) bool {
+		for s := 0; s < pg.NumRecords(); s++ {
+			a1 := pg.Field(uint16(s), 0)
+			if a1 < 1 || a1 > 30 || seen[a1] {
+				t.Fatalf("S.a1 %d invalid or duplicate", a1)
+			}
+			seen[a1] = true
+		}
+		return true
+	})
+	db.R.Heap.Scan(func(pg *storage.Page) bool {
+		for s := 0; s < pg.NumRecords(); s++ {
+			a2 := pg.Field(uint16(s), 1)
+			if a2 < 1 || a2 > d.A2Max() {
+				t.Fatalf("R.a2 %d out of range", a2)
+			}
+		}
+		return true
+	})
+	if err := db.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	if db.R.Index("a2") == nil || db.S.Index("a1") == nil {
+		t.Error("indexes not registered")
+	}
+	if db.R.Index("a2").Len() != 900 {
+		t.Errorf("index entries = %d", db.R.Index("a2").Len())
+	}
+}
+
+func TestBuildRejectsTinyRecords(t *testing.T) {
+	if _, err := Build(Dims{RRecords: 1, SRecords: 1, RecordSize: 8}, storage.NSM); err == nil {
+		t.Error("record size 8 should fail")
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	d := PaperDims()
+	lo, hi := d.SelectivityBounds(0.10)
+	if lo != 0 || hi != 4001 {
+		t.Errorf("10%% bounds = (%d,%d), want (0,4001)", lo, hi)
+	}
+	// Selected keys are 1..4000 of 40000: exactly 10%.
+	if n := hi - lo - 1; float64(n)/float64(d.A2Max()) != 0.10 {
+		t.Errorf("actual selectivity %v", float64(n)/float64(d.A2Max()))
+	}
+	lo, hi = d.SelectivityBounds(0)
+	if hi-lo-1 != 0 {
+		t.Error("0% should select nothing")
+	}
+	lo, hi = d.SelectivityBounds(1)
+	if int32(d.A2Max()) != hi-lo-1 {
+		t.Error("100% should select everything")
+	}
+}
+
+func TestQueryBuilders(t *testing.T) {
+	d := PaperDims()
+	srs := d.QuerySRS(0.10)
+	if srs != "select avg(a3) from r where a2 < 4001 and a2 > 0" {
+		t.Errorf("SRS query = %q", srs)
+	}
+	if d.QueryIRS(0.10) != srs {
+		t.Error("IRS must be the same SQL resubmitted (Section 3.3)")
+	}
+	if !strings.Contains(d.QuerySJ(), "r.a2 = s.a1") {
+		t.Errorf("SJ query = %q", d.QuerySJ())
+	}
+}
+
+func TestTPCDQueriesParseAndRun(t *testing.T) {
+	d := Dims{RRecords: 600, SRecords: 20, RecordSize: 100, Seed: 9}
+	db, err := Build(d, storage.NSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildIndexes(); err != nil {
+		t.Fatal(err)
+	}
+	qs := d.TPCDQueries()
+	if len(qs) != 17 {
+		t.Fatalf("TPC-D suite has %d queries, want 17 (Section 5.5)", len(qs))
+	}
+	e := engine.New(engine.SystemB, db.Catalog)
+	for i, q := range qs {
+		if _, err := e.Query(q, trace.Discard{}); err != nil {
+			t.Errorf("Q%d (%s): %v", i+1, q, err)
+		}
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	d := Dims{RRecords: 300, SRecords: 10, RecordSize: 100, Seed: 77}
+	db1, _ := Build(d, storage.NSM)
+	db2, _ := Build(d, storage.NSM)
+	sum := func(db *Database) int64 {
+		var s int64
+		db.R.Heap.Scan(func(pg *storage.Page) bool {
+			for i := 0; i < pg.NumRecords(); i++ {
+				s += int64(pg.Field(uint16(i), 1))*31 + int64(pg.Field(uint16(i), 2))
+			}
+			return true
+		})
+		return s
+	}
+	if sum(db1) != sum(db2) {
+		t.Error("same seed produced different data")
+	}
+}
+
+func TestTPCCBuildAndRun(t *testing.T) {
+	dims := DefaultTPCCDims()
+	dims.CustomersPerDist = 50
+	dims.Items = 200
+	dims.StockPerWH = 200
+	db, err := BuildTPCC(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Customer.NumRecords() != uint64(50*10) {
+		t.Errorf("customers = %d", db.Customer.NumRecords())
+	}
+	if db.District.NumRecords() != 10 {
+		t.Errorf("districts = %d", db.District.NumRecords())
+	}
+	e := engine.New(engine.SystemC, db.Catalog)
+	var c trace.Counting
+	stats, err := RunTPCC(db, e, &c, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total() != 60 {
+		t.Errorf("transactions = %d", stats.Total())
+	}
+	if stats.NewOrders == 0 || stats.Payments == 0 || stats.OrderStatuses == 0 {
+		t.Errorf("mix degenerate: %+v", stats)
+	}
+	if c.Records != 60 {
+		t.Errorf("record marks = %d, want one per txn", c.Records)
+	}
+	if c.Instructions == 0 || c.Stores == 0 || c.Branches == 0 {
+		t.Error("transactions emitted no hardware activity")
+	}
+	// New orders inserted rows.
+	if db.Orders.NumRecords() == 0 || db.History.NumRecords() == 0 {
+		t.Error("inserts did not happen")
+	}
+	// Stock YTD/quantity updates happened in place.
+	if stats.LinesInserted == 0 {
+		t.Error("no order lines")
+	}
+}
+
+func TestTPCCDeterminism(t *testing.T) {
+	run := func() trace.Counting {
+		dims := DefaultTPCCDims()
+		dims.CustomersPerDist = 40
+		dims.Items = 100
+		dims.StockPerWH = 100
+		db, err := BuildTPCC(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := engine.New(engine.SystemD, db.Catalog)
+		var c trace.Counting
+		if _, err := RunTPCC(db, e, &c, 40); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("TPC-C runs diverged:\n%+v\n%+v", a, b)
+	}
+}

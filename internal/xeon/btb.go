@@ -1,0 +1,199 @@
+package xeon
+
+// btb models the Pentium II branch prediction unit: a set-associative
+// Branch Target Buffer whose entries carry per-branch history
+// registers feeding pattern tables of two-bit saturating counters (a
+// two-level adaptive predictor in the style of Yeh & Patt, which the
+// paper cites as the P6 scheme). A BTB hit activates the dynamic
+// predictor; a BTB miss falls back to static prediction — backward
+// branches taken, forward branches not taken — exactly as Section 5.3
+// describes.
+type btb struct {
+	sets    int
+	ways    int
+	setMask uint64
+
+	histBits uint
+	histMask uint16
+
+	// Entry state, flattened as [set*ways+way].
+	tags    []uint64
+	valid   []bool
+	history []uint16
+	// pattern[(set*ways+way)<<histBits | history] is a 2-bit counter.
+	pattern []uint8
+
+	refs       uint64
+	missesBTB  uint64 // lookups that missed the BTB
+	mispredict uint64 // wrong final predictions (dynamic or static)
+	taken      uint64
+}
+
+// newBTB builds a predictor with the given entry count, associativity
+// and history length.
+func newBTB(entries, assoc, histBits int) *btb {
+	sets := entries / assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("xeon: BTB set count must be a positive power of two")
+	}
+	n := sets * assoc
+	b := &btb{
+		sets:     sets,
+		ways:     assoc,
+		setMask:  uint64(sets - 1),
+		histBits: uint(histBits),
+		histMask: uint16(1<<histBits - 1),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		history:  make([]uint16, n),
+		pattern:  make([]uint8, n<<uint(histBits)),
+	}
+	// Initialise the two-bit counters to weakly taken, the usual
+	// power-up state.
+	for i := range b.pattern {
+		b.pattern[i] = 2
+	}
+	return b
+}
+
+// predict processes one retired branch: it makes the prediction the
+// hardware would have made for (pc,target), compares it with the
+// architectural outcome, and trains the structures. It returns whether
+// the BTB hit and whether the prediction was correct.
+func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
+	b.refs++
+	if taken {
+		b.taken++
+	}
+	// Index by 16-byte PC granule, folding in higher bits so strided
+	// branch PCs spread across the sets.
+	key := (pc >> 4) ^ (pc >> 13)
+	set := int(key & b.setMask)
+	base := set * b.ways
+
+	way := -1
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.tags[base+w] == key {
+			way = w
+			break
+		}
+	}
+
+	var predictTaken bool
+	if way >= 0 {
+		btbHit = true
+		i := base + way
+		ctr := b.pattern[uint64(i)<<b.histBits|uint64(b.history[i]&b.histMask)]
+		predictTaken = ctr >= 2
+	} else {
+		b.missesBTB++
+		// Static fallback: backward taken, forward not taken.
+		predictTaken = target <= pc
+	}
+
+	correct = predictTaken == taken
+	if !correct {
+		b.mispredict++
+	}
+
+	if way >= 0 {
+		// Train the resident entry: update the pattern counter for the
+		// history that produced the prediction, then shift the history.
+		i := base + way
+		pi := uint64(i)<<b.histBits | uint64(b.history[i]&b.histMask)
+		if taken {
+			if b.pattern[pi] < 3 {
+				b.pattern[pi]++
+			}
+		} else if b.pattern[pi] > 0 {
+			b.pattern[pi]--
+		}
+		b.history[i] = (b.history[i] << 1) & b.histMask
+		if taken {
+			b.history[i] |= 1
+		}
+		// Move to front (LRU within the set).
+		b.moveToFront(base, way)
+	} else if taken {
+		// The P6 BTB allocates entries for taken branches only.
+		b.insert(base, key, taken)
+	}
+	return btbHit, correct
+}
+
+// moveToFront promotes way w of the set at base to MRU position,
+// carrying all per-entry state.
+func (b *btb) moveToFront(base, w int) {
+	if w == 0 {
+		return
+	}
+	tag, val, hist := b.tags[base+w], b.valid[base+w], b.history[base+w]
+	// Pattern tables are addressed by entry slot, so slot contents must
+	// move with the entry. Save the moving entry's table.
+	saved := make([]uint8, 1<<b.histBits)
+	copy(saved, b.pattern[uint64(base+w)<<b.histBits:uint64(base+w+1)<<b.histBits])
+	for i := w; i > 0; i-- {
+		b.tags[base+i] = b.tags[base+i-1]
+		b.valid[base+i] = b.valid[base+i-1]
+		b.history[base+i] = b.history[base+i-1]
+		copy(b.pattern[uint64(base+i)<<b.histBits:uint64(base+i+1)<<b.histBits],
+			b.pattern[uint64(base+i-1)<<b.histBits:uint64(base+i)<<b.histBits])
+	}
+	b.tags[base], b.valid[base], b.history[base] = tag, val, hist
+	copy(b.pattern[uint64(base)<<b.histBits:uint64(base+1)<<b.histBits], saved)
+}
+
+// insert allocates a new entry at MRU, evicting the set's LRU way.
+func (b *btb) insert(base int, key uint64, taken bool) {
+	w := b.ways - 1
+	for i := w; i > 0; i-- {
+		b.tags[base+i] = b.tags[base+i-1]
+		b.valid[base+i] = b.valid[base+i-1]
+		b.history[base+i] = b.history[base+i-1]
+		copy(b.pattern[uint64(base+i)<<b.histBits:uint64(base+i+1)<<b.histBits],
+			b.pattern[uint64(base+i-1)<<b.histBits:uint64(base+i)<<b.histBits])
+	}
+	b.tags[base] = key
+	b.valid[base] = true
+	b.history[base] = 0
+	if taken {
+		b.history[base] = 1
+	}
+	fresh := b.pattern[uint64(base)<<b.histBits : uint64(base+1)<<b.histBits]
+	for i := range fresh {
+		fresh[i] = 2
+	}
+}
+
+// flush invalidates the whole predictor.
+func (b *btb) flush() {
+	for i := range b.valid {
+		b.valid[i] = false
+		b.tags[i] = 0
+		b.history[i] = 0
+	}
+	for i := range b.pattern {
+		b.pattern[i] = 2
+	}
+}
+
+// resetStats zeroes the counters, keeping the learned state.
+func (b *btb) resetStats() {
+	b.refs, b.missesBTB, b.mispredict, b.taken = 0, 0, 0, 0
+}
+
+// missRate returns BTB misses / branches.
+func (b *btb) missRate() float64 {
+	if b.refs == 0 {
+		return 0
+	}
+	return float64(b.missesBTB) / float64(b.refs)
+}
+
+// mispredictRate returns mispredictions / branches.
+func (b *btb) mispredictRate() float64 {
+	if b.refs == 0 {
+		return 0
+	}
+	return float64(b.mispredict) / float64(b.refs)
+}

@@ -1,0 +1,198 @@
+package xeon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newTestBTB() *btb { return newBTB(512, 4, 4) }
+
+func TestBTBStaticFallback(t *testing.T) {
+	b := newTestBTB()
+	// Cold BTB: backward-taken prediction correct, so a backward taken
+	// branch is predicted right even on a BTB miss.
+	hit, correct := b.predict(0x1000, 0x0F00, true)
+	if hit {
+		t.Error("cold BTB should miss")
+	}
+	if !correct {
+		t.Error("backward taken branch should be statically predicted correctly")
+	}
+	// Forward not-taken also correct statically (different PC).
+	hit, correct = b.predict(0x2000, 0x2100, false)
+	if hit || !correct {
+		t.Errorf("forward not-taken static prediction: hit=%v correct=%v", hit, correct)
+	}
+	// Forward taken is statically mispredicted (different PC).
+	_, correct = b.predict(0x3000, 0x3100, true)
+	if correct {
+		t.Error("forward taken branch should be statically mispredicted")
+	}
+}
+
+func TestBTBAllocatesOnTakenOnly(t *testing.T) {
+	b := newTestBTB()
+	b.predict(0x1000, 0x1100, false) // not taken: no allocation
+	if hit, _ := b.predict(0x1000, 0x1100, false); hit {
+		t.Error("not-taken branch should not have been allocated")
+	}
+	b.predict(0x2000, 0x2100, true) // taken: allocated
+	if hit, _ := b.predict(0x2000, 0x2100, false); !hit {
+		t.Error("taken branch should have been allocated")
+	}
+}
+
+func TestBTBLearnsAlwaysTaken(t *testing.T) {
+	b := newTestBTB()
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if _, correct := b.predict(0x1000, 0x1200, true); !correct {
+			wrong++
+		}
+	}
+	// Forward always-taken: first execution mispredicts statically,
+	// after allocation the counters learn immediately.
+	if wrong > 2 {
+		t.Errorf("always-taken branch mispredicted %d/100 times", wrong)
+	}
+}
+
+func TestBTBLearnsAlternating(t *testing.T) {
+	b := newTestBTB()
+	wrong := 0
+	for i := 0; i < 200; i++ {
+		taken := i%2 == 0
+		if _, correct := b.predict(0x1000, 0x1200, taken); !correct {
+			wrong++
+		}
+	}
+	// A two-level predictor with 4 history bits learns period-2
+	// perfectly after warm-up.
+	if wrong > 20 {
+		t.Errorf("alternating branch mispredicted %d/200 times", wrong)
+	}
+}
+
+func TestBTBLearnsLoopPattern(t *testing.T) {
+	b := newTestBTB()
+	wrong := 0
+	n := 0
+	// T T T N loop pattern, 100 loops.
+	for loop := 0; loop < 100; loop++ {
+		for it := 0; it < 4; it++ {
+			taken := it != 3
+			if _, correct := b.predict(0x4000, 0x3F00, taken); !correct {
+				wrong++
+			}
+			n++
+		}
+	}
+	// Period 4 fits in 4 history bits: near-perfect after warm-up.
+	if wrong > n/10 {
+		t.Errorf("loop pattern mispredicted %d/%d", wrong, n)
+	}
+}
+
+func TestBTBRandomBranchNearChance(t *testing.T) {
+	b := newTestBTB()
+	rng := rand.New(rand.NewSource(42))
+	wrong := 0
+	n := 4000
+	for i := 0; i < n; i++ {
+		if _, correct := b.predict(0x5000, 0x5100, rng.Intn(2) == 0); !correct {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / float64(n)
+	if rate < 0.3 || rate > 0.7 {
+		t.Errorf("random branch misprediction rate = %v, want ~0.5", rate)
+	}
+}
+
+func TestBTBCapacityThrash(t *testing.T) {
+	b := newTestBTB() // 512 entries
+	// 2048 distinct taken branches in a cyclic pattern: each revisit
+	// misses the BTB.
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 2048; i++ {
+			pc := uint64(0x10000 + i*64)
+			b.predict(pc, pc+32, true)
+		}
+	}
+	if b.missRate() < 0.9 {
+		t.Errorf("cyclic 4x-capacity branch set should thrash the BTB: %v", b.missRate())
+	}
+}
+
+func TestBTBResidentSetHits(t *testing.T) {
+	b := newTestBTB()
+	// 128 branches fit comfortably in 512 entries.
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 128; i++ {
+			pc := uint64(0x10000 + i*64)
+			b.predict(pc, pc+32, true)
+		}
+	}
+	if b.missRate() > 0.15 {
+		t.Errorf("resident branch set should mostly hit the BTB: %v", b.missRate())
+	}
+}
+
+func TestBTBFlushAndReset(t *testing.T) {
+	b := newTestBTB()
+	b.predict(0x1000, 0x1100, true)
+	b.resetStats()
+	if b.refs != 0 || b.missesBTB != 0 || b.mispredict != 0 {
+		t.Error("resetStats should zero counters")
+	}
+	if hit, _ := b.predict(0x1000, 0x1100, true); !hit {
+		t.Error("resetStats should keep learned entries")
+	}
+	b.flush()
+	if hit, _ := b.predict(0x1000, 0x1100, true); hit {
+		t.Error("flush should drop entries")
+	}
+}
+
+func TestBTBMoveToFrontKeepsPatternTables(t *testing.T) {
+	b := newBTB(8, 4, 4) // 2 sets x 4 ways
+	// Train branch X (alternating) until learned, keeping three other
+	// branches in the same set active so X moves around within it.
+	same := func(i int) uint64 { return uint64(0x1000 + i*8) } // same set: pc>>2 even/odd sets
+	// All PCs with (pc>>2)&1 == 0 land in set 0.
+	pcs := []uint64{0x1000, 0x1008, 0x1010, 0x1018}
+	_ = same
+	for i := 0; i < 400; i++ {
+		for _, pc := range pcs {
+			b.predict(pc, pc+16, i%2 == 0)
+		}
+	}
+	b.resetStats()
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		for _, pc := range pcs {
+			if _, correct := b.predict(pc, pc+16, i%2 == 0); !correct {
+				wrong++
+			}
+		}
+	}
+	if wrong > 40 {
+		t.Errorf("pattern state lost in set shuffling: %d/400 wrong", wrong)
+	}
+}
+
+func TestBTBMispredictRateAccounting(t *testing.T) {
+	b := newTestBTB()
+	if b.missRate() != 0 || b.mispredictRate() != 0 {
+		t.Error("idle rates should be zero")
+	}
+	for i := 0; i < 10; i++ {
+		b.predict(0x9000, 0x9100, true) // forward taken
+	}
+	if b.refs != 10 {
+		t.Errorf("refs = %d, want 10", b.refs)
+	}
+	if b.mispredict == 0 {
+		t.Error("first forward-taken execution should mispredict")
+	}
+}

@@ -1,0 +1,160 @@
+package xeon
+
+import "fmt"
+
+// cache is a set-associative, write-back cache with true-LRU
+// replacement inside each set. It operates on line addresses
+// (byte address >> lineShift); the caller owns stall accounting.
+//
+// Ways within a set are kept in recency order: index 0 is the most
+// recently used. Four-way sets make the move-to-front shift cheap.
+type cache struct {
+	name      string
+	sets      int
+	ways      int
+	setMask   uint64
+	lineShift uint
+
+	// tags[set*ways+way] holds the line address; valid and dirty are
+	// parallel bit-per-entry slices packed as bytes for simplicity.
+	tags  []uint64
+	valid []bool
+	dirty []bool
+
+	refs      uint64
+	misses    uint64
+	evictions uint64
+	wbacks    uint64
+}
+
+// newCache builds a cache of sizeBytes capacity with the given
+// associativity and line size. Panics on invalid geometry; Config
+// validation happens before construction.
+func newCache(name string, sizeBytes, assoc, lineSize int) *cache {
+	lines := sizeBytes / lineSize
+	sets := lines / assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("xeon: cache %s: %d sets is not a positive power of two", name, sets))
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &cache{
+		name:      name,
+		sets:      sets,
+		ways:      assoc,
+		setMask:   uint64(sets - 1),
+		lineShift: shift,
+		tags:      make([]uint64, lines),
+		valid:     make([]bool, lines),
+		dirty:     make([]bool, lines),
+	}
+}
+
+// lineAddr converts a byte address to a line address.
+func (c *cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// access looks up the line containing addr, counts the reference, and
+// returns whether it hit. On a miss the line is filled (allocating on
+// both reads and writes), evicting the set's LRU way; evicted returns
+// the victim line's byte address and whether it was dirty, so the
+// caller can model the write-back. write marks the line dirty.
+func (c *cache) access(addr uint64, write bool) (hit bool, victim uint64, victimDirty bool) {
+	c.refs++
+	line := c.lineAddr(addr)
+	set := int(line & c.setMask)
+	base := set * c.ways
+
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			// Move to front (most recently used).
+			d := c.dirty[i] || write
+			c.shiftToFront(base, w)
+			c.tags[base], c.valid[base], c.dirty[base] = line, true, d
+			return true, 0, false
+		}
+	}
+
+	c.misses++
+	// Victim is the last (LRU) way.
+	last := base + c.ways - 1
+	if c.valid[last] {
+		c.evictions++
+		if c.dirty[last] {
+			c.wbacks++
+			victim = c.tags[last] << c.lineShift
+			victimDirty = true
+		}
+	}
+	c.shiftToFront(base, c.ways-1)
+	c.tags[base], c.valid[base], c.dirty[base] = line, true, write
+	return false, victim, victimDirty
+}
+
+// shiftToFront moves ways [0,w) of the set starting at base one slot
+// toward the back, opening slot 0. The entry at way w is overwritten.
+func (c *cache) shiftToFront(base, w int) {
+	copy(c.tags[base+1:base+w+1], c.tags[base:base+w])
+	copy(c.valid[base+1:base+w+1], c.valid[base:base+w])
+	copy(c.dirty[base+1:base+w+1], c.dirty[base:base+w])
+}
+
+// touch inserts the line containing addr without counting a reference
+// or a miss: speculative wrong-path fetches and kernel pollution use
+// it to displace useful lines without perturbing the event counters
+// the formulae rely on.
+func (c *cache) touch(addr uint64) {
+	line := c.lineAddr(addr)
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			return // already resident; leave recency alone
+		}
+	}
+	last := base + c.ways - 1
+	if c.valid[last] {
+		c.evictions++
+	}
+	c.shiftToFront(base, c.ways-1)
+	c.tags[base], c.valid[base], c.dirty[base] = line, true, false
+}
+
+// contains reports whether the line holding addr is resident, without
+// touching statistics or recency.
+func (c *cache) contains(addr uint64) bool {
+	line := c.lineAddr(addr)
+	base := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// flush invalidates the entire cache (used between measured runs).
+func (c *cache) flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.tags[i] = 0
+	}
+}
+
+// resetStats zeroes the counters without disturbing cache contents,
+// the warm-cache protocol of Section 4.3.
+func (c *cache) resetStats() {
+	c.refs, c.misses, c.evictions, c.wbacks = 0, 0, 0, 0
+}
+
+// missRate returns misses/references, zero when idle.
+func (c *cache) missRate() float64 {
+	if c.refs == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.refs)
+}

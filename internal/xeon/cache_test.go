@@ -1,0 +1,249 @@
+package xeon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tiny cache: 4 sets x 2 ways x 32B lines = 256 bytes.
+func tinyCache() *cache { return newCache("t", 256, 2, 32) }
+
+func TestCacheGeometry(t *testing.T) {
+	c := newCache("L1I", 16*1024, 4, 32)
+	if c.sets != 128 || c.ways != 4 {
+		t.Errorf("16KB 4-way 32B: sets=%d ways=%d, want 128/4", c.sets, c.ways)
+	}
+	c2 := newCache("L2", 512*1024, 4, 32)
+	if c2.sets != 4096 {
+		t.Errorf("512KB 4-way 32B: sets=%d, want 4096", c2.sets)
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets should panic")
+		}
+	}()
+	newCache("bad", 96, 1, 32)
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := tinyCache()
+	if hit, _, _ := c.access(0x1000, false); hit {
+		t.Error("cold access should miss")
+	}
+	if hit, _, _ := c.access(0x1000, false); !hit {
+		t.Error("second access should hit")
+	}
+	if hit, _, _ := c.access(0x101F, false); !hit {
+		t.Error("same line should hit")
+	}
+	if hit, _, _ := c.access(0x1020, false); hit {
+		t.Error("next line should miss")
+	}
+	if c.refs != 4 || c.misses != 2 {
+		t.Errorf("refs=%d misses=%d, want 4/2", c.refs, c.misses)
+	}
+	if got := c.missRate(); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	c := tinyCache() // 4 sets, 2 ways; same set every 4 lines (128 bytes)
+	a0 := uint64(0x0000)
+	a1 := a0 + 128 // same set
+	a2 := a0 + 256 // same set
+	c.access(a0, false)
+	c.access(a1, false)
+	// Touch a0 so a1 becomes LRU.
+	c.access(a0, false)
+	c.access(a2, false) // evicts a1
+	if !c.contains(a0) {
+		t.Error("a0 should survive (MRU)")
+	}
+	if c.contains(a1) {
+		t.Error("a1 should have been evicted (LRU)")
+	}
+	if !c.contains(a2) {
+		t.Error("a2 should be resident")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := tinyCache()
+	a0 := uint64(0x0000)
+	a1 := a0 + 128
+	a2 := a0 + 256
+	c.access(a0, true) // dirty
+	c.access(a1, false)
+	_, victim, dirty := c.access(a2, false) // evicts a0 (LRU)
+	if !dirty || victim != a0 {
+		t.Errorf("expected dirty eviction of %#x, got victim=%#x dirty=%v", a0, victim, dirty)
+	}
+	if c.wbacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.wbacks)
+	}
+	// Re-reading a0 must not report dirty (it was written back).
+	c.access(a1, false)
+	_, _, dirty2 := c.access(a0, false)
+	if dirty2 {
+		// victim of this fill is a2 or a1, both clean
+		t.Error("unexpected dirty victim")
+	}
+}
+
+func TestCacheDirtyBitFollowsLine(t *testing.T) {
+	c := tinyCache()
+	a0 := uint64(0)
+	a1 := a0 + 128
+	c.access(a0, true)
+	c.access(a1, false) // a0 now LRU but dirty
+	c.access(a0, false) // hit, move to front, stays dirty
+	a2 := a0 + 256
+	_, victim, dirty := c.access(a2, false) // evicts a1 (clean)
+	if dirty {
+		t.Errorf("clean line reported dirty (victim %#x)", victim)
+	}
+	a3 := a0 + 384
+	_, victim, dirty = c.access(a3, false) // evicts a0 (dirty)
+	if !dirty || victim != a0 {
+		t.Errorf("dirty bit lost in move-to-front: victim=%#x dirty=%v", victim, dirty)
+	}
+}
+
+func TestCacheTouchInsertsWithoutStats(t *testing.T) {
+	c := tinyCache()
+	c.touch(0x2000)
+	if c.refs != 0 || c.misses != 0 {
+		t.Errorf("touch should not count: refs=%d misses=%d", c.refs, c.misses)
+	}
+	if hit, _, _ := c.access(0x2000, false); !hit {
+		t.Error("touched line should be resident")
+	}
+	// touch of a resident line leaves recency alone and never evicts.
+	c.touch(0x2000)
+	if !c.contains(0x2000) {
+		t.Error("double touch lost the line")
+	}
+}
+
+func TestCacheFlushAndResetStats(t *testing.T) {
+	c := tinyCache()
+	c.access(0x40, true)
+	c.resetStats()
+	if c.refs != 0 || c.misses != 0 {
+		t.Error("resetStats should zero counters")
+	}
+	if !c.contains(0x40) {
+		t.Error("resetStats should keep contents")
+	}
+	c.flush()
+	if c.contains(0x40) {
+		t.Error("flush should drop contents")
+	}
+}
+
+func TestCacheCapacityThrash(t *testing.T) {
+	// Cyclic walk over 2x capacity with true LRU -> 100% miss rate
+	// after warm-up.
+	c := tinyCache() // 8 lines
+	lines := 16
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < lines; i++ {
+			c.access(uint64(i*32), false)
+		}
+	}
+	if got := c.missRate(); got != 1.0 {
+		t.Errorf("cyclic thrash miss rate = %v, want 1.0", got)
+	}
+}
+
+func TestCacheFitsWorkingSet(t *testing.T) {
+	c := tinyCache() // 8 lines
+	for pass := 0; pass < 8; pass++ {
+		for i := 0; i < 8; i++ {
+			c.access(uint64(i*32), false)
+		}
+	}
+	// 8 cold misses, everything else hits.
+	if c.misses != 8 {
+		t.Errorf("misses = %d, want 8 (cold only)", c.misses)
+	}
+}
+
+// Property: access is deterministic — the same address sequence yields
+// the same hit/miss sequence; and a repeat access to the same address
+// always hits.
+func TestCacheProperties(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c1, c2 := tinyCache(), tinyCache()
+		for _, a16 := range addrs {
+			a := uint64(a16)
+			h1, _, _ := c1.access(a, false)
+			h2, _, _ := c2.access(a, false)
+			if h1 != h2 {
+				return false
+			}
+			// Immediate re-access must hit.
+			if h, _, _ := c1.access(a, false); !h {
+				return false
+			}
+			c2.access(a, false)
+		}
+		return c1.refs == c2.refs && c1.misses == c2.misses
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tb := newTLB("DTLB", 64, 4, 4096)
+	if tb.access(0x1000) {
+		t.Error("cold TLB access should miss")
+	}
+	if !tb.access(0x1FFF) {
+		t.Error("same page should hit")
+	}
+	if tb.access(0x2000) {
+		t.Error("next page should miss")
+	}
+	if tb.misses() != 2 || tb.refs() != 3 {
+		t.Errorf("misses=%d refs=%d, want 2/3", tb.misses(), tb.refs())
+	}
+	if tb.pageOf(0x2FFF) != 2 {
+		t.Errorf("pageOf(0x2FFF) = %d, want 2", tb.pageOf(0x2FFF))
+	}
+	tb.resetStats()
+	if tb.missRate() != 0 {
+		t.Error("resetStats should zero rate")
+	}
+	tb.flush()
+	if tb.access(0x1000) {
+		t.Error("flushed TLB should miss")
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	tb := newTLB("ITLB", 32, 4, 4096)
+	// Walk 64 pages cyclically: thrash.
+	for pass := 0; pass < 3; pass++ {
+		for p := 0; p < 64; p++ {
+			tb.access(uint64(p) * 4096)
+		}
+	}
+	if tb.missRate() < 0.9 {
+		t.Errorf("64-page cyclic walk over 32-entry TLB should thrash, rate=%v", tb.missRate())
+	}
+	tb2 := newTLB("ITLB", 32, 4, 4096)
+	for pass := 0; pass < 10; pass++ {
+		for p := 0; p < 16; p++ {
+			tb2.access(uint64(p) * 4096)
+		}
+	}
+	if tb2.misses() != 16 {
+		t.Errorf("16-page set should only cold-miss: %d", tb2.misses())
+	}
+}

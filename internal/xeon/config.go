@@ -1,0 +1,161 @@
+// Package xeon simulates the processor and memory system of the
+// paper's experimental platform — a 400 MHz Pentium II Xeon with split
+// 16KB/16KB four-way L1 caches, a unified 512KB four-way L2, 32-byte
+// lines at both levels, a 512-entry BTB backed by a two-level adaptive
+// predictor with static backward-taken fallback, and separate
+// instruction/data TLBs — and implements the execution-time accounting
+// of Table 4.2: event counts from the simulated structures multiplied
+// by the paper's penalties, with directly modelled stall time where
+// the paper's counters measured stall time directly.
+//
+// The simulator consumes the trace.Processor event stream produced by
+// the query engines in internal/engine and yields a core.Breakdown.
+package xeon
+
+import "fmt"
+
+// Config describes the simulated platform. DefaultConfig matches
+// Table 4.1 and Section 4 of the paper; the ablation benchmarks vary
+// individual fields.
+type Config struct {
+	// ClockMHz is the core clock, used only to convert cycles to
+	// seconds in reports. The paper's machine runs at 400 MHz.
+	ClockMHz int
+
+	// L1ISizeKB, L1DSizeKB and L2SizeKB are the cache capacities.
+	L1ISizeKB int
+	L1DSizeKB int
+	L2SizeKB  int
+	// CacheAssoc is the associativity of all three caches (4-way).
+	CacheAssoc int
+	// LineSize is the cache line size in bytes at both levels (32).
+	LineSize int
+
+	// L1MissPenalty is the stall charged for an L1 miss that hits in
+	// L2 (Table 4.1: 4 cycles).
+	L1MissPenalty float64
+	// MemoryLatency is the main-memory access latency charged for an
+	// L2 miss (Section 5.2.1: 60–70 cycles observed; we use the
+	// midpoint).
+	MemoryLatency float64
+
+	// ITLBEntries and DTLBEntries size the TLBs (Pentium II: 32
+	// instruction / 64 data entries). TLBAssoc is their associativity.
+	ITLBEntries int
+	DTLBEntries int
+	TLBAssoc    int
+	// ITLBPenalty is charged per ITLB miss (Table 4.2: 32 cycles).
+	ITLBPenalty float64
+	// DTLBPenalty is charged per DTLB miss. The paper could not
+	// measure TDTLB; we simulate it and report it outside TM.
+	DTLBPenalty float64
+	// PageSize is the virtual memory page size.
+	PageSize int
+
+	// BTBEntries is the branch target buffer capacity (Pentium II:
+	// 512 entries, 4-way). BTBAssoc is its associativity.
+	BTBEntries int
+	BTBAssoc   int
+	// HistoryBits is the per-entry branch history length of the
+	// two-level adaptive predictor (Yeh & Patt).
+	HistoryBits int
+	// MispredictPenalty is charged per mispredicted retired branch
+	// (Table 4.2: 17 cycles).
+	MispredictPenalty float64
+	// WrongPathLines is how many instruction lines the front end
+	// fetches down the wrong path before a misprediction resolves;
+	// they pollute the L1 I-cache (Section 3.2's note that prefetching
+	// "can increase the branch misprediction penalty").
+	WrongPathLines int
+
+	// RetireWidth is the μop retire bandwidth per cycle; TC is
+	// estimated as μops retired divided by this width (Table 4.2:
+	// "estimated minimum based on μops retired").
+	RetireWidth float64
+
+	// OverlapWindow and OverlapFraction model the non-blocking caches:
+	// an L2 data miss arriving within OverlapWindow data references of
+	// the previous one overlaps OverlapFraction of its latency with
+	// that predecessor (up to MissesOutstanding in flight). The paper
+	// measured the workload as latency-bound with little overlap.
+	OverlapWindow     int
+	OverlapFraction   float64
+	MissesOutstanding int
+
+	// InterruptCycles is the period of the simulated OS timer
+	// interrupt in CPU cycles (NT's 10ms tick at 400MHz = 4M cycles).
+	// Zero disables interrupts.
+	InterruptCycles float64
+	// InterruptCodeBytes is the kernel code footprint fetched per
+	// interrupt; it displaces DBMS code from the L1 I-cache
+	// (Section 5.2.2's second hypothesis).
+	InterruptCodeBytes int
+	// InterruptInstrs is the kernel instruction count retired per
+	// interrupt, counted in the :SUP (kernel mode) counters.
+	InterruptInstrs int
+}
+
+// DefaultConfig returns the platform of Table 4.1 / Section 4.
+func DefaultConfig() Config {
+	return Config{
+		ClockMHz:           400,
+		L1ISizeKB:          16,
+		L1DSizeKB:          16,
+		L2SizeKB:           512,
+		CacheAssoc:         4,
+		LineSize:           32,
+		L1MissPenalty:      4,
+		MemoryLatency:      65,
+		ITLBEntries:        32,
+		DTLBEntries:        64,
+		TLBAssoc:           4,
+		ITLBPenalty:        32,
+		DTLBPenalty:        30,
+		PageSize:           4096,
+		BTBEntries:         512,
+		BTBAssoc:           4,
+		HistoryBits:        4,
+		MispredictPenalty:  17,
+		WrongPathLines:     2,
+		RetireWidth:        3,
+		OverlapWindow:      6,
+		OverlapFraction:    0.25,
+		MissesOutstanding:  4,
+		InterruptCycles:    4_000_000,
+		InterruptCodeBytes: 12 * 1024,
+		InterruptInstrs:    3000,
+	}
+}
+
+// Validate reports the first configuration error found.
+func (c Config) Validate() error {
+	switch {
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("xeon: line size %d must be a positive power of two", c.LineSize)
+	case c.PageSize <= 0 || c.PageSize&(c.PageSize-1) != 0:
+		return fmt.Errorf("xeon: page size %d must be a positive power of two", c.PageSize)
+	case c.L1ISizeKB <= 0 || c.L1DSizeKB <= 0 || c.L2SizeKB <= 0:
+		return fmt.Errorf("xeon: cache sizes must be positive")
+	case c.CacheAssoc <= 0 || c.TLBAssoc <= 0 || c.BTBAssoc <= 0:
+		return fmt.Errorf("xeon: associativities must be positive")
+	case c.ITLBEntries < c.TLBAssoc || c.DTLBEntries < c.TLBAssoc:
+		return fmt.Errorf("xeon: TLBs must hold at least one set")
+	case c.BTBEntries < c.BTBAssoc:
+		return fmt.Errorf("xeon: BTB must hold at least one set")
+	case c.HistoryBits <= 0 || c.HistoryBits > 16:
+		return fmt.Errorf("xeon: history bits %d out of range (1..16)", c.HistoryBits)
+	case c.RetireWidth <= 0:
+		return fmt.Errorf("xeon: retire width must be positive")
+	case c.OverlapFraction < 0 || c.OverlapFraction > 1:
+		return fmt.Errorf("xeon: overlap fraction %v out of [0,1]", c.OverlapFraction)
+	case c.L1MissPenalty < 0 || c.MemoryLatency < 0 || c.ITLBPenalty < 0 ||
+		c.DTLBPenalty < 0 || c.MispredictPenalty < 0:
+		return fmt.Errorf("xeon: penalties must be non-negative")
+	}
+	if (c.L1ISizeKB*1024/c.LineSize)%c.CacheAssoc != 0 ||
+		(c.L1DSizeKB*1024/c.LineSize)%c.CacheAssoc != 0 ||
+		(c.L2SizeKB*1024/c.LineSize)%c.CacheAssoc != 0 {
+		return fmt.Errorf("xeon: cache capacity must divide into whole sets")
+	}
+	return nil
+}

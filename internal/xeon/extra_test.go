@@ -1,0 +1,188 @@
+package xeon
+
+import (
+	"testing"
+
+	"wheretime/internal/core"
+	"wheretime/internal/trace"
+)
+
+func TestInterruptFiresOnSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptCycles = 10_000
+	p := New(cfg)
+	// Generate ~100k gross cycles of fetch work.
+	for i := 0; i < 1000; i++ {
+		p.FetchBlock(trace.CodeBase+uint64(i%8)*32, 32, 100, 300)
+	}
+	b := p.Breakdown()
+	want := b.GrossTotal() / cfg.InterruptCycles
+	got := float64(p.Interrupts())
+	if got < want*0.5 || got > want*1.5 {
+		t.Errorf("interrupts = %v, expected ~%v for %v gross cycles", got, want, b.GrossTotal())
+	}
+	if b.Counts.KernelInstructions != p.Interrupts()*uint64(cfg.InterruptInstrs) {
+		t.Errorf("kernel instructions = %d for %d interrupts", b.Counts.KernelInstructions, p.Interrupts())
+	}
+}
+
+func TestInterruptDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptCycles = 0
+	p := New(cfg)
+	for i := 0; i < 1000; i++ {
+		p.FetchBlock(trace.CodeBase, 32, 100, 300)
+	}
+	if p.Interrupts() != 0 {
+		t.Errorf("interrupts fired while disabled: %d", p.Interrupts())
+	}
+}
+
+func TestOverlapCappedByOutstandingMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptCycles = 0
+	cfg.OverlapWindow = 100
+	cfg.MissesOutstanding = 2
+	p := New(cfg)
+	// Six back-to-back misses: only one extra miss may overlap per
+	// burst of two outstanding.
+	for i := 0; i < 6; i++ {
+		p.Load(trace.HeapBase+uint64(i)*64, 8)
+	}
+	b := p.Breakdown()
+	maxOverlap := 3 * cfg.OverlapFraction * cfg.MemoryLatency
+	if b.Cycles[core.TOVL] > maxOverlap+1e-9 {
+		t.Errorf("TOVL = %v exceeds outstanding-miss cap %v", b.Cycles[core.TOVL], maxOverlap)
+	}
+	if b.Cycles[core.TOVL] == 0 {
+		t.Error("back-to-back misses should overlap some latency")
+	}
+}
+
+func TestTotalNeverNegative(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OverlapFraction = 1.0 // extreme overlap
+	p := New(cfg)
+	for i := 0; i < 500; i++ {
+		p.Load(trace.HeapBase+uint64(i)*32, 8)
+	}
+	b := p.Breakdown()
+	if b.Total() <= 0 {
+		t.Errorf("total = %v with extreme overlap", b.Total())
+	}
+	if err := b.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTLBReportedOutsideTM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptCycles = 0
+	p := New(cfg)
+	// Touch many distinct pages to generate DTLB misses.
+	for i := 0; i < 256; i++ {
+		p.Load(trace.HeapBase+uint64(i)*4096, 8)
+	}
+	b := p.Breakdown()
+	if b.Counts.DTLBMisses == 0 || b.Cycles[core.TDTLB] == 0 {
+		t.Fatal("expected DTLB misses")
+	}
+	// TM must not include TDTLB (the paper could not measure it).
+	tm := b.TM()
+	var sum float64
+	for _, c := range core.MemoryComponents() {
+		sum += b.Cycles[c]
+	}
+	if tm != sum {
+		t.Errorf("TM %v includes more than its five components %v", tm, sum)
+	}
+}
+
+func TestWritebackTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptCycles = 0
+	p := New(cfg)
+	// Dirty many lines, then stream over a large range to force
+	// evictions and writebacks at both levels.
+	for i := 0; i < 2048; i++ {
+		p.Store(trace.HeapBase+uint64(i)*32, 8)
+	}
+	for i := 0; i < 1<<16; i++ {
+		p.Load(trace.HeapBase+1<<26+uint64(i)*32, 8)
+	}
+	r := p.Rates()
+	if r.L1DWritebacks == 0 {
+		t.Error("expected L1D writebacks")
+	}
+	if r.L2Writebacks == 0 {
+		t.Error("expected L2 writebacks")
+	}
+}
+
+func TestTakenBranchFraction(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	for i := 0; i < 100; i++ {
+		p.Branch(trace.CodeBase+8, trace.CodeBase, true)
+	}
+	for i := 0; i < 100; i++ {
+		p.Branch(trace.CodeBase+64, trace.CodeBase+128, false)
+	}
+	r := p.Rates()
+	if r.TakenBranchFrac < 0.49 || r.TakenBranchFrac > 0.51 {
+		t.Errorf("taken fraction = %v, want 0.5", r.TakenBranchFrac)
+	}
+}
+
+func TestStoreSpanningLinesDirtiesBoth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptCycles = 0
+	p := New(cfg)
+	p.Store(trace.HeapBase+30, 8) // spans two lines
+	b := p.Breakdown()
+	if b.Counts.L1DReferences != 2 {
+		t.Errorf("spanning store refs = %d, want 2", b.Counts.L1DReferences)
+	}
+	if !p.l1d.dirty[p.findWay(trace.HeapBase)] || !p.l1d.dirty[p.findWay(trace.HeapBase+32)] {
+		t.Error("both spanned lines should be dirty")
+	}
+}
+
+// findWay locates the L1D entry index of addr for white-box checks.
+func (p *Pipeline) findWay(addr uint64) int {
+	line := p.l1d.lineAddr(addr)
+	base := int(line&p.l1d.setMask) * p.l1d.ways
+	for w := 0; w < p.l1d.ways; w++ {
+		if p.l1d.valid[base+w] && p.l1d.tags[base+w] == line {
+			return base + w
+		}
+	}
+	return 0
+}
+
+func TestL2UnifiedSharedBetweenCodeAndData(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptCycles = 0
+	p := New(cfg)
+	// Fill a specific L2 set with data lines, then show a code fetch
+	// mapping to the same set evicts one: unified L2.
+	l2SetSpan := uint64(cfg.L2SizeKB*1024) / uint64(cfg.CacheAssoc)
+	base := trace.HeapBase
+	for i := 0; i <= cfg.CacheAssoc; i++ {
+		p.Load(base+uint64(i)*l2SetSpan, 8)
+	}
+	// The set now overflows: first line evicted from L2.
+	p.ResetStats()
+	p.Load(base, 8)
+	b := p.Breakdown()
+	if b.Counts.L2DataMisses != 1 {
+		t.Errorf("expected the evicted line to miss L2 again: %+v", b.Counts)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	p := New(DefaultConfig())
+	if got := p.Seconds(400e6); got != 1 {
+		t.Errorf("400M cycles at 400MHz = %v s, want 1", got)
+	}
+}

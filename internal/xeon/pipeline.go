@@ -1,0 +1,373 @@
+package xeon
+
+import (
+	"wheretime/internal/core"
+	"wheretime/internal/trace"
+)
+
+// kernelBase is where simulated NT kernel code lives; it shares the
+// I-cache with DBMS code but belongs to a distinct address region.
+const kernelBase uint64 = 0x8000_0000
+
+// Pipeline consumes a query's event stream and produces the paper's
+// execution-time breakdown. It implements trace.Processor.
+//
+// Stall accounting follows Table 4.2:
+//
+//	TC    = μops retired / retire width (estimated minimum)
+//	TL1D  = L1D misses that hit L2 × 4
+//	TL1I  = L1I misses that hit L2 × 4 (serial; not overlapped)
+//	TL2D  = L2 data misses × memory latency (upper bound; the
+//	        overlapped share accumulates in TOVL)
+//	TL2I  = L2 instruction misses × memory latency
+//	TITLB = ITLB misses × 32
+//	TDTLB = DTLB misses × penalty, reported outside TM (the paper
+//	        could not measure it)
+//	TB    = mispredicted retired branches × 17
+//	TDEP/TFU/TILD = stall cycles reported by the issue model
+type Pipeline struct {
+	cfg  Config
+	l1i  *cache
+	l1d  *cache
+	l2   *cache
+	itlb *tlb
+	dtlb *tlb
+	bp   *btb
+
+	cycles [12]float64 // indexed by core.Component
+	counts core.Counts
+
+	// Interrupt machinery: grossCycles tracks accumulated gross time;
+	// when it crosses the next interrupt deadline the kernel timer
+	// handler runs and pollutes the instruction-side state.
+	grossCycles   float64
+	nextInterrupt float64
+	inKernel      bool
+	interrupts    uint64
+
+	// Overlap bookkeeping: data references since the last L2 data
+	// miss, and the number of misses currently treated as in flight.
+	refsSinceL2DMiss int
+	inFlight         int
+
+	// lastIPage caches the last instruction page looked up so
+	// straight-line fetch doesn't pay a TLB probe per line.
+	lastIPage uint64
+	haveIPage bool
+}
+
+var _ trace.Processor = (*Pipeline)(nil)
+
+// New builds a pipeline for the given configuration. It panics if the
+// configuration is invalid; call cfg.Validate first when the values
+// come from user input.
+func New(cfg Config) *Pipeline {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Pipeline{
+		cfg:  cfg,
+		l1i:  newCache("L1I", cfg.L1ISizeKB*1024, cfg.CacheAssoc, cfg.LineSize),
+		l1d:  newCache("L1D", cfg.L1DSizeKB*1024, cfg.CacheAssoc, cfg.LineSize),
+		l2:   newCache("L2", cfg.L2SizeKB*1024, cfg.CacheAssoc, cfg.LineSize),
+		itlb: newTLB("ITLB", cfg.ITLBEntries, cfg.TLBAssoc, cfg.PageSize),
+		dtlb: newTLB("DTLB", cfg.DTLBEntries, cfg.TLBAssoc, cfg.PageSize),
+		bp:   newBTB(cfg.BTBEntries, cfg.BTBAssoc, cfg.HistoryBits),
+	}
+	p.nextInterrupt = cfg.InterruptCycles
+	// No miss is outstanding at start; keep the distance counter far
+	// beyond any window so the first miss never counts as overlapped.
+	p.refsSinceL2DMiss = 1 << 30
+	return p
+}
+
+// Config returns the pipeline's configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// charge adds cycles to a component and advances gross time.
+func (p *Pipeline) charge(c core.Component, v float64) {
+	p.cycles[c] += v
+	p.grossCycles += v
+}
+
+// fetchLine runs one instruction line through ITLB, L1I and L2,
+// charging the Table 4.2 stalls.
+func (p *Pipeline) fetchLine(addr uint64) {
+	page := p.itlb.pageOf(addr)
+	if !p.haveIPage || page != p.lastIPage {
+		p.lastIPage, p.haveIPage = page, true
+		if !p.itlb.access(addr) {
+			p.counts.ITLBMisses++
+			p.charge(core.TITLB, p.cfg.ITLBPenalty)
+		}
+	}
+	p.counts.L1IReferences++
+	if hit, _, _ := p.l1i.access(addr, false); hit {
+		return
+	}
+	p.counts.L1IMisses++
+	p.counts.L2InstReferences++
+	if hit, _, _ := p.l2.access(addr, false); hit {
+		// L1I miss, L2 hit: the 4-cycle front-end stall. Instruction
+		// stalls serialise the pipeline (Section 3.2), so no overlap
+		// discount is applied.
+		p.charge(core.TL1I, p.cfg.L1MissPenalty)
+		return
+	}
+	p.counts.L2InstMisses++
+	p.charge(core.TL2I, p.cfg.MemoryLatency)
+}
+
+// FetchBlock implements trace.Processor.
+func (p *Pipeline) FetchBlock(addr uint64, size, instrs, uops uint32) {
+	if size == 0 {
+		return
+	}
+	if p.inKernel {
+		p.counts.KernelInstructions += uint64(instrs)
+	} else {
+		p.counts.InstructionsRetired += uint64(instrs)
+		p.counts.UopsRetired += uint64(uops)
+		p.charge(core.TC, float64(uops)/p.cfg.RetireWidth)
+	}
+	line := uint64(p.cfg.LineSize)
+	start := addr &^ (line - 1)
+	end := addr + uint64(size)
+	for a := start; a < end; a += line {
+		p.fetchLine(a)
+	}
+	p.maybeInterrupt()
+}
+
+// dataLine runs one data line through DTLB, L1D and L2.
+func (p *Pipeline) dataLine(addr uint64, write bool) {
+	if !p.dtlb.access(addr) {
+		p.counts.DTLBMisses++
+		p.charge(core.TDTLB, p.cfg.DTLBPenalty)
+	}
+	p.refsSinceL2DMiss++
+	p.counts.L1DReferences++
+	if hit, _, _ := p.l1d.access(addr, write); hit {
+		return
+	}
+	p.counts.L1DMisses++
+	p.counts.L2DataReferences++
+	if hit, _, _ := p.l2.access(addr, write); hit {
+		p.charge(core.TL1D, p.cfg.L1MissPenalty)
+		return
+	}
+	p.counts.L2DataMisses++
+	p.charge(core.TL2D, p.cfg.MemoryLatency)
+	// Non-blocking cache overlap: a miss issued while a recent miss is
+	// still outstanding overlaps part of its latency. TL2D keeps the
+	// full (upper-bound) figure, as in the paper; the overlapped share
+	// accumulates in TOVL and is subtracted from wall-clock TQ.
+	if p.refsSinceL2DMiss <= p.cfg.OverlapWindow && p.inFlight < p.cfg.MissesOutstanding {
+		p.inFlight++
+		ov := p.cfg.OverlapFraction * p.cfg.MemoryLatency
+		p.cycles[core.TOVL] += ov
+		p.grossCycles -= ov
+	} else {
+		p.inFlight = 1
+	}
+	p.refsSinceL2DMiss = 0
+}
+
+// Load implements trace.Processor.
+func (p *Pipeline) Load(addr uint64, size uint32) {
+	line := uint64(p.cfg.LineSize)
+	start := addr &^ (line - 1)
+	end := addr + uint64(size)
+	for a := start; a < end; a += line {
+		p.dataLine(a, false)
+	}
+}
+
+// Store implements trace.Processor.
+func (p *Pipeline) Store(addr uint64, size uint32) {
+	line := uint64(p.cfg.LineSize)
+	start := addr &^ (line - 1)
+	end := addr + uint64(size)
+	for a := start; a < end; a += line {
+		p.dataLine(a, true)
+	}
+}
+
+// DataBurst implements trace.Processor: each distinct line of the
+// region passes through the hierarchy once; the remaining references
+// are intra-burst re-references and count as L1D hits.
+func (p *Pipeline) DataBurst(base uint64, bytes, loads, stores uint32) {
+	if bytes == 0 || loads+stores == 0 {
+		return
+	}
+	line := uint64(p.cfg.LineSize)
+	start := base &^ (line - 1)
+	end := base + uint64(bytes)
+	lines := uint32(0)
+	writeEvery := uint32(0)
+	if stores > 0 {
+		writeEvery = (loads + stores) / stores
+	}
+	for a := start; a < end; a += line {
+		write := writeEvery > 0 && (lines%writeEvery == writeEvery-1)
+		p.dataLine(a, write)
+		lines++
+	}
+	total := loads + stores
+	if total > lines {
+		p.counts.L1DReferences += uint64(total - lines)
+	}
+}
+
+// Branch implements trace.Processor.
+func (p *Pipeline) Branch(pc, target uint64, taken bool) {
+	if !p.inKernel {
+		p.counts.BranchesRetired++
+	}
+	btbHit, correct := p.bp.predict(pc, target, taken)
+	if p.inKernel {
+		return
+	}
+	if !btbHit {
+		p.counts.BTBMisses++
+	}
+	if !correct {
+		p.counts.BranchMispredictions++
+		p.charge(core.TB, p.cfg.MispredictPenalty)
+		// Wrong-path fetch pollutes the I-cache without counting
+		// references: the front end ran ahead down the wrong stream.
+		line := uint64(p.cfg.LineSize)
+		wrong := target
+		if !taken {
+			wrong = pc + line
+		}
+		for i := 0; i < p.cfg.WrongPathLines; i++ {
+			p.l1i.touch(wrong + uint64(i)*line)
+		}
+	}
+}
+
+// ResourceStall implements trace.Processor.
+func (p *Pipeline) ResourceStall(dep, fu, ild float64) {
+	if p.inKernel {
+		return
+	}
+	p.charge(core.TDEP, dep)
+	p.charge(core.TFU, fu)
+	p.charge(core.TILD, ild)
+}
+
+// RecordProcessed implements trace.Processor.
+func (p *Pipeline) RecordProcessed() {
+	if !p.inKernel {
+		p.counts.Records++
+	}
+}
+
+// maybeInterrupt fires the OS timer when gross time crosses the next
+// deadline. The handler's code walks through the instruction cache
+// hierarchy (displacing DBMS code, Section 5.2.2's hypothesis), its
+// instructions are retired in kernel mode, and the handler touches a
+// little kernel data.
+func (p *Pipeline) maybeInterrupt() {
+	if p.cfg.InterruptCycles <= 0 || p.inKernel || p.grossCycles < p.nextInterrupt {
+		return
+	}
+	p.nextInterrupt = p.grossCycles + p.cfg.InterruptCycles
+	p.interrupts++
+	p.inKernel = true
+	line := uint64(p.cfg.LineSize)
+	end := kernelBase + uint64(p.cfg.InterruptCodeBytes)
+	for a := kernelBase; a < end; a += line {
+		// Kernel code displaces DBMS lines. The fetches don't count as
+		// user references, so they pollute without perturbing the user
+		// formulae, matching the paper's user-mode measurements.
+		p.l1i.touch(a)
+		p.l2.touch(a)
+	}
+	// Invalidate the fetch-page memo: the handler rewrote the ITLB's
+	// recent history too.
+	p.haveIPage = false
+	p.counts.KernelInstructions += uint64(p.cfg.InterruptInstrs)
+	p.inKernel = false
+}
+
+// Interrupts returns how many OS timer interrupts fired.
+func (p *Pipeline) Interrupts() uint64 { return p.interrupts }
+
+// Breakdown assembles the execution-time decomposition accumulated so
+// far into a core.Breakdown.
+func (p *Pipeline) Breakdown() *core.Breakdown {
+	b := &core.Breakdown{Counts: p.counts}
+	copy(b.Cycles[:], p.cycles[:])
+	return b
+}
+
+// ResetStats zeroes all event counters and accumulated stall time but
+// keeps cache, TLB and predictor contents — the paper's warm-up
+// protocol: run the query several times, then measure.
+func (p *Pipeline) ResetStats() {
+	p.cycles = [12]float64{}
+	p.counts = core.Counts{}
+	p.l1i.resetStats()
+	p.l1d.resetStats()
+	p.l2.resetStats()
+	p.itlb.resetStats()
+	p.dtlb.resetStats()
+	p.bp.resetStats()
+	p.grossCycles = 0
+	p.nextInterrupt = p.cfg.InterruptCycles
+	p.refsSinceL2DMiss = 1 << 30
+	p.inFlight = 0
+	p.interrupts = 0
+}
+
+// FlushAll empties caches, TLBs and the predictor (cold start).
+func (p *Pipeline) FlushAll() {
+	p.l1i.flush()
+	p.l1d.flush()
+	p.l2.flush()
+	p.itlb.flush()
+	p.dtlb.flush()
+	p.bp.flush()
+	p.haveIPage = false
+}
+
+// Seconds converts a cycle count to seconds at the configured clock.
+func (p *Pipeline) Seconds(cycles float64) float64 {
+	return cycles / (float64(p.cfg.ClockMHz) * 1e6)
+}
+
+// HardwareRates reports simulator-level rates useful in diagnostics
+// and ablation benches.
+type HardwareRates struct {
+	L1IMissRate     float64
+	L1DMissRate     float64
+	L2MissRate      float64
+	ITLBMissRate    float64
+	DTLBMissRate    float64
+	BTBMissRate     float64
+	MispredictRate  float64
+	L2Writebacks    uint64
+	L1DWritebacks   uint64
+	TakenBranchFrac float64
+}
+
+// Rates returns the current hardware rates.
+func (p *Pipeline) Rates() HardwareRates {
+	r := HardwareRates{
+		L1IMissRate:    p.l1i.missRate(),
+		L1DMissRate:    p.l1d.missRate(),
+		L2MissRate:     p.l2.missRate(),
+		ITLBMissRate:   p.itlb.missRate(),
+		DTLBMissRate:   p.dtlb.missRate(),
+		BTBMissRate:    p.bp.missRate(),
+		MispredictRate: p.bp.mispredictRate(),
+		L2Writebacks:   p.l2.wbacks,
+		L1DWritebacks:  p.l1d.wbacks,
+	}
+	if p.bp.refs > 0 {
+		r.TakenBranchFrac = float64(p.bp.taken) / float64(p.bp.refs)
+	}
+	return r
+}

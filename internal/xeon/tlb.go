@@ -1,0 +1,31 @@
+package xeon
+
+// tlb is a set-associative translation lookaside buffer. It reuses the
+// cache machinery with the page size as the "line" size: a TLB entry
+// caches one virtual page's translation.
+type tlb struct {
+	c *cache
+}
+
+// newTLB builds a TLB with the given number of entries, associativity
+// and page size.
+func newTLB(name string, entries, assoc, pageSize int) *tlb {
+	return &tlb{c: newCache(name, entries*pageSize, assoc, pageSize)}
+}
+
+// access looks up the page containing addr and reports whether the
+// translation was cached. Misses fill the entry (the hardware page
+// walker completes before the access retires).
+func (t *tlb) access(addr uint64) bool {
+	hit, _, _ := t.c.access(addr, false)
+	return hit
+}
+
+// pageOf returns the page number of addr.
+func (t *tlb) pageOf(addr uint64) uint64 { return t.c.lineAddr(addr) }
+
+func (t *tlb) misses() uint64    { return t.c.misses }
+func (t *tlb) refs() uint64      { return t.c.refs }
+func (t *tlb) flush()            { t.c.flush() }
+func (t *tlb) resetStats()       { t.c.resetStats() }
+func (t *tlb) missRate() float64 { return t.c.missRate() }
