@@ -1,0 +1,38 @@
+# Local targets mirror .github/workflows/ci.yml so "it passed on my
+# machine" and "it passed CI" mean the same commands.
+
+GO ?= go
+
+.PHONY: build test short race bench lint fmt ci
+
+build:
+	$(GO) build ./...
+
+# The full grid: what the nightly CI job runs.
+test:
+	$(GO) test ./...
+
+# The per-push subset: slow harness paths skip themselves.
+short:
+	$(GO) test -short ./...
+
+# Race detector over the concurrent grid. Runs the same short test
+# set as `short`, so CI only needs this one (the race step subsumes
+# the plain short pass).
+race:
+	$(GO) test -race -short ./...
+
+# One pass over every benchmark, no timing loops: proves the bench
+# code still runs. Full timings: go test -bench=. -benchtime=3x .
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+ci: lint build race bench

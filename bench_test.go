@@ -188,6 +188,32 @@ func BenchmarkTPCC(b *testing.B) {
 	}
 }
 
+// --- Grid scheduling -------------------------------------------------
+
+// benchGrid regenerates every registered experiment through the grid
+// scheduler at the given worker count. Serial vs parallel wall-clock
+// is the speedup the concurrent harness buys; the outputs themselves
+// are byte-identical (TestParallelMatchesSerial).
+func benchGrid(b *testing.B, parallel int) {
+	opts := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunExperiments(opts, harness.Experiments(), parallel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridSerial runs the full experiment grid on one worker —
+// the pre-concurrency baseline.
+func BenchmarkGridSerial(b *testing.B) { benchGrid(b, 1) }
+
+// BenchmarkGridParallel fans the same grid out across GOMAXPROCS
+// workers, each on an isolated simulator stack.
+func BenchmarkGridParallel(b *testing.B) {
+	b.ReportMetric(float64(harness.DefaultParallelism()), "workers")
+	benchGrid(b, harness.DefaultParallelism())
+}
+
 // --- Ablations (DESIGN.md section 5) --------------------------------
 
 // ablationCell runs System D SRS under a modified platform config.

@@ -19,6 +19,7 @@ import (
 	"wheretime/internal/harness"
 	"wheretime/internal/sql"
 	"wheretime/internal/trace"
+	"wheretime/internal/workload"
 	"wheretime/internal/xeon"
 )
 
@@ -30,8 +31,14 @@ func main() {
 		queryFlag  = flag.String("query", "srs", "query: srs, irs or sj")
 		scale      = flag.Float64("scale", 0.01, "dataset scale")
 		sel        = flag.Float64("selectivity", 0.10, "range selectivity")
+		parallel   = flag.Int("parallel", harness.DefaultParallelism(), "workers measuring counter pairs (1 = serial)")
 	)
 	flag.Parse()
+
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "emon: -parallel must be >= 1 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
 
 	var sys engine.System
 	switch strings.ToUpper(*sysFlag) {
@@ -51,42 +58,51 @@ func main() {
 	opts := harness.DefaultOptions()
 	opts.Scale = *scale
 	opts.Selectivity = *sel
-	env, err := harness.NewEnv(opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	dims := opts.Dims()
 
 	var query string
 	useIndex := false
 	switch strings.ToLower(*queryFlag) {
 	case "srs":
-		query = env.Dims.QuerySRS(*sel)
+		query = dims.QuerySRS(*sel)
 	case "irs":
-		query = env.Dims.QueryIRS(*sel)
+		query = dims.QueryIRS(*sel)
 		useIndex = true
 		if sys == engine.SystemA {
 			fmt.Fprintln(os.Stderr, "emon: System A does not use the index (Section 5.1)")
 			os.Exit(2)
 		}
 	case "sj":
-		query = env.Dims.QuerySJ()
+		query = dims.QuerySJ()
 	default:
 		fmt.Fprintf(os.Stderr, "emon: unknown query %q\n", *queryFlag)
 		os.Exit(2)
 	}
 
-	eng := env.Engine(sys)
-	plan, err := sql.Prepare(eng.Catalog(), query, sql.PlanOptions{UseIndex: useIndex})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	unit := func(p trace.Processor) {
-		eng.ResetState()
-		if _, err := eng.Run(plan, p); err != nil {
-			panic(err)
+	// newUnit builds one isolated simulator stack — its own database,
+	// engine and plan — so each parallel worker re-runs the query unit
+	// without sharing state with any other worker. Only the layout the
+	// chosen system scans is built (emon measures one system, unlike
+	// the harness environments that serve all four).
+	newUnit := func() (func(trace.Processor), error) {
+		db, err := workload.Build(dims, engine.DefaultProfile(sys).DataLayout)
+		if err != nil {
+			return nil, err
 		}
+		if err := db.BuildIndexes(); err != nil {
+			return nil, err
+		}
+		eng := engine.New(sys, db.Catalog)
+		plan, err := sql.Prepare(db.Catalog, query, sql.PlanOptions{UseIndex: useIndex})
+		if err != nil {
+			return nil, err
+		}
+		return func(p trace.Processor) {
+			eng.ResetState()
+			if _, err := eng.Run(plan, p); err != nil {
+				panic(err)
+			}
+		}, nil
 	}
 
 	var events []emon.Event
@@ -107,8 +123,14 @@ func main() {
 		}
 	}
 
-	session := emon.NewSession(xeon.DefaultConfig(), unit)
-	counts := session.Measure(events)
+	// MeasureParallel with one worker is the serial session: the
+	// counts are pinned to Session.Measure's by
+	// TestMeasureParallelMatchesSession.
+	counts, runs, err := emon.MeasureParallel(xeon.DefaultConfig(), 1, events, *parallel, newUnit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if err := emon.Validate(counts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -116,7 +138,7 @@ func main() {
 
 	fmt.Printf("emon -C (%s) | system %s, %s: %s\n",
 		strings.ToUpper(*eventsFlag), sys, strings.ToUpper(*queryFlag), query)
-	fmt.Printf("unit re-executed %d times (two counters per run)\n\n", session.Runs)
+	fmt.Printf("unit re-executed %d times (two counters per run)\n\n", runs)
 	sorted := make([]emon.Event, 0, len(counts))
 	for e := range counts {
 		sorted = append(sorted, e)

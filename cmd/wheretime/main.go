@@ -6,11 +6,17 @@
 //
 //	wheretime -list
 //	wheretime -experiment fig5.1 [-scale 0.02] [-selectivity 0.10] [-recsize 100]
-//	wheretime -experiment all
+//	wheretime -experiment all [-parallel 8]
 //
 // Scale 1.0 is the paper's 1.2M-record R; per-record behaviour
 // converges within a few thousand records, so the default small scale
 // reproduces the shapes in seconds.
+//
+// The experiment grid decomposes into independent (system, query,
+// parameter) cells; -parallel fans them out across that many workers,
+// each on its own isolated simulator stack. The output is
+// byte-identical at every worker count; -parallel=1 runs today's
+// serial path.
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 		recsize     = flag.Int("recsize", 100, "record size in bytes")
 		l2kb        = flag.Int("l2kb", 0, "override L2 cache size in KB (0 = Table 4.1's 512)")
 		btb         = flag.Int("btb", 0, "override BTB entries (0 = Pentium II's 512)")
+		parallel    = flag.Int("parallel", harness.DefaultParallelism(), "worker count for the experiment grid (1 = serial)")
 	)
 	flag.Parse()
 
@@ -54,6 +61,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "wheretime: -parallel must be >= 1 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
 
 	var exps []harness.Experiment
 	if *exp == "all" {
@@ -67,25 +78,21 @@ func main() {
 		exps = []harness.Experiment{e}
 	}
 
-	env, err := harness.NewEnv(opts)
+	cfg := opts.Config
+	dims := opts.Dims()
+	fmt.Printf("Platform: %dMHz, L1 %d/%dKB, L2 %dKB, %dB lines, BTB %d entries, memory latency %.0f cycles\n",
+		cfg.ClockMHz, cfg.L1ISizeKB, cfg.L1DSizeKB, cfg.L2SizeKB, cfg.LineSize, cfg.BTBEntries, cfg.MemoryLatency)
+	fmt.Printf("Dataset: R=%d records x %dB, S=%d, selectivity %.0f%% (scale %.3g), %d workers\n\n",
+		dims.RRecords, dims.RecordSize, dims.SRecords, *selectivity*100, *scale, *parallel)
+
+	rendered, err := harness.RunExperiments(opts, exps, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cfg := opts.Config
-	fmt.Printf("Platform: %dMHz, L1 %d/%dKB, L2 %dKB, %dB lines, BTB %d entries, memory latency %.0f cycles\n",
-		cfg.ClockMHz, cfg.L1ISizeKB, cfg.L1DSizeKB, cfg.L2SizeKB, cfg.LineSize, cfg.BTBEntries, cfg.MemoryLatency)
-	fmt.Printf("Dataset: R=%d records x %dB, S=%d, selectivity %.0f%% (scale %.3g)\n\n",
-		env.Dims.RRecords, env.Dims.RecordSize, env.Dims.SRecords, *selectivity*100, *scale)
-
-	for _, e := range exps {
+	for i, e := range exps {
 		fmt.Printf("== %s — %s ==\n\n", e.Name, e.Paper)
-		tables, err := e.Run(env)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
-			os.Exit(1)
-		}
-		for _, t := range tables {
+		for _, t := range rendered[i] {
 			fmt.Println(t.Render())
 		}
 	}

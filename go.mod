@@ -1,0 +1,3 @@
+module wheretime
+
+go 1.24

@@ -1,0 +1,74 @@
+package emon
+
+import (
+	"wheretime/internal/fanout"
+	"wheretime/internal/trace"
+	"wheretime/internal/xeon"
+)
+
+// MeasureParallel assembles the same per-pair profile as
+// Session.Measure, but fans the counter pairs out across workers.
+// Each worker builds its own unit of work via newUnit — its own
+// engine, data and pipeline — so no simulator state is shared between
+// concurrent pairs; because every pair re-runs the unit from a reset
+// state, the assembled counts are identical to a serial session's
+// (TestMeasureParallelMatchesSession). It returns the counts and how
+// many measured runs were performed (one per pair, as the Pentium
+// II's two counters force).
+func MeasureParallel(cfg xeon.Config, warmup int, events []Event, parallel int,
+	newUnit func() (func(trace.Processor), error)) (map[Event]uint64, int, error) {
+
+	var pairs [][]Event
+	for i := 0; i < len(events); i += 2 {
+		end := i + 2
+		if end > len(events) {
+			end = len(events)
+		}
+		pairs = append(pairs, events[i:end])
+	}
+
+	type outcome struct {
+		counts map[Event]uint64
+		err    error
+	}
+	outcomes := make([]outcome, len(pairs))
+	fanout.Run(len(pairs), parallel, func() func(int) bool {
+		// The unit is built lazily so a worker that never receives a
+		// pair never pays for data generation.
+		var unit func(trace.Processor)
+		return func(i int) bool {
+			if unit == nil {
+				u, err := newUnit()
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					return false
+				}
+				unit = u
+			}
+			pipe := xeon.New(cfg)
+			for n := 0; n < warmup; n++ {
+				unit(pipe)
+			}
+			pipe.ResetStats()
+			unit(pipe)
+			counts := pipe.Breakdown().Counts
+			got := make(map[Event]uint64, 2)
+			for _, e := range pairs[i] {
+				got[e] = e.read(counts)
+			}
+			outcomes[i] = outcome{counts: got}
+			return true
+		}
+	})
+
+	out := make(map[Event]uint64, len(events))
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, 0, o.err
+		}
+		for e, v := range o.counts {
+			out[e] = v
+		}
+	}
+	return out, len(pairs), nil
+}

@@ -1,0 +1,91 @@
+package emon_test
+
+import (
+	"errors"
+	"testing"
+
+	"wheretime/internal/emon"
+	"wheretime/internal/engine"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+	"wheretime/internal/xeon"
+)
+
+// newTestUnit builds an isolated unit of work — its own database,
+// engine and plan — the factory shape MeasureParallel hands each
+// worker.
+func newTestUnit() (func(trace.Processor), error) {
+	d := workload.Dims{RRecords: 2000, SRecords: 66, RecordSize: 100, Seed: 11}
+	db, err := workload.Build(d, storage.NSM)
+	if err != nil {
+		return nil, err
+	}
+	e := engine.New(engine.SystemC, db.Catalog)
+	plan, err := e.Prepare(d.QuerySRS(0.10))
+	if err != nil {
+		return nil, err
+	}
+	return func(p trace.Processor) {
+		e.ResetState()
+		if _, err := e.Run(plan, p); err != nil {
+			panic(err)
+		}
+	}, nil
+}
+
+// TestMeasureParallelMatchesSession pins the parallel profile to the
+// serial protocol: the counts MeasureParallel assembles — at any
+// worker count, including 1 — must equal Session.Measure's exactly,
+// and the run accounting (one measured run per counter pair) must
+// agree. cmd/emon's default path routes through MeasureParallel, so
+// this equivalence is what keeps default CLI output on the paper's
+// methodology.
+func TestMeasureParallelMatchesSession(t *testing.T) {
+	cfg := xeon.DefaultConfig()
+	events := emon.AllEvents()
+	workerCounts := []int{1, 4}
+	if testing.Short() {
+		// Two pairs and one fan-out keep the equivalence pinned at a
+		// fraction of the full profile's cost on the per-push path.
+		events = events[:4]
+		workerCounts = []int{2}
+	}
+
+	unit, err := newTestUnit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := emon.NewSession(cfg, unit)
+	want := session.Measure(events)
+
+	for _, workers := range workerCounts {
+		got, runs, err := emon.MeasureParallel(cfg, 1, events, workers, newTestUnit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if runs != session.Runs {
+			t.Errorf("workers=%d: %d runs, serial session took %d", workers, runs, session.Runs)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d events measured, want %d", workers, len(got), len(want))
+		}
+		for e, v := range want {
+			if got[e] != v {
+				t.Errorf("workers=%d: %s = %d, serial session measured %d", workers, e, got[e], v)
+			}
+		}
+	}
+}
+
+// TestMeasureParallelPropagatesUnitError verifies a failing unit
+// factory surfaces as an error, not a panic or partial profile.
+func TestMeasureParallelPropagatesUnitError(t *testing.T) {
+	failing := func() (func(trace.Processor), error) {
+		return nil, errors.New("factory failed")
+	}
+	_, _, err := emon.MeasureParallel(xeon.DefaultConfig(), 1, emon.AllEvents(), 2, failing)
+	if err == nil {
+		t.Error("factory error should propagate")
+	}
+}

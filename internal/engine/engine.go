@@ -15,6 +15,12 @@ const workspaceBase uint64 = 0x6000_0000
 
 // Engine executes plans for one system variant over one catalog,
 // narrating its hardware behaviour to a trace.Processor.
+//
+// An Engine is single-threaded: its routines carry dynamic state
+// (invocation counters, branch-pattern phase, PRNGs) that Run mutates
+// and ResetState rewinds. Concurrent experiments each build their own
+// Engine over their own catalog; the only package-level tables
+// (routineBases, profiles) are read-only.
 type Engine struct {
 	prof   Profile
 	cat    *catalog.Catalog

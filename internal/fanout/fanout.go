@@ -1,0 +1,53 @@
+// Package fanout provides the indexed worker-pool primitive shared by
+// the concurrent experiment grid (internal/harness) and the parallel
+// counter-pair session (internal/emon): n independent jobs fanned out
+// across a bounded set of workers, each worker carrying its own
+// isolated state, with dispatch cancelled on first failure.
+package fanout
+
+import "sync"
+
+// Run invokes a per-worker job function for every index in [0, n),
+// across at most workers goroutines. newWorker is called once per
+// goroutine to build the worker's job function, which is where
+// per-worker state (a private simulator stack, a lazily built unit of
+// work) lives. A job returning false cancels the dispatch of
+// not-yet-started indexes — in-flight jobs complete — so a failing
+// grid reports its error without simulating the rest of the schedule.
+// Run returns once every dispatched job has finished. Indexes are
+// dispatched in order but complete in any order; callers aggregate
+// by index to stay deterministic.
+func Run(n, workers int, newWorker func() func(i int) bool) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	cancel := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job := newWorker()
+			for i := range jobs {
+				if !job(i) {
+					once.Do(func() { close(cancel) })
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-cancel:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,68 @@
+package fanout_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wheretime/internal/fanout"
+)
+
+func TestRunCoversEveryIndex(t *testing.T) {
+	const n = 100
+	done := make([]int32, n)
+	fanout.Run(n, 7, func() func(int) bool {
+		return func(i int) bool {
+			atomic.AddInt32(&done[i], 1)
+			return true
+		}
+	})
+	for i, c := range done {
+		if c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestRunPerWorkerState(t *testing.T) {
+	var mu sync.Mutex
+	workers := 0
+	fanout.Run(20, 4, func() func(int) bool {
+		mu.Lock()
+		workers++
+		mu.Unlock()
+		return func(int) bool { return true }
+	})
+	if workers < 1 || workers > 4 {
+		t.Errorf("built %d workers, want 1..4", workers)
+	}
+}
+
+func TestRunCancelsDispatchOnFailure(t *testing.T) {
+	var ran int32
+	// One worker, fail on the first job: no later index may start.
+	fanout.Run(1000, 1, func() func(int) bool {
+		return func(i int) bool {
+			atomic.AddInt32(&ran, 1)
+			return false
+		}
+	})
+	// The dispatcher may hand over at most a couple of jobs before it
+	// observes the cancel; the point is it does not run all 1000.
+	if got := atomic.LoadInt32(&ran); got > 3 {
+		t.Errorf("%d jobs ran after first failure", got)
+	}
+}
+
+func TestRunClampsWorkers(t *testing.T) {
+	// workers > n and workers < 1 must both still cover all indexes.
+	for _, workers := range []int{50, 0, -1} {
+		var ran int32
+		fanout.Run(5, workers, func() func(int) bool {
+			return func(int) bool { atomic.AddInt32(&ran, 1); return true }
+		})
+		if ran != 5 {
+			t.Errorf("workers=%d: ran %d of 5", workers, ran)
+		}
+	}
+}

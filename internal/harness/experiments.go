@@ -9,31 +9,47 @@ import (
 	"wheretime/internal/engine"
 )
 
-// Experiment regenerates one figure or table of the paper.
+// Experiment regenerates one figure or table of the paper. Each
+// experiment declares the independent grid cells it needs (Cells) and
+// renders its tables from the measured results (Render); the two
+// halves let the grid scheduler fan every cell out across workers and
+// still render in canonical paper order.
 type Experiment struct {
 	// Name is the CLI identifier (e.g. "fig5.1").
 	Name string
 	// Paper locates the result in the paper.
 	Paper string
-	// Run produces the rendered tables.
-	Run func(env *Env) ([]Table, error)
+	// Cells lists the grid cells the experiment consumes, fully
+	// resolved against opts. Cells shared between experiments
+	// deduplicate before scheduling.
+	Cells func(opts Options) []CellSpec
+	// Render produces the tables from measured cells. It must consume
+	// only cells that Cells declared.
+	Render func(opts Options, res *Results) ([]Table, error)
+}
+
+// Run measures and renders the experiment serially against an
+// existing environment (the single-environment compatibility path;
+// the CLIs go through RunExperiments instead).
+func (e Experiment) Run(env *Env) ([]Table, error) {
+	return e.Render(env.Opts, envResults(env))
 }
 
 // Experiments returns the registry of every reproducible figure and
 // table, in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{Name: "fig5.1", Paper: "Figure 5.1: execution time breakdown", Run: Fig51},
-		{Name: "fig5.2", Paper: "Figure 5.2: memory stall breakdown", Run: Fig52},
-		{Name: "fig5.3", Paper: "Figure 5.3: instructions retired per record", Run: Fig53},
-		{Name: "fig5.4a", Paper: "Figure 5.4 (left): branch misprediction rates", Run: Fig54a},
-		{Name: "fig5.4b", Paper: "Figure 5.4 (right): TB and TL1I vs selectivity (System D, SRS)", Run: Fig54b},
-		{Name: "fig5.5", Paper: "Figure 5.5: TDEP and TFU contributions", Run: Fig55},
-		{Name: "fig5.6", Paper: "Figure 5.6: CPI breakdown, SRS vs TPC-D", Run: Fig56},
-		{Name: "fig5.7", Paper: "Figure 5.7: cache stall breakdown, SRS vs TPC-D", Run: Fig57},
-		{Name: "recsize", Paper: "Section 5.2.1-5.2.2: record size sweep", Run: RecordSize},
-		{Name: "tpcc", Paper: "Section 5.5: TPC-C behaviour", Run: TPCC},
-		{Name: "claims", Paper: "Section 1/5: headline claims check", Run: Claims},
+		{Name: "fig5.1", Paper: "Figure 5.1: execution time breakdown", Cells: microGridCells, Render: fig51Render},
+		{Name: "fig5.2", Paper: "Figure 5.2: memory stall breakdown", Cells: microGridCells, Render: fig52Render},
+		{Name: "fig5.3", Paper: "Figure 5.3: instructions retired per record", Cells: microGridCells, Render: fig53Render},
+		{Name: "fig5.4a", Paper: "Figure 5.4 (left): branch misprediction rates", Cells: microGridCells, Render: fig54aRender},
+		{Name: "fig5.4b", Paper: "Figure 5.4 (right): TB and TL1I vs selectivity (System D, SRS)", Cells: fig54bCells, Render: fig54bRender},
+		{Name: "fig5.5", Paper: "Figure 5.5: TDEP and TFU contributions", Cells: microGridCells, Render: fig55Render},
+		{Name: "fig5.6", Paper: "Figure 5.6: CPI breakdown, SRS vs TPC-D", Cells: tpcdGridCells, Render: fig56Render},
+		{Name: "fig5.7", Paper: "Figure 5.7: cache stall breakdown, SRS vs TPC-D", Cells: tpcdGridCells, Render: fig57Render},
+		{Name: "recsize", Paper: "Section 5.2.1-5.2.2: record size sweep", Cells: recordSizeCells, Render: recordSizeRender},
+		{Name: "tpcc", Paper: "Section 5.5: TPC-C behaviour", Cells: tpccCells, Render: tpccRender},
+		{Name: "claims", Paper: "Section 1/5: headline claims check", Cells: claimsCells, Render: claimsRender},
 	}
 }
 
@@ -51,13 +67,87 @@ func Find(name string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
 }
 
-// queriesFor lists the query kinds in paper order.
+// allQueries lists the query kinds in paper order.
 var allQueries = []QueryKind{SRS, IRS, SJ}
+
+// validMicro reports whether (s, q) is a measurable combination:
+// System A skips IRS because it does not use the index (Section 5.1).
+func validMicro(s engine.System, q QueryKind) bool {
+	return q != IRS || engine.DefaultProfile(s).UseIndex
+}
+
+// microGridCells emits the full (query, system) microbenchmark grid at
+// the base options — the cells Figures 5.1-5.5 share.
+func microGridCells(opts Options) []CellSpec {
+	var specs []CellSpec
+	for _, q := range allQueries {
+		for _, s := range engine.Systems() {
+			if !validMicro(s, q) {
+				continue
+			}
+			specs = append(specs, microCell(opts, s, q))
+		}
+	}
+	return specs
+}
+
+// fig54bSelectivities is the sweep of Figure 5.4 (right).
+var fig54bSelectivities = []float64{0, 0.01, 0.05, 0.10, 0.50, 1.00}
+
+func fig54bCells(opts Options) []CellSpec {
+	var specs []CellSpec
+	for _, sel := range fig54bSelectivities {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.Selectivity = sel
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// tpcdSystems is the subset the paper ran TPC-D on (Section 5.5).
+var tpcdSystems = []engine.System{engine.SystemA, engine.SystemB, engine.SystemD}
+
+// tpcdGridCells emits the cells Figures 5.6-5.7 compare: the SRS
+// microbenchmark and the TPC-D suite on the paper's TPC-D systems.
+func tpcdGridCells(opts Options) []CellSpec {
+	var specs []CellSpec
+	for _, s := range tpcdSystems {
+		specs = append(specs, microCell(opts, s, SRS))
+		specs = append(specs, CellSpec{Kind: CellTPCD, System: s})
+	}
+	return specs
+}
+
+// recordSizes is the sweep of Sections 5.2.1-5.2.2.
+var recordSizes = []int{20, 48, 100, 152, 200}
+
+func recordSizeCells(opts Options) []CellSpec {
+	var specs []CellSpec
+	for _, size := range recordSizes {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.RecordSize = size
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// tpccTxns is the measured transaction count of the Section 5.5 table.
+const tpccTxns = 400
+
+func tpccCells(opts Options) []CellSpec {
+	var specs []CellSpec
+	for _, s := range engine.Systems() {
+		specs = append(specs, CellSpec{Kind: CellTPCC, System: s, Txns: tpccTxns})
+	}
+	return specs
+}
 
 // Fig51 regenerates the execution time breakdown: one table per query,
 // one row per system, columns TC/TM/TB/TR as percentages of execution
 // time.
-func Fig51(env *Env) ([]Table, error) {
+func Fig51(env *Env) ([]Table, error) { return fig51Render(env.Opts, envResults(env)) }
+
+func fig51Render(opts Options, res *Results) ([]Table, error) {
 	var tables []Table
 	for _, q := range allQueries {
 		t := Table{
@@ -68,11 +158,11 @@ func Fig51(env *Env) ([]Table, error) {
 			t.Note = "System A omitted: it does not use the index (Section 5.1)."
 		}
 		for _, s := range engine.Systems() {
-			cell, err := env.Run(s, q)
+			if !validMicro(s, q) {
+				continue
+			}
+			cell, err := res.Get(microCell(opts, s, q))
 			if err != nil {
-				if q == IRS && s == engine.SystemA {
-					continue
-				}
 				return nil, err
 			}
 			b := cell.Breakdown
@@ -89,7 +179,9 @@ func Fig51(env *Env) ([]Table, error) {
 
 // Fig52 regenerates the memory stall breakdown: the five components of
 // TM as percentages of TM.
-func Fig52(env *Env) ([]Table, error) {
+func Fig52(env *Env) ([]Table, error) { return fig52Render(env.Opts, envResults(env)) }
+
+func fig52Render(opts Options, res *Results) ([]Table, error) {
 	var tables []Table
 	for _, q := range allQueries {
 		t := Table{
@@ -97,11 +189,11 @@ func Fig52(env *Env) ([]Table, error) {
 			Header: []string{"System", "L1D", "L1I", "L2D", "L2I", "ITLB"},
 		}
 		for _, s := range engine.Systems() {
-			cell, err := env.Run(s, q)
+			if !validMicro(s, q) {
+				continue
+			}
+			cell, err := res.Get(microCell(opts, s, q))
 			if err != nil {
-				if q == IRS && s == engine.SystemA {
-					continue
-				}
 				return nil, err
 			}
 			b := cell.Breakdown
@@ -120,7 +212,9 @@ func Fig52(env *Env) ([]Table, error) {
 // Fig53 regenerates instructions retired per record. Denominators
 // follow the figure's caption: records of R for SRS and SJ, selected
 // records for IRS.
-func Fig53(env *Env) ([]Table, error) {
+func Fig53(env *Env) ([]Table, error) { return fig53Render(env.Opts, envResults(env)) }
+
+func fig53Render(opts Options, res *Results) ([]Table, error) {
 	t := Table{
 		Title:  "Figure 5.3: instructions retired per record",
 		Note:   "SRS/SJ: per record of R; IRS: per selected record.",
@@ -129,12 +223,12 @@ func Fig53(env *Env) ([]Table, error) {
 	for _, s := range engine.Systems() {
 		row := []string{s.String()}
 		for _, q := range allQueries {
-			cell, err := env.Run(s, q)
+			if !validMicro(s, q) {
+				row = append(row, "-")
+				continue
+			}
+			cell, err := res.Get(microCell(opts, s, q))
 			if err != nil {
-				if q == IRS && s == engine.SystemA {
-					row = append(row, "-")
-					continue
-				}
 				return nil, err
 			}
 			row = append(row, num(cell.Breakdown.InstructionsPerRecord()))
@@ -145,7 +239,9 @@ func Fig53(env *Env) ([]Table, error) {
 }
 
 // Fig54a regenerates the branch misprediction rates (left graph).
-func Fig54a(env *Env) ([]Table, error) {
+func Fig54a(env *Env) ([]Table, error) { return fig54aRender(env.Opts, envResults(env)) }
+
+func fig54aRender(opts Options, res *Results) ([]Table, error) {
 	t := Table{
 		Title:  "Figure 5.4 (left): branch misprediction rates",
 		Header: []string{"System", "SRS", "IRS", "SJ", "BTB miss (SRS)"},
@@ -154,12 +250,12 @@ func Fig54a(env *Env) ([]Table, error) {
 		row := []string{s.String()}
 		var btb string
 		for _, q := range allQueries {
-			cell, err := env.Run(s, q)
+			if !validMicro(s, q) {
+				row = append(row, "-")
+				continue
+			}
+			cell, err := res.Get(microCell(opts, s, q))
 			if err != nil {
-				if q == IRS && s == engine.SystemA {
-					row = append(row, "-")
-					continue
-				}
 				return nil, err
 			}
 			row = append(row, pct(100*cell.Breakdown.BranchMispredictionRate()))
@@ -175,15 +271,17 @@ func Fig54a(env *Env) ([]Table, error) {
 
 // Fig54b regenerates the right graph: TB and TL1I as percentages of
 // execution time for System D running SRS across selectivities.
-func Fig54b(env *Env) ([]Table, error) {
+func Fig54b(env *Env) ([]Table, error) { return fig54bRender(env.Opts, envResults(env)) }
+
+func fig54bRender(opts Options, res *Results) ([]Table, error) {
 	t := Table{
 		Title:  "Figure 5.4 (right): System D sequential selection vs selectivity",
 		Header: []string{"Selectivity", "Branch mispred stalls", "L1 I-cache stalls"},
 	}
-	for _, sel := range []float64{0, 0.01, 0.05, 0.10, 0.50, 1.00} {
-		sub := *env
-		sub.Opts.Selectivity = sel
-		cell, err := sub.Run(engine.SystemD, SRS)
+	for _, sel := range fig54bSelectivities {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.Selectivity = sel
+		cell, err := res.Get(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -196,7 +294,9 @@ func Fig54b(env *Env) ([]Table, error) {
 }
 
 // Fig55 regenerates the TDEP/TFU contributions to execution time.
-func Fig55(env *Env) ([]Table, error) {
+func Fig55(env *Env) ([]Table, error) { return fig55Render(env.Opts, envResults(env)) }
+
+func fig55Render(opts Options, res *Results) ([]Table, error) {
 	dep := Table{
 		Title:  "Figure 5.5 (TDEP): dependency stall contribution (% of execution time)",
 		Header: []string{"System", "SRS", "IRS", "SJ"},
@@ -209,13 +309,13 @@ func Fig55(env *Env) ([]Table, error) {
 		depRow := []string{s.String()}
 		fuRow := []string{s.String()}
 		for _, q := range allQueries {
-			cell, err := env.Run(s, q)
+			if !validMicro(s, q) {
+				depRow = append(depRow, "-")
+				fuRow = append(fuRow, "-")
+				continue
+			}
+			cell, err := res.Get(microCell(opts, s, q))
 			if err != nil {
-				if q == IRS && s == engine.SystemA {
-					depRow = append(depRow, "-")
-					fuRow = append(fuRow, "-")
-					continue
-				}
 				return nil, err
 			}
 			depRow = append(depRow, pct(cell.Breakdown.ComponentPercent(core.TDEP)))
@@ -227,12 +327,11 @@ func Fig55(env *Env) ([]Table, error) {
 	return []Table{dep, fu}, nil
 }
 
-// tpcdSystems is the subset the paper ran TPC-D on (Section 5.5).
-var tpcdSystems = []engine.System{engine.SystemA, engine.SystemB, engine.SystemD}
-
 // Fig56 regenerates the clocks-per-instruction breakdown for the 10%
 // SRS (left) and the TPC-D suite (right).
-func Fig56(env *Env) ([]Table, error) {
+func Fig56(env *Env) ([]Table, error) { return fig56Render(env.Opts, envResults(env)) }
+
+func fig56Render(opts Options, res *Results) ([]Table, error) {
 	mk := func(title string, get func(engine.System) (*core.Breakdown, error)) (Table, error) {
 		t := Table{
 			Title:  title,
@@ -253,7 +352,7 @@ func Fig56(env *Env) ([]Table, error) {
 	}
 	left, err := mk("Figure 5.6 (left): CPI breakdown, 10% sequential range selection",
 		func(s engine.System) (*core.Breakdown, error) {
-			cell, err := env.Run(s, SRS)
+			cell, err := res.Get(microCell(opts, s, SRS))
 			return cell.Breakdown, err
 		})
 	if err != nil {
@@ -261,7 +360,7 @@ func Fig56(env *Env) ([]Table, error) {
 	}
 	right, err := mk("Figure 5.6 (right): CPI breakdown, TPC-D queries",
 		func(s engine.System) (*core.Breakdown, error) {
-			cell, err := env.RunTPCD(s)
+			cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s})
 			return cell.Breakdown, err
 		})
 	if err != nil {
@@ -272,7 +371,9 @@ func Fig56(env *Env) ([]Table, error) {
 
 // Fig57 regenerates the cache-related stall breakdown for SRS vs the
 // TPC-D suite.
-func Fig57(env *Env) ([]Table, error) {
+func Fig57(env *Env) ([]Table, error) { return fig57Render(env.Opts, envResults(env)) }
+
+func fig57Render(opts Options, res *Results) ([]Table, error) {
 	mk := func(title string, get func(engine.System) (*core.Breakdown, error)) (Table, error) {
 		t := Table{
 			Title:  title,
@@ -296,7 +397,7 @@ func Fig57(env *Env) ([]Table, error) {
 	}
 	left, err := mk("Figure 5.7 (left): cache-related stalls, 10% sequential range selection",
 		func(s engine.System) (*core.Breakdown, error) {
-			cell, err := env.Run(s, SRS)
+			cell, err := res.Get(microCell(opts, s, SRS))
 			return cell.Breakdown, err
 		})
 	if err != nil {
@@ -304,7 +405,7 @@ func Fig57(env *Env) ([]Table, error) {
 	}
 	right, err := mk("Figure 5.7 (right): cache-related stalls, TPC-D queries",
 		func(s engine.System) (*core.Breakdown, error) {
-			cell, err := env.RunTPCD(s)
+			cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s})
 			return cell.Breakdown, err
 		})
 	if err != nil {
@@ -316,27 +417,25 @@ func Fig57(env *Env) ([]Table, error) {
 // RecordSize regenerates the record-size discussion of Sections
 // 5.2.1-5.2.2: TL2D grows with record size, and execution time per
 // record grows by 2.5-4x from 20 to 200 bytes.
-func RecordSize(env *Env) ([]Table, error) {
+func RecordSize(env *Env) ([]Table, error) { return recordSizeRender(env.Opts, envResults(env)) }
+
+func recordSizeRender(opts Options, res *Results) ([]Table, error) {
 	t := Table{
 		Title:  "Section 5.2.1-5.2.2: record size sweep (System D, 10% SRS)",
 		Header: []string{"Record bytes", "TL2D cycles/rec", "L1I misses/rec", "Cycles/rec", "vs 20B"},
 	}
 	var base float64
-	for _, size := range []int{20, 48, 100, 152, 200} {
-		opts := env.Opts
-		opts.RecordSize = size
-		sub, err := NewEnv(opts)
-		if err != nil {
-			return nil, err
-		}
-		cell, err := sub.Run(engine.SystemD, SRS)
+	for _, size := range recordSizes {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.RecordSize = size
+		cell, err := res.Get(spec)
 		if err != nil {
 			return nil, err
 		}
 		b := cell.Breakdown
 		recs := float64(b.Counts.Records)
 		perRec := b.GrossTotal() / recs
-		if size == 20 {
+		if size == recordSizes[0] {
 			base = perRec
 		}
 		t.AddRow(fmt.Sprintf("%d", size),
@@ -351,14 +450,15 @@ func RecordSize(env *Env) ([]Table, error) {
 // TPCC regenerates the Section 5.5 TPC-C observations: CPI 2.5-4.5,
 // 60-80% memory stalls, dominated by L2, with elevated resource
 // stalls.
-func TPCC(env *Env) ([]Table, error) {
+func TPCC(env *Env) ([]Table, error) { return tpccRender(env.Opts, envResults(env)) }
+
+func tpccRender(opts Options, res *Results) ([]Table, error) {
 	t := Table{
 		Title:  "Section 5.5: 10-user, 1-warehouse TPC-C mix",
 		Header: []string{"System", "CPI", "Computation", "Memory", "Branch", "Resource", "L2(D+I) % of TM"},
 	}
-	txns := 400
 	for _, s := range engine.Systems() {
-		cell, _, err := env.RunTPCC(s, txns)
+		cell, err := res.Get(CellSpec{Kind: CellTPCC, System: s, Txns: tpccTxns})
 		if err != nil {
 			return nil, err
 		}
@@ -382,12 +482,52 @@ type Claim struct {
 	Holds     bool
 }
 
+// claimSelectivities is the C7 co-variance sweep.
+var claimSelectivities = []float64{0.01, 0.10, 0.50}
+
+// claimRecordSizes bounds the C8 growth measurement.
+var claimRecordSizes = []int{20, 200}
+
+// claimTPCCTxns is the C10 transaction count.
+const claimTPCCTxns = 300
+
+// claimsCells emits every cell the headline-claims check consumes:
+// the full microbenchmark grid, the C7 selectivity sweep, the C8
+// record-size endpoints, the TPC-D suite on B and D, and a TPC-C run.
+func claimsCells(opts Options) []CellSpec {
+	specs := microGridCells(opts)
+	for _, sel := range claimSelectivities {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.Selectivity = sel
+		specs = append(specs, spec)
+	}
+	for _, size := range claimRecordSizes {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.RecordSize = size
+		specs = append(specs, spec)
+	}
+	for _, s := range []engine.System{engine.SystemB, engine.SystemD} {
+		specs = append(specs, CellSpec{Kind: CellTPCD, System: s})
+	}
+	specs = append(specs, CellSpec{Kind: CellTPCC, System: engine.SystemC, Txns: claimTPCCTxns})
+	return specs
+}
+
 // CheckClaims evaluates the headline claims of Sections 1 and 5
 // against a full run, returning structured results.
 func CheckClaims(env *Env) ([]Claim, error) {
-	cells, err := env.RunAll()
-	if err != nil {
-		return nil, err
+	return checkClaims(env.Opts, envResults(env))
+}
+
+func checkClaims(opts Options, res *Results) ([]Claim, error) {
+	// The microbenchmark grid, from the one place that defines it.
+	var cells []Cell
+	for _, spec := range microGridCells(opts) {
+		c, err := res.Get(spec)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
 	}
 	get := func(s engine.System, q QueryKind) *core.Breakdown {
 		for _, c := range cells {
@@ -493,10 +633,10 @@ func CheckClaims(env *Env) ([]Claim, error) {
 
 	// C7: TB and TL1I co-vary with selectivity for System D SRS.
 	var tbs, l1is []float64
-	for _, sel := range []float64{0.01, 0.10, 0.50} {
-		sub := *env
-		sub.Opts.Selectivity = sel
-		cell, err := sub.Run(engine.SystemD, SRS)
+	for _, sel := range claimSelectivities {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.Selectivity = sel
+		cell, err := res.Get(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -510,10 +650,21 @@ func CheckClaims(env *Env) ([]Claim, error) {
 
 	// C8: execution time per record grows ~2.5-4x from 20B to 200B
 	// records, and TL2D grows with record size.
-	growth, l2dGrowth, err := recordSizeGrowth(env)
-	if err != nil {
-		return nil, err
+	perRec := make([]float64, len(claimRecordSizes))
+	l2d := make([]float64, len(claimRecordSizes))
+	for i, size := range claimRecordSizes {
+		spec := microCell(opts, engine.SystemD, SRS)
+		spec.RecordSize = size
+		cell, err := res.Get(spec)
+		if err != nil {
+			return nil, err
+		}
+		recs := float64(cell.Breakdown.Counts.Records)
+		perRec[i] = cell.Breakdown.GrossTotal() / recs
+		l2d[i] = cell.Breakdown.Cycles[core.TL2D] / recs
 	}
+	growth := perRec[1] / perRec[0]
+	l2dGrowth := l2d[1] / l2d[0]
 	add("C8", "20B->200B records: time/record grows 2.5-4x; TL2D grows with record size",
 		fmt.Sprintf("time/record x%.2f, TL2D x%.2f", growth, l2dGrowth),
 		growth >= 2.0 && growth <= 5.0 && l2dGrowth > 1.5)
@@ -530,7 +681,7 @@ func CheckClaims(env *Env) ([]Claim, error) {
 	tpcdSimilar := true
 	tpcdL1I := true
 	for _, s := range []engine.System{engine.SystemB, engine.SystemD} {
-		cell, err := env.RunTPCD(s)
+		cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s})
 		if err != nil {
 			return nil, err
 		}
@@ -548,7 +699,7 @@ func CheckClaims(env *Env) ([]Claim, error) {
 		cpiOK && tpcdSimilar && tpcdL1I)
 
 	// C10: TPC-C CPI 2.5-4.5, memory stalls >= ~55%, L2-heavy.
-	cell, _, err := env.RunTPCC(engine.SystemC, 300)
+	cell, err := res.Get(CellSpec{Kind: CellTPCC, System: engine.SystemC, Txns: claimTPCCTxns})
 	if err != nil {
 		return nil, err
 	}
@@ -564,37 +715,11 @@ func CheckClaims(env *Env) ([]Claim, error) {
 	return claims, nil
 }
 
-// recordSizeGrowth measures per-record time and TL2D growth from 20B
-// to 200B records for System D.
-func recordSizeGrowth(env *Env) (timeGrowth, l2dGrowth float64, err error) {
-	measure := func(size int) (perRec, l2d float64, err error) {
-		opts := env.Opts
-		opts.RecordSize = size
-		sub, err := NewEnv(opts)
-		if err != nil {
-			return 0, 0, err
-		}
-		cell, err := sub.Run(engine.SystemD, SRS)
-		if err != nil {
-			return 0, 0, err
-		}
-		recs := float64(cell.Breakdown.Counts.Records)
-		return cell.Breakdown.GrossTotal() / recs, cell.Breakdown.Cycles[core.TL2D] / recs, nil
-	}
-	small, smallL2D, err := measure(20)
-	if err != nil {
-		return 0, 0, err
-	}
-	big, bigL2D, err := measure(200)
-	if err != nil {
-		return 0, 0, err
-	}
-	return big / small, bigL2D / smallL2D, nil
-}
-
 // Claims renders the headline-claims check as a table.
-func Claims(env *Env) ([]Table, error) {
-	claims, err := CheckClaims(env)
+func Claims(env *Env) ([]Table, error) { return claimsRender(env.Opts, envResults(env)) }
+
+func claimsRender(opts Options, res *Results) ([]Table, error) {
+	claims, err := checkClaims(opts, res)
 	if err != nil {
 		return nil, err
 	}

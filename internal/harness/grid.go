@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/fanout"
+)
+
+// This file is the concurrent experiment grid. Every figure and table
+// of the paper decomposes into independent measurement cells — one
+// (system, query, parameter point) simulation each — declared up front
+// as CellSpecs, measured by a worker pool over isolated per-worker
+// simulator stacks, and aggregated deterministically so the rendered
+// tables are byte-identical regardless of completion order or worker
+// count.
+
+// CellKind selects the measurement protocol of a grid cell.
+type CellKind int
+
+const (
+	// CellMicro is one microbenchmark query (Section 3.3) under the
+	// warm-cache protocol of Section 4.3.
+	CellMicro CellKind = iota
+	// CellTPCD is the summed 17-query decision-support suite.
+	CellTPCD
+	// CellTPCC is the OLTP transaction mix of Section 5.5.
+	CellTPCC
+)
+
+// CellSpec is one independent cell of the experiment grid, fully
+// resolved (no defaults left implicit) so that equal specs from
+// different figures deduplicate to a single simulation. It is a
+// comparable value and doubles as the aggregation key.
+type CellSpec struct {
+	Kind   CellKind
+	System engine.System
+	// Query is the microbenchmark query (CellMicro only).
+	Query QueryKind
+	// Selectivity applies to CellMicro range selections.
+	Selectivity float64
+	// RecordSize is the R/S record width; cells off the base width are
+	// measured in a sub-environment built at that width.
+	RecordSize int
+	// Txns is the transaction count (CellTPCC only).
+	Txns int
+}
+
+// String names the cell for diagnostics.
+func (c CellSpec) String() string {
+	switch c.Kind {
+	case CellTPCD:
+		return fmt.Sprintf("%s/TPC-D", c.System)
+	case CellTPCC:
+		return fmt.Sprintf("%s/TPC-C(%d)", c.System, c.Txns)
+	default:
+		return fmt.Sprintf("%s/%s(sel=%g,rec=%dB)", c.System, c.Query, c.Selectivity, c.RecordSize)
+	}
+}
+
+// microCell returns the base-environment spec for (s, q) under opts.
+func microCell(opts Options, s engine.System, q QueryKind) CellSpec {
+	return CellSpec{
+		Kind:        CellMicro,
+		System:      s,
+		Query:       q,
+		Selectivity: opts.Selectivity,
+		RecordSize:  opts.RecordSize,
+	}
+}
+
+// RunSpec measures one grid cell against this environment, building
+// and caching a sub-environment when the cell's record size differs
+// from the base. Not safe for concurrent use — the concurrent grid
+// gives each worker a private Env via EnvFactory.
+func (env *Env) RunSpec(spec CellSpec) (Cell, error) {
+	switch spec.Kind {
+	case CellTPCD:
+		return env.RunTPCD(spec.System)
+	case CellTPCC:
+		cell, _, err := env.RunTPCC(spec.System, spec.Txns)
+		return cell, err
+	case CellMicro:
+		target := env
+		if spec.RecordSize != env.Opts.RecordSize {
+			sub, err := env.subEnv(spec.RecordSize)
+			if err != nil {
+				return Cell{}, err
+			}
+			target = sub
+		}
+		if spec.Selectivity != target.Opts.Selectivity {
+			// A shallow copy shares the databases, engines and memo map
+			// (the memo key includes selectivity); only the query text
+			// changes.
+			shifted := *target
+			shifted.Opts.Selectivity = spec.Selectivity
+			target = &shifted
+		}
+		return target.Run(spec.System, spec.Query)
+	default:
+		return Cell{}, fmt.Errorf("harness: unknown cell kind %d", spec.Kind)
+	}
+}
+
+// subEnv returns the cached environment rebuilt at the given record
+// size, constructing it on first use.
+func (env *Env) subEnv(recordSize int) (*Env, error) {
+	if sub, ok := env.subenvs[recordSize]; ok {
+		return sub, nil
+	}
+	opts := env.Opts
+	opts.RecordSize = recordSize
+	sub, err := NewEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	env.subenvs[recordSize] = sub
+	return sub, nil
+}
+
+// EnvFactory lazily builds one isolated simulator stack — databases,
+// engines, caches, pipelines — for a single worker. Nothing under a
+// factory is shared with any other factory, so workers never contend:
+// the xeon pipeline, storage pool, engine routine state and result
+// memo are all private to the worker that built them.
+type EnvFactory struct {
+	opts Options
+	base *Env
+}
+
+// NewEnvFactory returns a factory for stacks at the given options.
+func NewEnvFactory(opts Options) *EnvFactory {
+	return &EnvFactory{opts: opts}
+}
+
+// Env returns the factory's environment, building it on first use so
+// workers that never receive a cell never pay for data generation.
+func (f *EnvFactory) Env() (*Env, error) {
+	if f.base == nil {
+		env, err := NewEnv(f.opts)
+		if err != nil {
+			return nil, err
+		}
+		f.base = env
+	}
+	return f.base, nil
+}
+
+// RunSpec measures one cell on the factory's private stack.
+func (f *EnvFactory) RunSpec(spec CellSpec) (Cell, error) {
+	env, err := f.Env()
+	if err != nil {
+		return Cell{}, err
+	}
+	return env.RunSpec(spec)
+}
+
+// Results holds measured cells keyed by spec. Renders read from it in
+// their own canonical order, so the tables they produce do not depend
+// on the order cells were measured in.
+type Results struct {
+	cells map[CellSpec]Cell
+	// env, when set, measures missing cells on demand: the serial path
+	// and the env-backed compatibility wrappers use it.
+	env *Env
+}
+
+// envResults wraps an environment as a lazily-measuring result set.
+func envResults(env *Env) *Results {
+	return &Results{cells: make(map[CellSpec]Cell), env: env}
+}
+
+// Get returns the measured cell for spec.
+func (r *Results) Get(spec CellSpec) (Cell, error) {
+	if c, ok := r.cells[spec]; ok {
+		return c, nil
+	}
+	if r.env == nil {
+		return Cell{}, fmt.Errorf("harness: cell %s was not measured", spec)
+	}
+	c, err := r.env.RunSpec(spec)
+	if err != nil {
+		return Cell{}, err
+	}
+	r.cells[spec] = c
+	return c, nil
+}
+
+// DefaultParallelism is the worker count the CLIs default to.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// dedupeSpecs drops duplicate cells, preserving first-seen order.
+func dedupeSpecs(specs []CellSpec) []CellSpec {
+	seen := make(map[CellSpec]bool, len(specs))
+	out := specs[:0:0]
+	for _, s := range specs {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// Measure simulates every cell of the grid, fanning the cells out
+// across parallel workers (parallel <= 1 preserves the serial path:
+// one environment, cells in declaration order). Each worker owns an
+// isolated simulator stack built by its private EnvFactory, and the
+// aggregated Results are independent of scheduling: a cell's
+// measurement is a pure function of (opts, spec), which
+// TestParallelMatchesSerial pins down.
+func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
+	specs = dedupeSpecs(specs)
+	res := &Results{cells: make(map[CellSpec]Cell, len(specs))}
+
+	if parallel <= 1 {
+		env, err := NewEnv(opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range specs {
+			c, err := env.RunSpec(spec)
+			if err != nil {
+				return nil, fmt.Errorf("harness: cell %s: %w", spec, err)
+			}
+			res.cells[spec] = c
+		}
+		return res, nil
+	}
+
+	type outcome struct {
+		cell Cell
+		err  error
+	}
+	outcomes := make([]outcome, len(specs))
+	fanout.Run(len(specs), parallel, func() func(int) bool {
+		factory := NewEnvFactory(opts)
+		return func(i int) bool {
+			cell, err := factory.RunSpec(specs[i])
+			outcomes[i] = outcome{cell: cell, err: err}
+			return err == nil
+		}
+	})
+
+	for i, o := range outcomes {
+		if o.err != nil {
+			return nil, fmt.Errorf("harness: cell %s: %w", specs[i], o.err)
+		}
+		res.cells[specs[i]] = o.cell
+	}
+	return res, nil
+}
+
+// RunExperiments measures the union of the experiments' grids with the
+// given parallelism and renders each experiment in the order given.
+// The union is deduplicated before scheduling, so running "all"
+// simulates each distinct cell exactly once no matter how many figures
+// share it.
+func RunExperiments(opts Options, exps []Experiment, parallel int) ([][]Table, error) {
+	var specs []CellSpec
+	for _, e := range exps {
+		specs = append(specs, e.Cells(opts)...)
+	}
+	res, err := Measure(opts, specs, parallel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Table, len(exps))
+	for i, e := range exps {
+		tables, err := e.Render(opts, res)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", e.Name, err)
+		}
+		out[i] = tables
+	}
+	return out, nil
+}

@@ -91,6 +91,10 @@ type Env struct {
 	// memo caches measured cells at the env's own options, so several
 	// figures over the same cells don't re-simulate.
 	memo map[memoKey]Cell
+
+	// subenvs caches environments rebuilt at other record sizes (the
+	// record-size sweeps), keyed by record size.
+	subenvs map[int]*Env
 }
 
 type memoKey struct {
@@ -99,12 +103,18 @@ type memoKey struct {
 	sel float64
 }
 
+// Dims returns the dataset dimensions these options build, without
+// building the data.
+func (o Options) Dims() workload.Dims {
+	dims := workload.PaperDims()
+	dims.RecordSize = o.RecordSize
+	return dims.Scaled(o.Scale)
+}
+
 // NewEnv builds the two databases (row layout for systems A/C/D,
 // PAX layout for the cache-conscious System B) and four engines.
 func NewEnv(opts Options) (*Env, error) {
-	dims := workload.PaperDims()
-	dims.RecordSize = opts.RecordSize
-	dims = dims.Scaled(opts.Scale)
+	dims := opts.Dims()
 
 	nsm, err := workload.Build(dims, storage.NSM)
 	if err != nil {
@@ -120,7 +130,8 @@ func NewEnv(opts Options) (*Env, error) {
 	if err := pax.BuildIndexes(); err != nil {
 		return nil, err
 	}
-	env := &Env{Opts: opts, Dims: dims, nsm: nsm, pax: pax, memo: make(map[memoKey]Cell)}
+	env := &Env{Opts: opts, Dims: dims, nsm: nsm, pax: pax,
+		memo: make(map[memoKey]Cell), subenvs: make(map[int]*Env)}
 	for _, s := range engine.Systems() {
 		env.engines[s] = engine.New(s, env.database(s).Catalog)
 	}

@@ -17,6 +17,11 @@ func getEnv(t *testing.T) *Env {
 	t.Helper()
 	if sharedEnv == nil {
 		opts := DefaultOptions()
+		if testing.Short() {
+			// The shapes the tests assert converge well below the
+			// default scale; keep the short path fast for per-push CI.
+			opts.Scale = 0.004
+		}
 		env, err := NewEnv(opts)
 		if err != nil {
 			t.Fatal(err)
@@ -123,7 +128,7 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
-		if e.Name == "" || e.Paper == "" || e.Run == nil {
+		if e.Name == "" || e.Paper == "" || e.Cells == nil || e.Render == nil {
 			t.Errorf("malformed experiment %+v", e)
 		}
 		if seen[e.Name] {

@@ -8,6 +8,10 @@ import "fmt"
 // occurs; likewise the pool here never evicts. It still counts
 // fix/unfix traffic so the engines can charge buffer-manager work per
 // page access.
+//
+// The fix counter makes Get a write, so a pool (and the databases
+// built over it) must not be shared between goroutines; the
+// concurrent harness builds one pool per worker environment.
 type BufferPool struct {
 	pages []*Page
 	fixes uint64

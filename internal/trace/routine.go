@@ -67,6 +67,12 @@ func (r *Routine) BranchExecutions() uint64 {
 // relation-data accesses and data-dependent branches are emitted by
 // the engine itself, because only the engine knows the record
 // addresses and predicate outcomes.
+//
+// Invoke advances per-routine dynamic state (the invocation counter
+// that phases branch patterns, the PRNG, the working-set cursors), so
+// a Routine — and the Layout that places it — belongs to exactly one
+// goroutine. The dynamic state is also what Reset rewinds to make
+// measured runs repeatable.
 type Routine struct {
 	// Name identifies the routine in diagnostics.
 	Name string

@@ -12,6 +12,12 @@ const kernelBase uint64 = 0x8000_0000
 // Pipeline consumes a query's event stream and produces the paper's
 // execution-time breakdown. It implements trace.Processor.
 //
+// A Pipeline is not safe for concurrent use: every cache, TLB and BTB
+// it owns is mutable simulation state. The concurrent experiment grid
+// therefore never shares one — each worker's environment constructs a
+// fresh Pipeline per measured cell (and the model has no other
+// package-level mutable state, so distinct Pipelines never interfere).
+//
 // Stall accounting follows Table 4.2:
 //
 //	TC    = μops retired / retire width (estimated minimum)
