@@ -3,29 +3,50 @@
 
 GO ?= go
 
-.PHONY: build test short race bench lint fmt ci
+.PHONY: build test short race bench batch-smoke cover lint fmt golden ci
 
 build:
 	$(GO) build ./...
 
-# The full grid: what the nightly CI job runs.
+# The full grid, shuffled to catch test-order dependence: what the
+# nightly CI job runs. Includes the golden-file suite and the
+# batched-vs-unbatched equivalence pass.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -count=1 ./...
 
 # The per-push subset: slow harness paths skip themselves.
 short:
-	$(GO) test -short ./...
+	$(GO) test -shuffle=on -count=1 -short ./...
 
-# Race detector over the concurrent grid. Runs the same short test
-# set as `short`, so CI only needs this one (the race step subsumes
-# the plain short pass).
+# Race detector over the concurrent grid, with per-package coverage
+# published in the same pass. Runs the same short test set as `short`,
+# so CI only needs this one step (it subsumes the plain short pass and
+# the coverage run).
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -cover -shuffle=on -count=1 -short ./...
+
+# Per-package coverage over the short set without the race detector,
+# for a quick local read (CI gets coverage from `race`).
+cover:
+	$(GO) test -short -count=1 -cover ./...
 
 # One pass over every benchmark, no timing loops: proves the bench
 # code still runs. Full timings: go test -bench=. -benchtime=3x .
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# The batch-equivalence smoke: renders the experiment grid through the
+# batched pipeline against the checked-in goldens, and cross-checks a
+# cell against the unbatched reference counter by counter. Fails if
+# the two pipelines disagree anywhere.
+batch-smoke:
+	$(GO) test -count=1 -run 'TestGoldenFiles|TestBatchedMatchesReferenceSubset' ./internal/harness
+
+# Regenerate the golden files after an intentional output change.
+# (The package path precedes -update: go test stops parsing at the
+# first flag it does not know, and -update lives in the test binary.)
+golden:
+	$(GO) test ./internal/harness -count=1 -run TestGoldenFiles -update
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -35,4 +56,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench
+ci: lint build race bench batch-smoke

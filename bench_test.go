@@ -214,6 +214,20 @@ func BenchmarkGridParallel(b *testing.B) {
 	benchGrid(b, harness.DefaultParallelism())
 }
 
+// BenchmarkGridSerialUnbatched runs the full grid through the
+// one-call-per-event reference path: the pre-batching hot-path shape.
+// Serial vs this is the speedup the batched trace pipeline buys; the
+// outputs themselves are byte-identical (TestUnbatchedMatchesGoldens).
+func BenchmarkGridSerialUnbatched(b *testing.B) {
+	opts := benchOptions()
+	opts.Unbatched = true
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunExperiments(opts, harness.Experiments(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md section 5) --------------------------------
 
 // ablationCell runs System D SRS under a modified platform config.

@@ -150,16 +150,22 @@ func NewSession(cfg xeon.Config, unit func(trace.Processor)) *Session {
 }
 
 // Measure collects the given events, two per run. Odd event counts
-// waste the second counter on the last run, as emon did.
+// waste the second counter on the last run, as emon did. Each run
+// feeds the unit's event stream through a batch buffer, drained before
+// counters are reset or read, so the counts are those of the batched
+// pipeline.
 func (s *Session) Measure(events []Event) map[Event]uint64 {
 	out := make(map[Event]uint64, len(events))
 	for i := 0; i < len(events); i += 2 {
 		pipe := xeon.New(s.cfg)
+		buf := trace.NewBuffer(pipe, 0)
 		for w := 0; w < s.Warmup; w++ {
-			s.unit(pipe)
+			s.unit(buf)
+			buf.Flush()
 		}
 		pipe.ResetStats()
-		s.unit(pipe)
+		s.unit(buf)
+		buf.Flush()
 		s.Runs++
 		counts := pipe.Breakdown().Counts
 		out[events[i]] = events[i].read(counts)

@@ -1,0 +1,149 @@
+package emon
+
+import (
+	"math"
+	"testing"
+
+	"wheretime/internal/core"
+	"wheretime/internal/xeon"
+)
+
+// Table-driven tests pinning every Table 4.2 formula to hand-computed
+// values. Each case is worked out by hand from the paper's model at
+// the default platform penalties (retire width 3, L1 miss 4 cycles,
+// memory latency 65, ITLB miss 32, mispredict 17), so a regression in
+// either the formulae or the default configuration fails loudly here.
+
+func defaultFormulae() Formulae { return Formulae{Config: xeon.DefaultConfig()} }
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestFormulaeHandComputedComponents(t *testing.T) {
+	f := defaultFormulae()
+	cases := []struct {
+		name string
+		ev   map[Event]uint64
+		comp func(Formulae, map[Event]uint64) float64
+		want float64
+	}{
+		// TC: 3000 μops / retire width 3 = 1000 cycles.
+		{"TC", map[Event]uint64{UopsRetired: 3000}, Formulae.TC, 1000},
+		// TC rounds nothing: 100 μops / 3 = 33.333...
+		{"TC fractional", map[Event]uint64{UopsRetired: 100}, Formulae.TC, 100.0 / 3},
+		// TL1D: (250 L1D misses - 50 that also missed L2) × 4 = 800.
+		{"TL1D", map[Event]uint64{DCULinesIn: 250, L2LinesInData: 50}, Formulae.TL1D, 800},
+		// TL1D when every L1D miss hits L2: 120 × 4 = 480.
+		{"TL1D all-L2-hit", map[Event]uint64{DCULinesIn: 120}, Formulae.TL1D, 480},
+		// TL2D: 50 L2 data misses × 65-cycle memory latency = 3250.
+		{"TL2D", map[Event]uint64{L2LinesInData: 50}, Formulae.TL2D, 3250},
+		// TL2I: 7 L2 instruction misses × 65 = 455.
+		{"TL2I", map[Event]uint64{L2LinesInInst: 7}, Formulae.TL2I, 455},
+		// TITLB: 9 ITLB misses × 32 = 288.
+		{"TITLB", map[Event]uint64{ITLBMiss: 9}, Formulae.TITLB, 288},
+		// TB: 40 retired mispredictions × 17 = 680.
+		{"TB", map[Event]uint64{BrMissPredRetired: 40}, Formulae.TB, 680},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			almost(t, tc.name, tc.comp(f, tc.ev), tc.want)
+		})
+	}
+}
+
+func TestFormulaeHandComputedRates(t *testing.T) {
+	f := defaultFormulae()
+	// One synthetic profile, all rates checked against hand arithmetic:
+	//   10000 instructions, 2100 branches, 210 mispredicted, 1050 BTB
+	//   misses, 5000 data refs, 100 L1D misses, 40 L2 data refs, 16 L2
+	//   data misses, 1500 kernel instructions, 250 records.
+	ev := map[Event]uint64{
+		InstRetired:       10000,
+		BrInstRetired:     2100,
+		BrMissPredRetired: 210,
+		BTBMisses:         1050,
+		DataMemRefs:       5000,
+		DCULinesIn:        100,
+		L2LD:              40,
+		L2LinesInData:     16,
+		InstRetiredSup:    1500,
+		RecordsProcessed:  250,
+	}
+	almost(t, "BranchMispredictionRate", f.BranchMispredictionRate(ev), 0.10) // 210/2100
+	almost(t, "BTBMissRate", f.BTBMissRate(ev), 0.50)                         // 1050/2100
+	almost(t, "L1DMissRate", f.L1DMissRate(ev), 0.02)                         // 100/5000
+	almost(t, "L2DataMissRate", f.L2DataMissRate(ev), 0.40)                   // 16/40
+	almost(t, "BranchFraction", f.BranchFraction(ev), 0.21)                   // 2100/10000
+	almost(t, "UserModeFraction", f.UserModeFraction(ev), 10000.0/11500)
+	almost(t, "InstructionsPerRecord", f.InstructionsPerRecord(ev), 40) // 10000/250
+}
+
+// TestPartialCPIHandComputed: the count-derived CPI over a fully
+// specified profile.
+//
+//	TC    = 24000/3          = 8000
+//	TL1D  = (300-60)×4       =  960
+//	TL2D  = 60×65            = 3900
+//	TL2I  = 10×65            =  650
+//	TITLB = 5×32             =  160
+//	TB    = 120×17           = 2040
+//	total = 15710 over 12000 instructions -> CPI 1.309166...
+func TestPartialCPIHandComputed(t *testing.T) {
+	f := defaultFormulae()
+	ev := map[Event]uint64{
+		InstRetired:       12000,
+		UopsRetired:       24000,
+		DCULinesIn:        300,
+		L2LinesInData:     60,
+		L2LinesInInst:     10,
+		ITLBMiss:          5,
+		BrMissPredRetired: 120,
+	}
+	almost(t, "PartialCPI", f.PartialCPI(ev), 15710.0/12000)
+	// And with no instructions, the guard returns zero.
+	almost(t, "PartialCPI empty", f.PartialCPI(map[Event]uint64{}), 0)
+}
+
+// TestBreakdownStallDecomposition: Formulae.Breakdown must place each
+// hand-computed component in its core slot and leave the
+// stall-time-measured components (TL1I, TDEP, TFU, TILD, TOVL) zero.
+func TestBreakdownStallDecomposition(t *testing.T) {
+	f := defaultFormulae()
+	ev := map[Event]uint64{
+		InstRetired:       12000,
+		UopsRetired:       24000,
+		BrInstRetired:     2400,
+		BrMissPredRetired: 120,
+		DataMemRefs:       6000,
+		DCULinesIn:        300,
+		L2LD:              280,
+		L2LinesInData:     60,
+		L2LinesInInst:     10,
+		ITLBMiss:          5,
+		RecordsProcessed:  100,
+	}
+	b := f.Breakdown(ev)
+	want := map[core.Component]float64{
+		core.TC:    8000,
+		core.TL1D:  960,
+		core.TL2D:  3900,
+		core.TL2I:  650,
+		core.TITLB: 160,
+		core.TB:    2040,
+	}
+	for comp, v := range want {
+		almost(t, comp.String(), b.Cycles[comp], v)
+	}
+	for _, comp := range []core.Component{core.TL1I, core.TDEP, core.TFU, core.TILD, core.TOVL} {
+		if b.Cycles[comp] != 0 {
+			t.Errorf("count-derived breakdown must leave %s zero, got %v", comp, b.Cycles[comp])
+		}
+	}
+	if b.Counts.InstructionsRetired != 12000 || b.Counts.Records != 100 {
+		t.Errorf("breakdown counts not carried over: %+v", b.Counts)
+	}
+}

@@ -46,11 +46,14 @@ func MeasureParallel(cfg xeon.Config, warmup int, events []Event, parallel int,
 				unit = u
 			}
 			pipe := xeon.New(cfg)
+			buf := trace.NewBuffer(pipe, 0)
 			for n := 0; n < warmup; n++ {
-				unit(pipe)
+				unit(buf)
+				buf.Flush()
 			}
 			pipe.ResetStats()
-			unit(pipe)
+			unit(buf)
+			buf.Flush()
 			counts := pipe.Breakdown().Counts
 			got := make(map[Event]uint64, 2)
 			for _, e := range pairs[i] {

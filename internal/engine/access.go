@@ -5,31 +5,10 @@ import (
 	"wheretime/internal/trace"
 )
 
-// touchRecord emits the data accesses of materialising a record into
-// the engine's tuple buffer.
-//
-// Row-store pages (NSM) behave like real slotted pages: the engine
-// reads the record's slot entry from the directory at the page's end,
-// then copies the whole record — so wide records touch several cache
-// lines even when the query needs two fields, the effect behind the
-// record-size sensitivity of Section 5.2.1.
-//
-// PAX pages touch only the requested columns' minipage positions: the
-// cache-conscious placement that keeps System B's L2 data miss rate
-// near 2% on sequential scans.
-func touchRecord(proc trace.Processor, pg *storage.Page, slot uint16, cols ...int) {
-	if pg.Layout() == storage.NSM {
-		// Slot directory entry (2 bytes per slot, growing from the
-		// page's end).
-		slotAddr := pg.HeaderAddr() + storage.PageSize - 2*uint64(slot+1)
-		proc.Load(slotAddr, 2)
-		proc.Load(pg.RecordAddr(slot), uint32(pg.RecordSize()))
-		return
-	}
-	for _, c := range cols {
-		proc.Load(pg.FieldAddr(slot, c), storage.FieldSize)
-	}
-}
+// Record materialisation itself — the data accesses of copying a
+// record or its columns into the tuple buffer — is emitted by
+// storage.Page.TouchRecord, which owns the layout-dependent address
+// generation; the engine emits only the code-path costs here.
 
 // baselineFields is the field count of the paper's default 100-byte
 // record; rkFieldIter's per-invocation cost is calibrated to it.
@@ -39,10 +18,10 @@ const baselineFields = 25
 // record: row stores walk every attribute descriptor of the record,
 // so the cost scales with record width; PAX engines deformat only the
 // columns the query touches.
-func (e *Engine) deformat(proc trace.Processor, pg *storage.Page, cols int) {
+func (e *Engine) deformat(buf *trace.Buffer, pg *storage.Page, cols int) {
 	n := pg.Fields()
 	if pg.Layout() == storage.PAX {
 		n = cols
 	}
-	e.rt[rkFieldIter].InvokeFrac(proc, uint32(n), baselineFields)
+	e.rt[rkFieldIter].InvokeFracBuf(buf, uint32(n), baselineFields)
 }

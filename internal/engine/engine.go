@@ -26,6 +26,18 @@ type Engine struct {
 	cat    *catalog.Catalog
 	layout *trace.Layout
 	rt     [numRoutineKinds]*trace.Routine
+
+	// buf is the engine's reusable event buffer: query and transaction
+	// runs fill it with direct method calls and the processor drains it
+	// in batches, the hot-path shape the batched trace pipeline exists
+	// for. It is empty between runs (Run and Commit flush it).
+	buf *trace.Buffer
+	// openTxns counts transactions currently holding buf. While one is
+	// open the buffer is never re-bound — that would silently redirect
+	// the rest of the transaction's events — so emitters that need a
+	// different (or unprovably-same) processor get their own buffer
+	// until the transaction commits or aborts.
+	openTxns int
 }
 
 // New builds an engine for the given system over the catalog.
@@ -129,19 +141,63 @@ func (a *aggState) result() Result {
 	return r
 }
 
+// emitter returns the event buffer a run should fill: the caller's
+// own buffer when proc already is one, otherwise the engine's
+// reusable buffer re-bound to proc. The boolean reports whether the
+// engine owns the buffer and must flush it when the run completes.
+func (e *Engine) emitter(proc trace.Processor) (*trace.Buffer, bool) {
+	if b, ok := proc.(*trace.Buffer); ok {
+		return b, false
+	}
+	if e.buf == nil {
+		e.buf = trace.NewBuffer(proc, 0)
+		return e.buf, true
+	}
+	if !e.buf.BoundTo(proc) {
+		if e.openTxns > 0 {
+			// The reusable buffer belongs to an open transaction (or to
+			// a sink — e.g. a Tee — we cannot prove is the same one).
+			// Drain what it holds so program order is preserved, and
+			// give this emitter a private buffer; the transaction keeps
+			// the engine buffer until Commit or Abort.
+			e.buf.Flush()
+			return trace.NewBuffer(proc, 0), true
+		}
+		e.buf.Bind(proc)
+	}
+	return e.buf, true
+}
+
 // Run executes a plan, emitting the event stream into proc.
+//
+// The engine fills its event buffer with direct calls and proc drains
+// it in batches — in one trace.BatchProcessor call when proc supports
+// it, else replayed one event at a time (the reference path; wrap a
+// batch-capable processor in trace.Unbatched to force it). Both paths
+// see the identical event sequence, so results never depend on which
+// one ran.
 func (e *Engine) Run(p *sql.Plan, proc trace.Processor) (Result, error) {
 	if p == nil {
 		return Result{}, fmt.Errorf("engine: nil plan")
 	}
-	e.rt[rkQueryStart].Invoke(proc)
+	buf, owned := e.emitter(proc)
+	res, err := e.dispatch(p, buf)
+	if owned {
+		buf.Flush()
+	}
+	return res, err
+}
+
+// dispatch routes a plan to its access path, emitting into buf.
+func (e *Engine) dispatch(p *sql.Plan, buf *trace.Buffer) (Result, error) {
+	e.rt[rkQueryStart].InvokeBuf(buf)
 	switch {
 	case p.IsJoin():
-		return e.runHashJoin(p, proc)
+		return e.runHashJoin(p, buf)
 	case p.Outer.UseIndex:
-		return e.runIndexScan(p, proc)
+		return e.runIndexScan(p, buf)
 	default:
-		return e.runSeqScan(p, proc)
+		return e.runSeqScan(p, buf)
 	}
 }
 

@@ -375,3 +375,64 @@ func TestOnlySystemBUsesPAX(t *testing.T) {
 		}
 	}
 }
+
+// TestProcessorSwitchDuringTxnIsolates: the engine's reusable event
+// buffer belongs to an open transaction; an emitter arriving with a
+// different processor must get its own buffer rather than silently
+// redirecting the rest of the transaction's events.
+func TestProcessorSwitchDuringTxnIsolates(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	var a, b trace.Counting
+	txn := e.Begin(&a)
+	inner := e.Begin(&b)
+	inner.Commit()
+	bAfterInner := b
+	txn.Commit()
+	if bAfterInner.Instructions == 0 {
+		t.Fatal("inner transaction produced no events for its own processor")
+	}
+	if b != bAfterInner {
+		t.Error("outer transaction's events leaked into the inner processor")
+	}
+	if a.Instructions == 0 {
+		t.Fatal("outer transaction produced no events for its processor")
+	}
+}
+
+// TestAbortReleasesEngineBuffer: a dropped transaction must not wedge
+// the engine — Abort drains its events and releases the shared
+// buffer, and aborting twice (or after Commit) is a no-op.
+func TestAbortReleasesEngineBuffer(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	var a, b trace.Counting
+	txn := e.Begin(&a)
+	txn.Abort()
+	txn.Abort()
+	if a.Instructions == 0 {
+		t.Fatal("aborted transaction's events were not drained")
+	}
+	// The engine buffer is free again: a different processor binds it.
+	next := e.Begin(&b)
+	next.Commit()
+	if b.Instructions == 0 {
+		t.Fatal("post-abort transaction produced no events")
+	}
+}
+
+// TestSameProcessorDuringTxnAllowed: re-entering the engine with the
+// same processor while a transaction is open shares the buffer and
+// keeps event order.
+func TestSameProcessorDuringTxnAllowed(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	var c trace.Counting
+	txn := e.Begin(&c)
+	inner := e.Begin(&c)
+	inner.Commit()
+	txn.Commit()
+	if c.Instructions == 0 {
+		t.Fatal("expected events to drain after commits")
+	}
+}

@@ -27,7 +27,7 @@ const (
 // table as the build side (the paper's S, 30x smaller than R) and the
 // first as the probe side. One RecordProcessed fires per probe-side
 // record — the paper's SJ per-record denominator is |R|.
-func (e *Engine) runHashJoin(p *sql.Plan, proc trace.Processor) (Result, error) {
+func (e *Engine) runHashJoin(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	build, probe := p.Inner, p.Outer
 	buildCol, probeCol := p.InnerCol, p.OuterCol
 
@@ -52,28 +52,28 @@ func (e *Engine) runHashJoin(p *sql.Plan, proc trace.Processor) (Result, error) 
 
 	for _, pid := range build.Table.Heap.PageIDs() {
 		pg := pool.Get(pid)
-		e.rt[rkPageNext].Invoke(proc)
-		proc.Load(pg.HeaderAddr(), 16)
+		e.rt[rkPageNext].InvokeBuf(buf)
+		buf.Load(pg.HeaderAddr(), 16)
 		for s := 0; s < pg.NumRecords(); s++ {
 			slot := uint16(s)
-			e.rt[rkScanNext].Invoke(proc)
-			touchRecord(proc, pg, slot, buildCol, build.FilterCol)
-			e.deformat(proc, pg, 2)
+			e.rt[rkScanNext].InvokeBuf(buf)
+			pg.TouchRecord(buf, slot, buildCol, build.FilterCol)
+			e.deformat(buf, pg, 2)
 			if build.HasFilter {
-				qual.Invoke(proc)
+				qual.InvokeBuf(buf)
 				v := pg.Field(slot, build.FilterCol)
 				if ok := v >= build.Lo && v < build.Hi; !ok {
-					proc.Branch(qualPC, qualPC+96, true)
+					buf.Branch(qualPC, qualPC+96, true)
 					continue
 				}
-				proc.Branch(qualPC, qualPC+96, false)
+				buf.Branch(qualPC, qualPC+96, false)
 			}
 			key := pg.Field(slot, buildCol)
-			e.rt[rkHashBuild].Invoke(proc)
+			e.rt[rkHashBuild].InvokeBuf(buf)
 			// Bucket-head update and entry write.
 			b := uint64(hash32(key)) & bucketMask
-			proc.Store(workspaceBase+b*hashBucketBytes, hashBucketBytes)
-			proc.Store(entriesBase+uint64(entryIdx)*hashEntryBytes, hashEntryBytes)
+			buf.Store(workspaceBase+b*hashBucketBytes, hashBucketBytes)
+			buf.Store(entriesBase+uint64(entryIdx)*hashEntryBytes, hashEntryBytes)
 			table[key] = append(table[key], hashEntry{key: key, rid: storage.RID{Page: pg.ID(), Slot: slot}, idx: entryIdx})
 			entryIdx++
 		}
@@ -84,54 +84,54 @@ func (e *Engine) runHashJoin(p *sql.Plan, proc trace.Processor) (Result, error) 
 	matchPC := probeRt.Addr + uint64(probeRt.CodeBytes) - 8
 	for _, pid := range probe.Table.Heap.PageIDs() {
 		pg := pool.Get(pid)
-		e.rt[rkPageNext].Invoke(proc)
-		proc.Load(pg.HeaderAddr(), 16)
+		e.rt[rkPageNext].InvokeBuf(buf)
+		buf.Load(pg.HeaderAddr(), 16)
 		for s := 0; s < pg.NumRecords(); s++ {
 			slot := uint16(s)
-			e.rt[rkScanNext].Invoke(proc)
-			touchRecord(proc, pg, slot, probeCol, probe.FilterCol)
-			e.deformat(proc, pg, 2)
+			e.rt[rkScanNext].InvokeBuf(buf)
+			pg.TouchRecord(buf, slot, probeCol, probe.FilterCol)
+			e.deformat(buf, pg, 2)
 			if probe.HasFilter {
-				qual.Invoke(proc)
+				qual.InvokeBuf(buf)
 				v := pg.Field(slot, probe.FilterCol)
 				if ok := v >= probe.Lo && v < probe.Hi; !ok {
-					proc.Branch(qualPC, qualPC+96, true)
-					proc.RecordProcessed()
+					buf.Branch(qualPC, qualPC+96, true)
+					buf.RecordProcessed()
 					continue
 				}
-				proc.Branch(qualPC, qualPC+96, false)
+				buf.Branch(qualPC, qualPC+96, false)
 			}
 			key := pg.Field(slot, probeCol)
-			probeRt.Invoke(proc)
+			probeRt.InvokeBuf(buf)
 			b := uint64(hash32(key)) & bucketMask
-			proc.Load(workspaceBase+b*hashBucketBytes, hashBucketBytes)
+			buf.Load(workspaceBase+b*hashBucketBytes, hashBucketBytes)
 			chain := table[key]
 			// Walk the chain entries; the key-compare branch outcome
 			// depends on data, so it retires as an architectural
 			// branch per entry.
 			for _, ent := range chain {
-				proc.Load(entriesBase+uint64(ent.idx)*hashEntryBytes, hashEntryBytes)
-				proc.Branch(matchPC, matchPC+64, true)
-				e.rt[rkJoinMatch].Invoke(proc)
+				buf.Load(entriesBase+uint64(ent.idx)*hashEntryBytes, hashEntryBytes)
+				buf.Branch(matchPC, matchPC+64, true)
+				e.rt[rkJoinMatch].InvokeBuf(buf)
 				// Verify against the build-side record (random access
 				// into the build heap) and aggregate.
 				bpg := pool.Get(ent.rid.Page)
-				touchRecord(proc, bpg, ent.rid.Slot, buildCol)
+				bpg.TouchRecord(buf, ent.rid.Slot, buildCol)
 				switch {
 				case readsOuter:
-					proc.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
+					buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
 					agg.add(pg.Field(slot, aggCol))
 				case readsInner:
-					proc.Load(bpg.FieldAddr(ent.rid.Slot, aggCol), storage.FieldSize)
+					buf.Load(bpg.FieldAddr(ent.rid.Slot, aggCol), storage.FieldSize)
 					agg.add(bpg.Field(ent.rid.Slot, aggCol))
 				default:
 					agg.addCount()
 				}
 			}
 			if len(chain) == 0 {
-				proc.Branch(matchPC, matchPC+64, false)
+				buf.Branch(matchPC, matchPC+64, false)
 			}
-			proc.RecordProcessed()
+			buf.RecordProcessed()
 		}
 	}
 	return agg.result(), nil

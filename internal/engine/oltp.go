@@ -17,35 +17,64 @@ import (
 
 // Txn is an open transaction handle. The engine model is single-
 // threaded (the paper runs a single command stream), so a Txn is just
-// the bracketing state for trace emission.
+// the bracketing state for trace emission. The transaction emits into
+// the engine's event buffer; Commit drains it, so the processor has
+// seen every event of the transaction once Commit returns.
 type Txn struct {
 	e     *Engine
-	proc  trace.Processor
+	buf   *trace.Buffer
+	owned bool
 	locks int
 	open  bool
 }
 
 // Begin opens a transaction.
 func (e *Engine) Begin(proc trace.Processor) *Txn {
-	e.rt[rkTxnBegin].Invoke(proc)
-	return &Txn{e: e, proc: proc, open: true}
+	buf, owned := e.emitter(proc)
+	if owned {
+		e.openTxns++
+	}
+	e.rt[rkTxnBegin].InvokeBuf(buf)
+	return &Txn{e: e, buf: buf, owned: owned, open: true}
 }
 
-// Commit closes the transaction: one log force plus commit processing.
+// Commit closes the transaction: one log force plus commit processing,
+// then the event buffer is flushed to the processor.
 func (t *Txn) Commit() {
 	if !t.open {
 		panic("engine: commit of a closed transaction")
 	}
 	t.open = false
-	t.e.rt[rkLogWrite].Invoke(t.proc)
-	t.e.rt[rkTxnCommit].Invoke(t.proc)
+	t.e.rt[rkLogWrite].InvokeBuf(t.buf)
+	t.e.rt[rkTxnCommit].InvokeBuf(t.buf)
+	if t.owned {
+		t.e.openTxns--
+		t.buf.Flush()
+	}
+}
+
+// Abort abandons the transaction without commit processing: the
+// events already emitted stay in the stream (the storage work they
+// narrate happened), the buffer drains, and the engine's reusable
+// buffer is released for other processors. Aborting a transaction
+// that is already closed is a no-op, so `defer txn.Abort()` composes
+// with an explicit Commit on the success path.
+func (t *Txn) Abort() {
+	if !t.open {
+		return
+	}
+	t.open = false
+	if t.owned {
+		t.e.openTxns--
+		t.buf.Flush()
+	}
 }
 
 // lock charges one lock-manager call; locks are charged per record
 // touched, the dominant locking cost in OLTP paths.
 func (t *Txn) lock() {
 	t.locks++
-	t.e.rt[rkLockAcquire].Invoke(t.proc)
+	t.e.rt[rkLockAcquire].InvokeBuf(t.buf)
 }
 
 // Locks returns how many locks the transaction acquired.
@@ -62,26 +91,26 @@ func (t *Txn) PointLookup(tab *catalog.Table, keyCol int, key int32, readCol int
 	if tree == nil {
 		return nil, fmt.Errorf("engine: table %s has no index on column %d", tab.Name, keyCol)
 	}
-	e, proc := t.e, t.proc
+	e, buf := t.e, t.buf
 	pool := e.cat.Pool()
 	var out []int32
 	tree.RangeTrace(key, key+1,
 		func(step index.DescentStep) {
-			e.rt[rkIdxDescend].Invoke(proc)
+			e.rt[rkIdxDescend].InvokeBuf(buf)
 			span := uint64(storage.PageSize)
 			for i := 0; i < step.KeysInspected; i++ {
 				span >>= 1
-				proc.Load(step.Addr+span, storage.FieldSize)
+				buf.Load(step.Addr+span, storage.FieldSize)
 			}
 		},
 		func(k int32, rid storage.RID, pos index.LeafPos) bool {
-			e.rt[rkIdxLeafNext].Invoke(proc)
-			proc.Load(pos.Addr+32+uint64(pos.Index)*12, 12)
-			e.rt[rkRidFetch].Invoke(proc)
+			e.rt[rkIdxLeafNext].InvokeBuf(buf)
+			buf.Load(pos.Addr+32+uint64(pos.Index)*12, 12)
+			e.rt[rkRidFetch].InvokeBuf(buf)
 			t.lock()
 			pg := pool.Get(rid.Page)
-			proc.Load(pg.HeaderAddr(), 16)
-			proc.Load(pg.FieldAddr(rid.Slot, readCol), storage.FieldSize)
+			buf.Load(pg.HeaderAddr(), 16)
+			buf.Load(pg.FieldAddr(rid.Slot, readCol), storage.FieldSize)
 			out = append(out, pg.Field(rid.Slot, readCol))
 			return true
 		})
@@ -94,16 +123,16 @@ func (t *Txn) UpdateField(tab *catalog.Table, rid storage.RID, col int, value in
 	if !t.open {
 		panic("engine: update on a closed transaction")
 	}
-	e, proc := t.e, t.proc
+	e, buf := t.e, t.buf
 	pg := e.cat.Pool().Get(rid.Page)
 	t.lock()
-	e.rt[rkRidFetch].Invoke(proc)
-	proc.Load(pg.HeaderAddr(), 16)
-	e.rt[rkUpdateField].Invoke(proc)
-	proc.Load(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
+	e.rt[rkRidFetch].InvokeBuf(buf)
+	buf.Load(pg.HeaderAddr(), 16)
+	e.rt[rkUpdateField].InvokeBuf(buf)
+	buf.Load(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
 	pg.SetField(rid.Slot, col, value)
-	proc.Store(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
-	e.rt[rkLogWrite].Invoke(proc)
+	buf.Store(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
+	e.rt[rkLogWrite].InvokeBuf(buf)
 }
 
 // InsertRecord appends a record to the table with lock and log
@@ -112,16 +141,16 @@ func (t *Txn) InsertRecord(tab *catalog.Table, values []int32) storage.RID {
 	if !t.open {
 		panic("engine: insert on a closed transaction")
 	}
-	e, proc := t.e, t.proc
+	e, buf := t.e, t.buf
 	t.lock()
 	rid := tab.Heap.Append(values)
 	pg := e.cat.Pool().Get(rid.Page)
-	e.rt[rkUpdateField].Invoke(proc)
-	proc.Store(pg.RecordAddr(rid.Slot), uint32(min(int(pg.RecordSize()), 64)))
-	e.rt[rkLogWrite].Invoke(proc)
+	e.rt[rkUpdateField].InvokeBuf(buf)
+	buf.Store(pg.RecordAddr(rid.Slot), uint32(min(int(pg.RecordSize()), 64)))
+	e.rt[rkLogWrite].InvokeBuf(buf)
 	// Maintain any indexes.
 	for col, tree := range tab.Indexes {
-		e.rt[rkIdxDescend].Invoke(proc)
+		e.rt[rkIdxDescend].InvokeBuf(buf)
 		tree.Insert(pg.Field(rid.Slot, col), rid)
 	}
 	return rid
@@ -133,11 +162,11 @@ func (t *Txn) FetchByRID(tab *catalog.Table, rid storage.RID, col int) int32 {
 	if !t.open {
 		panic("engine: fetch on a closed transaction")
 	}
-	e, proc := t.e, t.proc
+	e, buf := t.e, t.buf
 	t.lock()
-	e.rt[rkRidFetch].Invoke(proc)
+	e.rt[rkRidFetch].InvokeBuf(buf)
 	pg := e.cat.Pool().Get(rid.Page)
-	proc.Load(pg.HeaderAddr(), 16)
-	proc.Load(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
+	buf.Load(pg.HeaderAddr(), 16)
+	buf.Load(pg.FieldAddr(rid.Slot, col), storage.FieldSize)
 	return pg.Field(rid.Slot, col)
 }

@@ -13,7 +13,7 @@ import (
 // scan of the outer table with an optional range predicate and an
 // aggregate. One RecordProcessed fires per scanned record — the
 // paper's SRS per-record denominator is |R|.
-func (e *Engine) runSeqScan(p *sql.Plan, proc trace.Processor) (Result, error) {
+func (e *Engine) runSeqScan(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	acc := p.Outer
 	t := acc.Table
 	agg := newAggState(p.Agg)
@@ -28,34 +28,34 @@ func (e *Engine) runSeqScan(p *sql.Plan, proc trace.Processor) (Result, error) {
 	pool := e.cat.Pool()
 	for _, pid := range t.Heap.PageIDs() {
 		pg := pool.Get(pid)
-		e.rt[rkPageNext].Invoke(proc)
-		proc.Load(pg.HeaderAddr(), 16)
+		e.rt[rkPageNext].InvokeBuf(buf)
+		buf.Load(pg.HeaderAddr(), 16)
 		n := pg.NumRecords()
 		for s := 0; s < n; s++ {
 			slot := uint16(s)
-			e.rt[rkScanNext].Invoke(proc)
+			e.rt[rkScanNext].InvokeBuf(buf)
 			// Materialise the record (row stores copy the whole
 			// record; PAX touches the needed columns).
-			touchRecord(proc, pg, slot, acc.FilterCol)
-			e.deformat(proc, pg, 2)
+			pg.TouchRecord(buf, slot, acc.FilterCol)
+			e.deformat(buf, pg, 2)
 			matched := true
 			if acc.HasFilter {
-				qual.Invoke(proc)
+				qual.InvokeBuf(buf)
 				v := pg.Field(slot, acc.FilterCol)
 				matched = v >= acc.Lo && v < acc.Hi
 				// Taken means "record rejected, skip the aggregate".
-				proc.Branch(qualPC, qualPC+96, !matched)
+				buf.Branch(qualPC, qualPC+96, !matched)
 			}
 			if matched {
-				e.rt[rkAggAccum].Invoke(proc)
+				e.rt[rkAggAccum].InvokeBuf(buf)
 				if readsAggCol {
-					proc.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
+					buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
 					agg.add(pg.Field(slot, aggCol))
 				} else {
 					agg.addCount()
 				}
 			}
-			proc.RecordProcessed()
+			buf.RecordProcessed()
 		}
 	}
 	return agg.result(), nil
@@ -66,7 +66,7 @@ func (e *Engine) runSeqScan(p *sql.Plan, proc trace.Processor) (Result, error) {
 // each qualifying entry materialised through a RID fetch into the
 // heap. One RecordProcessed fires per selected record — the paper's
 // IRS per-record denominator.
-func (e *Engine) runIndexScan(p *sql.Plan, proc trace.Processor) (Result, error) {
+func (e *Engine) runIndexScan(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	acc := p.Outer
 	t := acc.Table
 	tree := t.Indexes[acc.FilterCol]
@@ -85,32 +85,32 @@ func (e *Engine) runIndexScan(p *sql.Plan, proc trace.Processor) (Result, error)
 		func(step index.DescentStep) {
 			// One node visit per level: the binary search touches
 			// log2(keys) positions spread through the node page.
-			e.rt[rkIdxDescend].Invoke(proc)
+			e.rt[rkIdxDescend].InvokeBuf(buf)
 			span := uint64(storage.PageSize)
 			for i := 0; i < step.KeysInspected; i++ {
 				span >>= 1
-				proc.Load(step.Addr+span, storage.FieldSize)
+				buf.Load(step.Addr+span, storage.FieldSize)
 			}
 		},
 		func(key int32, rid storage.RID, pos index.LeafPos) bool {
-			e.rt[rkIdxLeafNext].Invoke(proc)
-			proc.Load(pos.Addr+32+uint64(pos.Index)*entryBytes, entryBytes)
+			e.rt[rkIdxLeafNext].InvokeBuf(buf)
+			buf.Load(pos.Addr+32+uint64(pos.Index)*entryBytes, entryBytes)
 
 			// Materialise the record: buffer-pool lookup, page fix,
 			// slot dereference — a random page access for a
 			// non-clustered index.
-			e.rt[rkRidFetch].Invoke(proc)
+			e.rt[rkRidFetch].InvokeBuf(buf)
 			pg := pool.Get(rid.Page)
-			proc.Load(pg.HeaderAddr(), 16)
-			touchRecord(proc, pg, rid.Slot, acc.FilterCol, aggCol)
-			e.deformat(proc, pg, 2)
-			e.rt[rkAggAccum].Invoke(proc)
+			buf.Load(pg.HeaderAddr(), 16)
+			pg.TouchRecord(buf, rid.Slot, acc.FilterCol, aggCol)
+			e.deformat(buf, pg, 2)
+			e.rt[rkAggAccum].InvokeBuf(buf)
 			if readsAggCol {
 				agg.add(pg.Field(rid.Slot, aggCol))
 			} else {
 				agg.addCount()
 			}
-			proc.RecordProcessed()
+			buf.RecordProcessed()
 			return true
 		})
 	return agg.result(), nil

@@ -56,6 +56,12 @@ type Options struct {
 	Config xeon.Config
 	// Warmup is how many unmeasured runs warm the caches (Section 4.3).
 	Warmup int
+	// Unbatched routes every event through the one-call-per-event
+	// reference path instead of the batched pipeline drain. The two
+	// paths see the identical event sequence and must render
+	// byte-identical tables; the golden-file suite measures both ways
+	// and diffs them. Slower — for verification, not for experiments.
+	Unbatched bool
 }
 
 // DefaultOptions returns the paper's experimental setup at a
@@ -197,6 +203,16 @@ func (env *Env) Run(s engine.System, q QueryKind) (Cell, error) {
 	return c, err
 }
 
+// processor returns the event sink a measurement feeds: the pipeline
+// itself (batched drain), or its unbatched reference wrapper when the
+// options ask for the per-event path.
+func (env *Env) processor(pipe *xeon.Pipeline) trace.Processor {
+	if env.Opts.Unbatched {
+		return trace.Unbatched{Processor: pipe}
+	}
+	return pipe
+}
+
 func (env *Env) run(s engine.System, q QueryKind) (Cell, error) {
 	query, ok := env.queryFor(s, q)
 	if !ok {
@@ -208,15 +224,16 @@ func (env *Env) run(s engine.System, q QueryKind) (Cell, error) {
 		return Cell{}, err
 	}
 	pipe := xeon.New(env.Opts.Config)
+	proc := env.processor(pipe)
 	e.ResetState()
 	var res engine.Result
 	for i := 0; i < env.Opts.Warmup; i++ {
-		if res, err = e.Run(plan, pipe); err != nil {
+		if res, err = e.Run(plan, proc); err != nil {
 			return Cell{}, err
 		}
 	}
 	pipe.ResetStats()
-	if res, err = e.Run(plan, pipe); err != nil {
+	if res, err = e.Run(plan, proc); err != nil {
 		return Cell{}, err
 	}
 	b := pipe.Breakdown()
@@ -264,17 +281,18 @@ func (env *Env) RunTPCD(s engine.System) (Cell, error) {
 func (env *Env) runTPCD(s engine.System) (Cell, error) {
 	e := env.engines[s]
 	pipe := xeon.New(env.Opts.Config)
+	proc := env.processor(pipe)
 	e.ResetState()
 	queries := env.Dims.TPCDQueries()
 	// Warm-up pass over the suite.
 	for _, q := range queries {
-		if _, err := e.Query(q, pipe); err != nil {
+		if _, err := e.Query(q, proc); err != nil {
 			return Cell{}, err
 		}
 	}
 	pipe.ResetStats()
 	for _, q := range queries {
-		if _, err := e.Query(q, pipe); err != nil {
+		if _, err := e.Query(q, proc); err != nil {
 			return Cell{}, err
 		}
 	}
@@ -294,12 +312,13 @@ func (env *Env) RunTPCC(s engine.System, txns int) (Cell, workload.TPCCStats, er
 	}
 	e := engine.New(s, db.Catalog)
 	pipe := xeon.New(env.Opts.Config)
+	proc := env.processor(pipe)
 	// Warm up with a slice of the mix.
-	if _, err := workload.RunTPCC(db, e, pipe, txns/4+1); err != nil {
+	if _, err := workload.RunTPCC(db, e, proc, txns/4+1); err != nil {
 		return Cell{}, workload.TPCCStats{}, err
 	}
 	pipe.ResetStats()
-	stats, err := workload.RunTPCC(db, e, pipe, txns)
+	stats, err := workload.RunTPCC(db, e, proc, txns)
 	if err != nil {
 		return Cell{}, stats, err
 	}

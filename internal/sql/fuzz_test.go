@@ -1,0 +1,92 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary byte strings.
+// The contract under fuzzing is total: Parse must return a statement
+// or an error for every input — no panics, no hangs — and on success
+// the statement must satisfy the parser's own postconditions (the
+// invariants the planner relies on without re-checking).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The paper's workload shapes.
+		"select avg(a3) from r where a2 < 50",
+		"SELECT avg(R.a3) FROM R, S WHERE R.a2 = S.a1 AND R.a2 < 50;",
+		"select count(*) from r",
+		"select sum(a1) from r where a1 >= 10 and a1 < 20",
+		"create table r (a1 integer not null, a2 integer, a3 integer)",
+		// Near-miss malformations.
+		"select avg() from r",
+		"select avg(a3 from r",
+		"select avg(*) from r",
+		"create table t ()",
+		"create table t (c integer,)",
+		"select count(*) from a, b, c",
+		"select min(x.y.z) from t",
+		"select max(a) from t where a <> ",
+		"select sum(a) from t where 1 < a",
+		"select avg(a) from t where a < 99999999999999999999",
+		";;",
+		"",
+		"\x00",
+		"select avg(\xff) from r",
+		"select avg(a) from t where a < -1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			if stmt != nil {
+				t.Fatalf("Parse(%q) returned both a statement and an error", src)
+			}
+			return
+		}
+		switch s := stmt.(type) {
+		case *CreateStmt:
+			if s.Table == "" {
+				t.Fatalf("Parse(%q): CREATE with empty table name", src)
+			}
+			if len(s.Columns) == 0 {
+				t.Fatalf("Parse(%q): CREATE with no columns", src)
+			}
+			for _, c := range s.Columns {
+				if c.Name == "" {
+					t.Fatalf("Parse(%q): CREATE with empty column name", src)
+				}
+			}
+		case *SelectStmt:
+			if len(s.Tables) == 0 || len(s.Tables) > 2 {
+				t.Fatalf("Parse(%q): SELECT with %d tables", src, len(s.Tables))
+			}
+			if s.Star && s.Agg != AggCount {
+				t.Fatalf("Parse(%q): star argument on non-count aggregate", src)
+			}
+			if !s.Star && s.AggCol.Column == "" {
+				t.Fatalf("Parse(%q): aggregate over empty column ref", src)
+			}
+			for _, p := range s.Where {
+				if p.Left.Column == "" {
+					t.Fatalf("Parse(%q): predicate with empty left column", src)
+				}
+				if p.IsJoin && p.Right.Column == "" {
+					t.Fatalf("Parse(%q): join predicate with empty right column", src)
+				}
+			}
+		default:
+			t.Fatalf("Parse(%q): unknown statement type %T", src, stmt)
+		}
+		// Accepted statements must be pure ASCII-or-valid-UTF8 survivors
+		// of the lexer; regardless, re-parsing the same source must be
+		// deterministic.
+		if _, err := Parse(strings.Clone(src)); err != nil {
+			t.Fatalf("Parse(%q) accepted once, rejected on re-parse: %v", src, err)
+		}
+		_ = utf8.ValidString(src)
+	})
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// recorder logs every Processor call as a string, and optionally
+// consumes batches (counting them) so tests can tell which drain path
+// ran.
+type recorder struct {
+	calls   []string
+	batches int
+}
+
+func (r *recorder) FetchBlock(addr uint64, size, instrs, uops uint32) {
+	r.calls = append(r.calls, fmt.Sprintf("fetch %x %d %d %d", addr, size, instrs, uops))
+}
+func (r *recorder) Load(addr uint64, size uint32) {
+	r.calls = append(r.calls, fmt.Sprintf("load %x %d", addr, size))
+}
+func (r *recorder) Store(addr uint64, size uint32) {
+	r.calls = append(r.calls, fmt.Sprintf("store %x %d", addr, size))
+}
+func (r *recorder) Branch(pc, target uint64, taken bool) {
+	r.calls = append(r.calls, fmt.Sprintf("branch %x %x %v", pc, target, taken))
+}
+func (r *recorder) DataBurst(base uint64, bytes, loads, stores uint32) {
+	r.calls = append(r.calls, fmt.Sprintf("burst %x %d %d %d", base, bytes, loads, stores))
+}
+func (r *recorder) ResourceStall(dep, fu, ild float64) {
+	r.calls = append(r.calls, fmt.Sprintf("stall %g %g %g", dep, fu, ild))
+}
+func (r *recorder) RecordProcessed() { r.calls = append(r.calls, "record") }
+
+// batchRecorder is a recorder that also accepts batches.
+type batchRecorder struct{ recorder }
+
+func (r *batchRecorder) ProcessBatch(events []Event) {
+	r.batches++
+	Replay(&r.recorder, events)
+}
+
+// emitSample issues one of every event kind, twice, into p.
+func emitSample(p Processor) {
+	for i := uint64(0); i < 2; i++ {
+		p.FetchBlock(0x1000+i, 64, 10, 12)
+		p.Load(0x2000+i*32, 8)
+		p.Store(0x3000+i*32, 4)
+		p.Branch(0x1100+i, 0x1200, i == 0)
+		p.DataBurst(0x4000, 128, 5, 1)
+		p.ResourceStall(1.5, 0.25, 0.125)
+		p.RecordProcessed()
+	}
+}
+
+func sampleCalls() []string {
+	var want recorder
+	emitSample(&want)
+	return want.calls
+}
+
+// TestBufferPreservesOrder pins the core contract: events emerge from
+// a flush in exactly the order they were emitted, through either drain
+// path.
+func TestBufferPreservesOrder(t *testing.T) {
+	want := sampleCalls()
+
+	t.Run("replay sink", func(t *testing.T) {
+		var got recorder
+		buf := NewBuffer(&got, 4) // tiny capacity: forces mid-stream flushes
+		emitSample(buf)
+		buf.Flush()
+		if fmt.Sprint(got.calls) != fmt.Sprint(want) {
+			t.Errorf("replayed calls differ:\n got %v\nwant %v", got.calls, want)
+		}
+	})
+
+	t.Run("batch sink", func(t *testing.T) {
+		var got batchRecorder
+		buf := NewBuffer(&got, 4)
+		emitSample(buf)
+		buf.Flush()
+		if fmt.Sprint(got.calls) != fmt.Sprint(want) {
+			t.Errorf("batched calls differ:\n got %v\nwant %v", got.calls, want)
+		}
+		if got.batches == 0 {
+			t.Error("batch-capable sink was not drained via ProcessBatch")
+		}
+	})
+}
+
+// TestBufferAutoFlush verifies the buffer drains itself at capacity.
+func TestBufferAutoFlush(t *testing.T) {
+	var got batchRecorder
+	buf := NewBuffer(&got, 3)
+	for i := 0; i < 7; i++ {
+		buf.RecordProcessed()
+	}
+	if len(got.calls) != 6 {
+		t.Errorf("expected 6 auto-flushed events, got %d", len(got.calls))
+	}
+	if buf.Pending() != 1 {
+		t.Errorf("expected 1 pending event, got %d", buf.Pending())
+	}
+	buf.Flush()
+	if len(got.calls) != 7 || buf.Pending() != 0 {
+		t.Errorf("after flush: %d delivered, %d pending", len(got.calls), buf.Pending())
+	}
+}
+
+// TestUnbatchedHidesBatchCapability: wrapping a batch-capable sink in
+// Unbatched must force the one-call-per-event reference path.
+func TestUnbatchedHidesBatchCapability(t *testing.T) {
+	var got batchRecorder
+	if _, ok := interface{}(Unbatched{Processor: &got}).(BatchProcessor); ok {
+		t.Fatal("Unbatched must not satisfy BatchProcessor")
+	}
+	buf := NewBuffer(Unbatched{Processor: &got}, 4)
+	emitSample(buf)
+	buf.Flush()
+	if got.batches != 0 {
+		t.Errorf("unbatched sink received %d batches, want 0", got.batches)
+	}
+	if fmt.Sprint(got.calls) != fmt.Sprint(sampleCalls()) {
+		t.Error("unbatched replay altered the event stream")
+	}
+}
+
+// TestResourceStallPacking: stall cycles must survive the float-bits
+// packing into the 32-byte event exactly.
+func TestResourceStallPacking(t *testing.T) {
+	for _, c := range [][3]float64{
+		{0, 0, 0},
+		{1.5, 2.25, 3.125},
+		{1e-300, 1e300, 0.1},
+		{123.456, 7.89, 0.000321},
+	} {
+		ev := ResourceStallEvent(c[0], c[1], c[2])
+		dep, fu, ild := ev.Stalls()
+		if dep != c[0] || fu != c[1] || ild != c[2] {
+			t.Errorf("round trip %v -> %v %v %v", c, dep, fu, ild)
+		}
+	}
+}
+
+// TestBindDrainsIntoPreviousSink: rebinding with pending events must
+// deliver them to the old sink, not the new one.
+func TestBindDrainsIntoPreviousSink(t *testing.T) {
+	var first, second recorder
+	buf := NewBuffer(&first, 16)
+	buf.Load(0x10, 4)
+	buf.Bind(&second)
+	if len(first.calls) != 1 {
+		t.Errorf("previous sink got %d calls, want 1", len(first.calls))
+	}
+	buf.Load(0x20, 4)
+	buf.Flush()
+	if len(second.calls) != 1 {
+		t.Errorf("new sink got %d calls, want 1", len(second.calls))
+	}
+}
+
+// TestCountingViaBufferMatchesDirect: the tallies of a Counting
+// processor must not depend on whether events arrived buffered.
+func TestCountingViaBufferMatchesDirect(t *testing.T) {
+	var direct Counting
+	emitSample(&direct)
+	var buffered Counting
+	buf := NewBuffer(&buffered, 4)
+	emitSample(buf)
+	buf.Flush()
+	if direct != buffered {
+		t.Errorf("buffered counts differ:\n got %+v\nwant %+v", buffered, direct)
+	}
+}
+
+// TestRoutineInvokeMatchesInvokeBuf: the interface path (scratch
+// buffer) and the explicit buffer path must produce identical event
+// streams for identical routines.
+func TestRoutineInvokeMatchesInvokeBuf(t *testing.T) {
+	mk := func() *Routine {
+		return NewLayout().Place(&Routine{
+			Name: "r", CodeBytes: 4096, Instrs: 400, Uops: 520,
+			Branches:     BranchMix{Loop: 4, Regular: 20, Irregular: 6},
+			PrivateBytes: 512, PrivateLoads: 30, PrivateStores: 6,
+			ILP: ILP{DepPerKuop: 10, FUPerKuop: 5, ILDPerKuop: 1},
+		})
+	}
+	var viaIface, viaBuf recorder
+	r1 := mk()
+	for i := 0; i < 5; i++ {
+		r1.Invoke(&viaIface)
+		r1.InvokeFrac(&viaIface, 3, 2)
+	}
+	r2 := mk()
+	buf := NewBuffer(&viaBuf, 0)
+	for i := 0; i < 5; i++ {
+		r2.InvokeBuf(buf)
+		r2.InvokeFracBuf(buf, 3, 2)
+	}
+	buf.Flush()
+	if fmt.Sprint(viaIface.calls) != fmt.Sprint(viaBuf.calls) {
+		t.Error("Invoke(interface) and InvokeBuf event streams differ")
+	}
+}

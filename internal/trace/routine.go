@@ -124,6 +124,13 @@ type Routine struct {
 	rng        uint64 // per-routine PRNG state for irregular branches
 	privPos    uint32 // rotating cursor within the private region
 	sharedPos  uint32 // rotating cursor within the shared region
+
+	// scratch carries events for callers that invoke with a plain
+	// Processor: the single invoke implementation is monomorphic on
+	// *Buffer (so its per-event appends inline), and the scratch
+	// buffer bridges the interface path through it, flushing before
+	// Invoke returns so event order is unchanged.
+	scratch *Buffer
 }
 
 // PrivateAddr returns the base address of the routine's private data
@@ -156,7 +163,18 @@ func (r *Routine) nextRand() uint64 {
 }
 
 // Invoke emits one full execution of the routine into p.
-func (r *Routine) Invoke(p Processor) { r.invoke(p, 1, 1) }
+func (r *Routine) Invoke(p Processor) {
+	b, owned := r.emitter(p)
+	invoke(r, b, 1, 1)
+	if owned {
+		b.Flush()
+	}
+}
+
+// InvokeBuf is Invoke specialised to an event buffer: the concrete
+// receiver lets the compiler devirtualise and inline the per-event
+// appends, the hot path of a batched query run.
+func (r *Routine) InvokeBuf(b *Buffer) { invoke(r, b, 1, 1) }
 
 // InvokeFrac emits a scaled execution: num/den of the routine's
 // per-invocation profile (instructions, μops, branches, private
@@ -168,10 +186,43 @@ func (r *Routine) InvokeFrac(p Processor, num, den uint32) {
 	if den == 0 {
 		panic(fmt.Sprintf("trace: routine %s: InvokeFrac with zero denominator", r.Name))
 	}
-	r.invoke(p, num, den)
+	b, owned := r.emitter(p)
+	invoke(r, b, num, den)
+	if owned {
+		b.Flush()
+	}
 }
 
-func (r *Routine) invoke(p Processor, num, den uint32) {
+// InvokeFracBuf is InvokeFrac specialised to an event buffer.
+func (r *Routine) InvokeFracBuf(b *Buffer, num, den uint32) {
+	if den == 0 {
+		panic(fmt.Sprintf("trace: routine %s: InvokeFrac with zero denominator", r.Name))
+	}
+	invoke(r, b, num, den)
+}
+
+// emitter bridges an interface-typed destination into the monomorphic
+// invoke body: a *Buffer passes through, anything else borrows the
+// routine's scratch buffer (flushed before Invoke returns, so the
+// processor sees the identical event order either way).
+func (r *Routine) emitter(p Processor) (*Buffer, bool) {
+	if b, ok := p.(*Buffer); ok {
+		return b, false
+	}
+	if r.scratch == nil {
+		r.scratch = NewBuffer(p, 256)
+	} else {
+		r.scratch.Bind(p)
+	}
+	return r.scratch, true
+}
+
+// invoke emits one scaled execution into the event buffer. It is
+// deliberately monomorphic on *Buffer — the per-event appends inline
+// into the body — and every execution path, batched or reference,
+// funnels through it, so there is exactly one narration of a
+// routine's hardware behaviour.
+func invoke(r *Routine, p *Buffer, num, den uint32) {
 	if r.Addr == 0 {
 		panic(fmt.Sprintf("trace: routine %s invoked before being placed in a Layout", r.Name))
 	}

@@ -187,7 +187,7 @@ type session struct {
 	pos  uint32
 }
 
-func (s *session) touch(proc trace.Processor) {
+func (s *session) touch(proc *trace.Buffer) {
 	w := uint32(sessionWindow)
 	lines := w / trace.LineSize
 	if s.pos+w <= sessionRegionSize {
@@ -214,27 +214,37 @@ func RunTPCC(db *TPCC, e *engine.Engine, proc trace.Processor, txns int) (TPCCSt
 	for i := range sessions {
 		sessions[i] = session{base: sessionRegionBase + uint64(i)*(4<<20)}
 	}
+	// The whole mix emits through one event buffer: session touches and
+	// transaction events interleave in program order and drain to proc
+	// in batches (the engine recognises the buffer and fills it
+	// directly). Flushed before returning, so the caller's processor is
+	// fully up to date between warm-up and measured runs.
+	buf, ok := proc.(*trace.Buffer)
+	if !ok {
+		buf = trace.NewBuffer(proc, 0)
+		defer buf.Flush()
+	}
 	for i := 0; i < txns; i++ {
 		// Round-robin among the clients: the active client's session
 		// state comes back through the memory hierarchy.
-		sessions[i%tpccClients].touch(proc)
+		sessions[i%tpccClients].touch(buf)
 		roll := rng.Intn(100)
 		var err error
 		switch {
 		case roll < 45:
-			err = db.newOrder(e, proc, rng, &stats)
+			err = db.newOrder(e, buf, rng, &stats)
 			stats.NewOrders++
 		case roll < 88:
-			err = db.payment(e, proc, rng)
+			err = db.payment(e, buf, rng)
 			stats.Payments++
 		default:
-			err = db.orderStatus(e, proc, rng)
+			err = db.orderStatus(e, buf, rng)
 			stats.OrderStatuses++
 		}
 		if err != nil {
 			return stats, fmt.Errorf("workload: txn %d: %w", i, err)
 		}
-		proc.RecordProcessed()
+		buf.RecordProcessed()
 	}
 	return stats, nil
 }
@@ -243,7 +253,7 @@ func RunTPCC(db *TPCC, e *engine.Engine, proc trace.Processor, txns int) (TPCCSt
 // district's next order id, read the customer, insert an order, and
 // for 5-15 items: item lookup, stock lookup, stock update, order-line
 // insert.
-func (db *TPCC) newOrder(e *engine.Engine, proc trace.Processor, rng *rand.Rand, stats *TPCCStats) error {
+func (db *TPCC) newOrder(e *engine.Engine, proc *trace.Buffer, rng *rand.Rand, stats *TPCCStats) error {
 	d := db.Dims
 	txn := e.Begin(proc)
 	defer txn.Commit()
@@ -296,7 +306,7 @@ func (db *TPCC) newOrder(e *engine.Engine, proc trace.Processor, rng *rand.Rand,
 
 // payment models the TPC-C Payment transaction: update district YTD,
 // update customer balance, insert a history record.
-func (db *TPCC) payment(e *engine.Engine, proc trace.Processor, rng *rand.Rand) error {
+func (db *TPCC) payment(e *engine.Engine, proc *trace.Buffer, rng *rand.Rand) error {
 	d := db.Dims
 	txn := e.Begin(proc)
 	defer txn.Commit()
@@ -320,7 +330,7 @@ func (db *TPCC) payment(e *engine.Engine, proc trace.Processor, rng *rand.Rand) 
 
 // orderStatus models the TPC-C OrderStatus transaction: customer
 // lookup plus a read of recent orders.
-func (db *TPCC) orderStatus(e *engine.Engine, proc trace.Processor, rng *rand.Rand) error {
+func (db *TPCC) orderStatus(e *engine.Engine, proc *trace.Buffer, rng *rand.Rand) error {
 	d := db.Dims
 	txn := e.Begin(proc)
 	defer txn.Commit()

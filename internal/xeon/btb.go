@@ -8,6 +8,15 @@ package xeon
 // predictor; a BTB miss falls back to static prediction — backward
 // branches taken, forward branches not taken — exactly as Section 5.3
 // describes.
+//
+// Pattern tables are stored out of line: each entry carries a slot
+// number into the pattern array, and recency moves shuffle only the
+// small entry structs while the tables stay put. Eviction recycles the
+// victim's slot for the incoming branch (resetting its counters to the
+// power-up state), which is observationally identical to the tables
+// moving with the entries but keeps the per-branch bookkeeping — the
+// hottest path of the batched event drain — free of copying and
+// allocation.
 type btb struct {
 	sets    int
 	ways    int
@@ -16,17 +25,25 @@ type btb struct {
 	histBits uint
 	histMask uint16
 
-	// Entry state, flattened as [set*ways+way].
-	tags    []uint64
-	valid   []bool
-	history []uint16
-	// pattern[(set*ways+way)<<histBits | history] is a 2-bit counter.
+	// ents[set*ways+way] holds the way's state, recency-ordered per
+	// set; ents[i].slot indexes that entry's pattern table.
+	ents []btbEnt
+	// pattern[slot<<histBits | history] is a 2-bit counter.
 	pattern []uint8
 
 	refs       uint64
 	missesBTB  uint64 // lookups that missed the BTB
 	mispredict uint64 // wrong final predictions (dynamic or static)
 	taken      uint64
+}
+
+// btbEnt is one BTB way: the branch tag, its history register, and the
+// fixed pattern-table slot its counters live in.
+type btbEnt struct {
+	tag   uint64
+	hist  uint16
+	slot  uint16
+	valid bool
 }
 
 // newBTB builds a predictor with the given entry count, associativity
@@ -43,10 +60,11 @@ func newBTB(entries, assoc, histBits int) *btb {
 		setMask:  uint64(sets - 1),
 		histBits: uint(histBits),
 		histMask: uint16(1<<histBits - 1),
-		tags:     make([]uint64, n),
-		valid:    make([]bool, n),
-		history:  make([]uint16, n),
+		ents:     make([]btbEnt, n),
 		pattern:  make([]uint8, n<<uint(histBits)),
+	}
+	for i := range b.ents {
+		b.ents[i].slot = uint16(i)
 	}
 	// Initialise the two-bit counters to weakly taken, the usual
 	// power-up state.
@@ -68,12 +86,37 @@ func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
 	// Index by 16-byte PC granule, folding in higher bits so strided
 	// branch PCs spread across the sets.
 	key := (pc >> 4) ^ (pc >> 13)
-	set := int(key & b.setMask)
-	base := set * b.ways
+	base := int(key&b.setMask) * b.ways
+	ents := b.ents
+
+	// MRU fast path: loop branches and hot sites re-execute the same
+	// PC back to back and hit way 0, where prediction and training
+	// happen in place with no recency shuffle.
+	if e := &ents[base]; e.valid && e.tag == key {
+		btbHit = true
+		pi := uint64(e.slot)<<b.histBits | uint64(e.hist&b.histMask)
+		predictTaken := b.pattern[pi] >= 2
+		correct = predictTaken == taken
+		if !correct {
+			b.mispredict++
+		}
+		if taken {
+			if b.pattern[pi] < 3 {
+				b.pattern[pi]++
+			}
+		} else if b.pattern[pi] > 0 {
+			b.pattern[pi]--
+		}
+		e.hist = (e.hist << 1) & b.histMask
+		if taken {
+			e.hist |= 1
+		}
+		return btbHit, correct
+	}
 
 	way := -1
-	for w := 0; w < b.ways; w++ {
-		if b.valid[base+w] && b.tags[base+w] == key {
+	for w := 1; w < b.ways; w++ {
+		if e := ents[base+w]; e.valid && e.tag == key {
 			way = w
 			break
 		}
@@ -82,8 +125,8 @@ func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
 	var predictTaken bool
 	if way >= 0 {
 		btbHit = true
-		i := base + way
-		ctr := b.pattern[uint64(i)<<b.histBits|uint64(b.history[i]&b.histMask)]
+		e := &ents[base+way]
+		ctr := b.pattern[uint64(e.slot)<<b.histBits|uint64(e.hist&b.histMask)]
 		predictTaken = ctr >= 2
 	} else {
 		b.missesBTB++
@@ -99,8 +142,8 @@ func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
 	if way >= 0 {
 		// Train the resident entry: update the pattern counter for the
 		// history that produced the prediction, then shift the history.
-		i := base + way
-		pi := uint64(i)<<b.histBits | uint64(b.history[i]&b.histMask)
+		e := ents[base+way]
+		pi := uint64(e.slot)<<b.histBits | uint64(e.hist&b.histMask)
 		if taken {
 			if b.pattern[pi] < 3 {
 				b.pattern[pi]++
@@ -108,69 +151,35 @@ func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
 		} else if b.pattern[pi] > 0 {
 			b.pattern[pi]--
 		}
-		b.history[i] = (b.history[i] << 1) & b.histMask
+		e.hist = (e.hist << 1) & b.histMask
 		if taken {
-			b.history[i] |= 1
+			e.hist |= 1
 		}
-		// Move to front (LRU within the set).
-		b.moveToFront(base, way)
+		// Move to front (LRU within the set): shift the struct entries;
+		// pattern tables stay put, addressed through each entry's slot.
+		copy(ents[base+1:base+way+1], ents[base:base+way])
+		ents[base] = e
 	} else if taken {
-		// The P6 BTB allocates entries for taken branches only.
-		b.insert(base, key, taken)
+		// The P6 BTB allocates entries for taken branches only,
+		// evicting the set's LRU way and recycling its pattern slot.
+		// The branch was taken (this arm), so history starts at 1.
+		e := btbEnt{tag: key, valid: true, slot: ents[base+b.ways-1].slot, hist: 1}
+		copy(ents[base+1:base+b.ways], ents[base:base+b.ways-1])
+		ents[base] = e
+		fresh := b.pattern[uint64(e.slot)<<b.histBits : (uint64(e.slot)+1)<<b.histBits]
+		for i := range fresh {
+			fresh[i] = 2
+		}
 	}
 	return btbHit, correct
 }
 
-// moveToFront promotes way w of the set at base to MRU position,
-// carrying all per-entry state.
-func (b *btb) moveToFront(base, w int) {
-	if w == 0 {
-		return
-	}
-	tag, val, hist := b.tags[base+w], b.valid[base+w], b.history[base+w]
-	// Pattern tables are addressed by entry slot, so slot contents must
-	// move with the entry. Save the moving entry's table.
-	saved := make([]uint8, 1<<b.histBits)
-	copy(saved, b.pattern[uint64(base+w)<<b.histBits:uint64(base+w+1)<<b.histBits])
-	for i := w; i > 0; i-- {
-		b.tags[base+i] = b.tags[base+i-1]
-		b.valid[base+i] = b.valid[base+i-1]
-		b.history[base+i] = b.history[base+i-1]
-		copy(b.pattern[uint64(base+i)<<b.histBits:uint64(base+i+1)<<b.histBits],
-			b.pattern[uint64(base+i-1)<<b.histBits:uint64(base+i)<<b.histBits])
-	}
-	b.tags[base], b.valid[base], b.history[base] = tag, val, hist
-	copy(b.pattern[uint64(base)<<b.histBits:uint64(base+1)<<b.histBits], saved)
-}
-
-// insert allocates a new entry at MRU, evicting the set's LRU way.
-func (b *btb) insert(base int, key uint64, taken bool) {
-	w := b.ways - 1
-	for i := w; i > 0; i-- {
-		b.tags[base+i] = b.tags[base+i-1]
-		b.valid[base+i] = b.valid[base+i-1]
-		b.history[base+i] = b.history[base+i-1]
-		copy(b.pattern[uint64(base+i)<<b.histBits:uint64(base+i+1)<<b.histBits],
-			b.pattern[uint64(base+i-1)<<b.histBits:uint64(base+i)<<b.histBits])
-	}
-	b.tags[base] = key
-	b.valid[base] = true
-	b.history[base] = 0
-	if taken {
-		b.history[base] = 1
-	}
-	fresh := b.pattern[uint64(base)<<b.histBits : uint64(base+1)<<b.histBits]
-	for i := range fresh {
-		fresh[i] = 2
-	}
-}
-
 // flush invalidates the whole predictor.
 func (b *btb) flush() {
-	for i := range b.valid {
-		b.valid[i] = false
-		b.tags[i] = 0
-		b.history[i] = 0
+	for i := range b.ents {
+		b.ents[i].valid = false
+		b.ents[i].tag = 0
+		b.ents[i].hist = 0
 	}
 	for i := range b.pattern {
 		b.pattern[i] = 2

@@ -2,12 +2,26 @@ package xeon
 
 import "fmt"
 
+// cacheEnt is one cache way: a line address plus its valid and dirty
+// state, kept together so a move-to-front shifts one small struct
+// instead of three parallel slices.
+type cacheEnt struct {
+	line  uint64
+	valid bool
+	dirty bool
+}
+
 // cache is a set-associative, write-back cache with true-LRU
 // replacement inside each set. It operates on line addresses
 // (byte address >> lineShift); the caller owns stall accounting.
 //
 // Ways within a set are kept in recency order: index 0 is the most
-// recently used. Four-way sets make the move-to-front shift cheap.
+// recently used. This is the simulator's hottest structure — the
+// batched pipeline drains thousands of events per call straight
+// through access — so the lookup is flattened: a hit on the MRU way
+// (the common case for straight-line fetch and stride-1 data streams)
+// touches exactly one entry and shifts nothing, and the move-to-front
+// on other hits is a single in-place copy of struct entries.
 type cache struct {
 	name      string
 	sets      int
@@ -15,11 +29,8 @@ type cache struct {
 	setMask   uint64
 	lineShift uint
 
-	// tags[set*ways+way] holds the line address; valid and dirty are
-	// parallel bit-per-entry slices packed as bytes for simplicity.
-	tags  []uint64
-	valid []bool
-	dirty []bool
+	// ents[set*ways+way] holds the way's state, recency-ordered per set.
+	ents []cacheEnt
 
 	refs      uint64
 	misses    uint64
@@ -46,14 +57,29 @@ func newCache(name string, sizeBytes, assoc, lineSize int) *cache {
 		ways:      assoc,
 		setMask:   uint64(sets - 1),
 		lineShift: shift,
-		tags:      make([]uint64, lines),
-		valid:     make([]bool, lines),
-		dirty:     make([]bool, lines),
+		ents:      make([]cacheEnt, lines),
 	}
 }
 
 // lineAddr converts a byte address to a line address.
 func (c *cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// hitMRU is the inlinable precheck of the flattened lookup: if the
+// line containing addr sits in its set's MRU way, count the reference,
+// fold in the dirty bit and report the hit without the full access
+// machinery. The caller falls back to access (which recounts nothing —
+// hitMRU only counted when it returned true) on a miss of the front
+// way. The batched drain probes every structure through this first.
+func (c *cache) hitMRU(addr uint64, write bool) bool {
+	line := addr >> c.lineShift
+	e := &c.ents[int(line&c.setMask)*c.ways]
+	if e.valid && e.line == line {
+		c.refs++
+		e.dirty = e.dirty || write
+		return true
+	}
+	return false
+}
 
 // access looks up the line containing addr, counts the reference, and
 // returns whether it hit. On a miss the line is filled (allocating on
@@ -62,43 +88,40 @@ func (c *cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 // caller can model the write-back. write marks the line dirty.
 func (c *cache) access(addr uint64, write bool) (hit bool, victim uint64, victimDirty bool) {
 	c.refs++
-	line := c.lineAddr(addr)
-	set := int(line & c.setMask)
-	base := set * c.ways
+	line := addr >> c.lineShift
+	base := int(line&c.setMask) * c.ways
+	ents := c.ents
 
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == line {
+	// MRU fast path: consecutive references to the same line (field
+	// walks within a record, straight-line fetch) hit way 0 and need no
+	// recency shuffle at all.
+	if e := &ents[base]; e.valid && e.line == line {
+		e.dirty = e.dirty || write
+		return true, 0, false
+	}
+	for w := 1; w < c.ways; w++ {
+		if e := ents[base+w]; e.valid && e.line == line {
 			// Move to front (most recently used).
-			d := c.dirty[i] || write
-			c.shiftToFront(base, w)
-			c.tags[base], c.valid[base], c.dirty[base] = line, true, d
+			copy(ents[base+1:base+w+1], ents[base:base+w])
+			e.dirty = e.dirty || write
+			ents[base] = e
 			return true, 0, false
 		}
 	}
 
 	c.misses++
 	// Victim is the last (LRU) way.
-	last := base + c.ways - 1
-	if c.valid[last] {
+	if v := ents[base+c.ways-1]; v.valid {
 		c.evictions++
-		if c.dirty[last] {
+		if v.dirty {
 			c.wbacks++
-			victim = c.tags[last] << c.lineShift
+			victim = v.line << c.lineShift
 			victimDirty = true
 		}
 	}
-	c.shiftToFront(base, c.ways-1)
-	c.tags[base], c.valid[base], c.dirty[base] = line, true, write
+	copy(ents[base+1:base+c.ways], ents[base:base+c.ways-1])
+	ents[base] = cacheEnt{line: line, valid: true, dirty: write}
 	return false, victim, victimDirty
-}
-
-// shiftToFront moves ways [0,w) of the set starting at base one slot
-// toward the back, opening slot 0. The entry at way w is overwritten.
-func (c *cache) shiftToFront(base, w int) {
-	copy(c.tags[base+1:base+w+1], c.tags[base:base+w])
-	copy(c.valid[base+1:base+w+1], c.valid[base:base+w])
-	copy(c.dirty[base+1:base+w+1], c.dirty[base:base+w])
 }
 
 // touch inserts the line containing addr without counting a reference
@@ -106,21 +129,19 @@ func (c *cache) shiftToFront(base, w int) {
 // it to displace useful lines without perturbing the event counters
 // the formulae rely on.
 func (c *cache) touch(addr uint64) {
-	line := c.lineAddr(addr)
-	set := int(line & c.setMask)
-	base := set * c.ways
+	line := addr >> c.lineShift
+	base := int(line&c.setMask) * c.ways
+	ents := c.ents
 	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == line {
+		if e := ents[base+w]; e.valid && e.line == line {
 			return // already resident; leave recency alone
 		}
 	}
-	last := base + c.ways - 1
-	if c.valid[last] {
+	if ents[base+c.ways-1].valid {
 		c.evictions++
 	}
-	c.shiftToFront(base, c.ways-1)
-	c.tags[base], c.valid[base], c.dirty[base] = line, true, false
+	copy(ents[base+1:base+c.ways], ents[base:base+c.ways-1])
+	ents[base] = cacheEnt{line: line, valid: true}
 }
 
 // contains reports whether the line holding addr is resident, without
@@ -129,7 +150,7 @@ func (c *cache) contains(addr uint64) bool {
 	line := c.lineAddr(addr)
 	base := int(line&c.setMask) * c.ways
 	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == line {
+		if e := c.ents[base+w]; e.valid && e.line == line {
 			return true
 		}
 	}
@@ -138,10 +159,8 @@ func (c *cache) contains(addr uint64) bool {
 
 // flush invalidates the entire cache (used between measured runs).
 func (c *cache) flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.tags[i] = 0
+	for i := range c.ents {
+		c.ents[i] = cacheEnt{}
 	}
 }
 

@@ -1,0 +1,230 @@
+package xeon
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property test: the flattened set-associative cache is cross-checked
+// against a deliberately naive reference model over randomized access
+// streams. The reference keeps, per set, a plain recency-ordered slice
+// of {line, dirty} — textbook true LRU with none of the MRU fast
+// paths, struct packing or in-place shifting the real implementation
+// uses — and the two must agree on every observable after every
+// operation: hit/miss outcomes, victim identity, and the running
+// refs/misses/evictions/writebacks counters.
+
+// refEntry is one resident line in the reference model.
+type refEntry struct {
+	line  uint64
+	dirty bool
+}
+
+// refCache is the naive map-based reference model.
+type refCache struct {
+	ways      int
+	setMask   uint64
+	lineShift uint
+	sets      map[uint64][]refEntry // set index -> MRU-first entries
+
+	refs      uint64
+	misses    uint64
+	evictions uint64
+	wbacks    uint64
+}
+
+func newRefCache(sizeBytes, assoc, lineSize int) *refCache {
+	lines := sizeBytes / lineSize
+	sets := lines / assoc
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &refCache{
+		ways:      assoc,
+		setMask:   uint64(sets - 1),
+		lineShift: shift,
+		sets:      make(map[uint64][]refEntry),
+	}
+}
+
+func (r *refCache) access(addr uint64, write bool) (hit bool, victim uint64, victimDirty bool) {
+	r.refs++
+	line := addr >> r.lineShift
+	set := line & r.setMask
+	entries := r.sets[set]
+	for i, e := range entries {
+		if e.line == line {
+			// Hit: promote to MRU, fold in the dirty bit.
+			e.dirty = e.dirty || write
+			entries = append(entries[:i], entries[i+1:]...)
+			r.sets[set] = append([]refEntry{e}, entries...)
+			return true, 0, false
+		}
+	}
+	r.misses++
+	if len(entries) == r.ways {
+		v := entries[len(entries)-1]
+		entries = entries[:len(entries)-1]
+		r.evictions++
+		if v.dirty {
+			r.wbacks++
+			victim = v.line << r.lineShift
+			victimDirty = true
+		}
+	}
+	r.sets[set] = append([]refEntry{{line: line, dirty: write}}, entries...)
+	return false, victim, victimDirty
+}
+
+func (r *refCache) touch(addr uint64) {
+	line := addr >> r.lineShift
+	set := line & r.setMask
+	for _, e := range r.sets[set] {
+		if e.line == line {
+			return
+		}
+	}
+	entries := r.sets[set]
+	if len(entries) == r.ways {
+		entries = entries[:len(entries)-1]
+		r.evictions++
+	}
+	r.sets[set] = append([]refEntry{{line: line}}, entries...)
+}
+
+// checkAgainstReference drives both models with the same operation
+// stream and fails on the first divergence.
+func checkAgainstReference(t *testing.T, seed int64, sizeBytes, assoc, lineSize, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := newCache("probe", sizeBytes, assoc, lineSize)
+	ref := newRefCache(sizeBytes, assoc, lineSize)
+
+	// A working set a few times the cache capacity: plenty of hits,
+	// plenty of evictions, line-granular addresses plus random offsets.
+	span := uint64(sizeBytes) * 4
+	for i := 0; i < ops; i++ {
+		addr := rng.Uint64() % span
+		write := rng.Intn(3) == 0
+		switch rng.Intn(10) {
+		case 9:
+			c.touch(addr)
+			ref.touch(addr)
+		default:
+			hit, victim, vd := c.access(addr, write)
+			rhit, rvictim, rvd := ref.access(addr, write)
+			if hit != rhit || victim != rvictim || vd != rvd {
+				t.Fatalf("op %d (addr %#x write %v): got (hit=%v victim=%#x dirty=%v), reference (hit=%v victim=%#x dirty=%v)",
+					i, addr, write, hit, victim, vd, rhit, rvictim, rvd)
+			}
+		}
+		if c.refs != ref.refs || c.misses != ref.misses ||
+			c.evictions != ref.evictions || c.wbacks != ref.wbacks {
+			t.Fatalf("op %d: counters diverged: got refs=%d misses=%d evictions=%d wbacks=%d, reference refs=%d misses=%d evictions=%d wbacks=%d",
+				i, c.refs, c.misses, c.evictions, c.wbacks,
+				ref.refs, ref.misses, ref.evictions, ref.wbacks)
+		}
+	}
+
+	// Final-state invariants, set by set.
+	for set := 0; set < c.sets; set++ {
+		base := set * c.ways
+		refEntries := ref.sets[uint64(set)]
+		// True LRU: the real cache's valid prefix must list exactly the
+		// reference's entries in the same recency order, dirty bits
+		// included.
+		n := 0
+		for w := 0; w < c.ways; w++ {
+			e := c.ents[base+w]
+			if !e.valid {
+				// Validity is a prefix property: no valid entry may
+				// follow an invalid way.
+				for w2 := w; w2 < c.ways; w2++ {
+					if c.ents[base+w2].valid {
+						t.Fatalf("set %d: valid entry at way %d after invalid way %d", set, w2, w)
+					}
+				}
+				break
+			}
+			if w >= len(refEntries) {
+				t.Fatalf("set %d: more resident ways than the reference (%d)", set, len(refEntries))
+			}
+			if e.line != refEntries[w].line || e.dirty != refEntries[w].dirty {
+				t.Fatalf("set %d way %d: got line=%#x dirty=%v, reference line=%#x dirty=%v",
+					set, w, e.line, e.dirty, refEntries[w].line, refEntries[w].dirty)
+			}
+			n++
+		}
+		if n != len(refEntries) {
+			t.Fatalf("set %d: %d resident ways, reference has %d", set, n, len(refEntries))
+		}
+		// No duplicate lines within a set.
+		seen := map[uint64]bool{}
+		for w := 0; w < c.ways; w++ {
+			if e := c.ents[base+w]; e.valid {
+				if seen[e.line] {
+					t.Fatalf("set %d: line %#x resident twice", set, e.line)
+				}
+				seen[e.line] = true
+			}
+		}
+	}
+}
+
+// TestCacheMatchesNaiveLRUModel sweeps geometries (including the three
+// real cache shapes and the two TLB shapes) and seeds.
+func TestCacheMatchesNaiveLRUModel(t *testing.T) {
+	cases := []struct {
+		name                      string
+		sizeBytes, assoc, lineSum int
+	}{
+		{"L1-shape", 16 * 1024, 4, 32},
+		{"L2-shape", 512 * 1024, 4, 32},
+		{"ITLB-shape", 32 * 4096, 4, 4096},
+		{"DTLB-shape", 64 * 4096, 4, 4096},
+		{"direct-mapped", 4 * 1024, 1, 32},
+		{"two-way", 4 * 1024, 2, 64},
+		{"fully-deep", 2 * 1024, 8, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				checkAgainstReference(t, seed, tc.sizeBytes, tc.assoc, tc.lineSum, 20000)
+			}
+		})
+	}
+}
+
+// TestCacheHitMRUAgreesWithAccess pins the fast path the pipeline
+// probes first: whenever hitMRU claims a hit, a naive scan must find
+// the line at the MRU way, and the counters must advance exactly as a
+// full access would have.
+func TestCacheHitMRUAgreesWithAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := newCache("probe", 4*1024, 4, 32)
+	ref := newRefCache(4*1024, 4, 32)
+	for i := 0; i < 20000; i++ {
+		addr := rng.Uint64() % (16 * 1024)
+		write := rng.Intn(4) == 0
+		if c.hitMRU(addr, write) {
+			// The reference must agree this is a front-way hit.
+			set := (addr >> 5) & ref.setMask
+			entries := ref.sets[set]
+			if len(entries) == 0 || entries[0].line != addr>>5 {
+				t.Fatalf("op %d: hitMRU hit but reference MRU is elsewhere", i)
+			}
+			ref.access(addr, write) // keep models in lockstep
+			continue
+		}
+		c.access(addr, write)
+		ref.access(addr, write)
+		if c.refs != ref.refs || c.misses != ref.misses {
+			t.Fatalf("op %d: counters diverged after slow path", i)
+		}
+	}
+	if c.refs != ref.refs || c.misses != ref.misses || c.wbacks != ref.wbacks {
+		t.Fatalf("final counters diverged: got %d/%d/%d, reference %d/%d/%d",
+			c.refs, c.misses, c.wbacks, ref.refs, ref.misses, ref.wbacks)
+	}
+}

@@ -143,7 +143,7 @@ func TestStoreSpanningLinesDirtiesBoth(t *testing.T) {
 	if b.Counts.L1DReferences != 2 {
 		t.Errorf("spanning store refs = %d, want 2", b.Counts.L1DReferences)
 	}
-	if !p.l1d.dirty[p.findWay(trace.HeapBase)] || !p.l1d.dirty[p.findWay(trace.HeapBase+32)] {
+	if !p.l1d.ents[p.findWay(trace.HeapBase)].dirty || !p.l1d.ents[p.findWay(trace.HeapBase+32)].dirty {
 		t.Error("both spanned lines should be dirty")
 	}
 }
@@ -153,7 +153,7 @@ func (p *Pipeline) findWay(addr uint64) int {
 	line := p.l1d.lineAddr(addr)
 	base := int(line&p.l1d.setMask) * p.l1d.ways
 	for w := 0; w < p.l1d.ways; w++ {
-		if p.l1d.valid[base+w] && p.l1d.tags[base+w] == line {
+		if e := p.l1d.ents[base+w]; e.valid && e.line == line {
 			return base + w
 		}
 	}

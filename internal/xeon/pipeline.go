@@ -63,6 +63,7 @@ type Pipeline struct {
 }
 
 var _ trace.Processor = (*Pipeline)(nil)
+var _ trace.BatchProcessor = (*Pipeline)(nil)
 
 // New builds a pipeline for the given configuration. It panics if the
 // configuration is invalid; call cfg.Validate first when the values
@@ -102,12 +103,15 @@ func (p *Pipeline) fetchLine(addr uint64) {
 	page := p.itlb.pageOf(addr)
 	if !p.haveIPage || page != p.lastIPage {
 		p.lastIPage, p.haveIPage = page, true
-		if !p.itlb.access(addr) {
+		if !p.itlb.hitMRU(addr) && !p.itlb.access(addr) {
 			p.counts.ITLBMisses++
 			p.charge(core.TITLB, p.cfg.ITLBPenalty)
 		}
 	}
 	p.counts.L1IReferences++
+	if p.l1i.hitMRU(addr, false) {
+		return
+	}
 	if hit, _, _ := p.l1i.access(addr, false); hit {
 		return
 	}
@@ -147,12 +151,15 @@ func (p *Pipeline) FetchBlock(addr uint64, size, instrs, uops uint32) {
 
 // dataLine runs one data line through DTLB, L1D and L2.
 func (p *Pipeline) dataLine(addr uint64, write bool) {
-	if !p.dtlb.access(addr) {
+	if !p.dtlb.hitMRU(addr) && !p.dtlb.access(addr) {
 		p.counts.DTLBMisses++
 		p.charge(core.TDTLB, p.cfg.DTLBPenalty)
 	}
 	p.refsSinceL2DMiss++
 	p.counts.L1DReferences++
+	if p.l1d.hitMRU(addr, write) {
+		return
+	}
 	if hit, _, _ := p.l1d.access(addr, write); hit {
 		return
 	}
@@ -267,6 +274,33 @@ func (p *Pipeline) ResourceStall(dep, fu, ild float64) {
 func (p *Pipeline) RecordProcessed() {
 	if !p.inKernel {
 		p.counts.Records++
+	}
+}
+
+// ProcessBatch implements trace.BatchProcessor: it drains an ordered
+// event buffer through the same per-event accounting as the Processor
+// methods, in one tight loop with no interface dispatch. The golden
+// regression suite pins this path byte-identical to the unbatched
+// reference (trace.Replay over the same events).
+func (p *Pipeline) ProcessBatch(events []trace.Event) {
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.EvFetchBlock:
+			p.FetchBlock(ev.Addr, ev.Size, ev.A, ev.B)
+		case trace.EvLoad:
+			p.Load(ev.Addr, ev.Size)
+		case trace.EvStore:
+			p.Store(ev.Addr, ev.Size)
+		case trace.EvBranch:
+			p.Branch(ev.Addr, ev.Aux, ev.Taken)
+		case trace.EvDataBurst:
+			p.DataBurst(ev.Addr, ev.Size, ev.A, ev.B)
+		case trace.EvResourceStall:
+			p.ResourceStall(ev.Stalls())
+		case trace.EvRecordProcessed:
+			p.RecordProcessed()
+		}
 	}
 }
 

@@ -29,3 +29,6 @@ func (t *tlb) refs() uint64      { return t.c.refs }
 func (t *tlb) flush()            { t.c.flush() }
 func (t *tlb) resetStats()       { t.c.resetStats() }
 func (t *tlb) missRate() float64 { return t.c.missRate() }
+
+// hitMRU is the inlinable MRU-way precheck (see cache.hitMRU).
+func (t *tlb) hitMRU(addr uint64) bool { return t.c.hitMRU(addr, false) }
