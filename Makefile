@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench batch-smoke cover lint fmt golden ci
+.PHONY: build test short race bench batch-smoke replay-smoke cover lint fmt golden profile bench-json ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,30 @@ bench:
 # the two pipelines disagree anywhere.
 batch-smoke:
 	$(GO) test -count=1 -run 'TestGoldenFiles|TestBatchedMatchesReferenceSubset' ./internal/harness
+
+# The replay-equivalence smoke: renders the experiment grid with
+# recording/replay force-enabled (the default; TestGoldenFiles) and
+# force-disabled (every run re-executes the engine) and diffs both
+# against the same goldens. Fails if replay changes any figure.
+replay-smoke:
+	$(GO) test -count=1 -run 'TestGoldenFiles|TestReplayDisabledMatchesGoldens' ./internal/harness
+
+# CPU profile of the full serial grid benchmark, written to grid.pprof
+# (inspect with: go tool pprof grid.pprof).
+profile:
+	$(GO) test -bench='BenchmarkGridSerial$$' -benchtime=1x -run='^$$' -cpuprofile grid.pprof .
+
+# Machine-readable perf record: the grid benchmarks (serial, parallel,
+# replay-disabled), the replay-vs-execute comparison and the drain
+# microbenchmark, written to BENCH_PR3.json for trajectory tracking.
+# Each step is its own recipe line so a failing benchmark run fails
+# the target instead of producing a silently incomplete record.
+bench-json:
+	$(GO) test -bench='BenchmarkGridSerial$$|BenchmarkGridSerialNoReplay$$|BenchmarkGridParallel$$|BenchmarkReplayVsExecute' \
+		-benchtime=1x -benchmem -run='^$$' . > bench-raw.txt
+	$(GO) test -bench='BenchmarkProcessBatch$$' -benchtime=3x -benchmem -run='^$$' ./internal/xeon >> bench-raw.txt
+	$(GO) run ./cmd/benchjson < bench-raw.txt > BENCH_PR3.json
+	rm bench-raw.txt
 
 # Regenerate the golden files after an intentional output change.
 # (The package path precedes -update: go test stops parsing at the

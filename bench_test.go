@@ -228,6 +228,64 @@ func BenchmarkGridSerialUnbatched(b *testing.B) {
 	}
 }
 
+// BenchmarkGridSerialNoReplay runs the full grid with recording
+// disabled, so every warm-up and measured run re-executes the engine:
+// the replay-off reference. Serial vs this is the speedup the
+// record-once/replay-many engine buys; the outputs are byte-identical
+// (TestReplayDisabledMatchesGoldens).
+func BenchmarkGridSerialNoReplay(b *testing.B) {
+	opts := benchOptions()
+	opts.MaxRecordedEvents = -1
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunExperiments(opts, harness.Experiments(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayVsExecute isolates what the record-once/replay-many
+// engine buys on a cache revisit: the execute arm rebuilds and runs
+// the TPC-C mix every iteration (recording disabled); the replay arm
+// primes the per-worker trace cache once, then every iteration replays
+// the captured warm-up and measured phases into a fresh pipeline —
+// no database build, no engine execution, no event re-emission.
+func BenchmarkReplayVsExecute(b *testing.B) {
+	const txns = 300
+	b.Run("execute", func(b *testing.B) {
+		opts := benchOptions()
+		opts.MaxRecordedEvents = -1
+		env, err := harness.NewEnv(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := env.RunTPCC(engine.SystemC, txns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		opts := benchOptions()
+		// The TPC-C(300) capture is ~10M events; give the cache room.
+		opts.MaxRecordedEvents = 16 << 20
+		env, err := harness.NewEnv(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := env.RunTPCC(engine.SystemC, txns); err != nil {
+			b.Fatal(err) // prime the capture
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := env.RunTPCC(engine.SystemC, txns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Ablations (DESIGN.md section 5) --------------------------------
 
 // ablationCell runs System D SRS under a modified platform config.

@@ -37,6 +37,7 @@ func main() {
 		l2kb        = flag.Int("l2kb", 0, "override L2 cache size in KB (0 = Table 4.1's 512)")
 		btb         = flag.Int("btb", 0, "override BTB entries (0 = Pentium II's 512)")
 		parallel    = flag.Int("parallel", harness.DefaultParallelism(), "worker count for the experiment grid (1 = serial)")
+		maxrec      = flag.Int("maxrecorded", 0, "recording cap in events for the record-once/replay-many engine (0 = default, negative disables replay)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 	opts.Scale = *scale
 	opts.Selectivity = *selectivity
 	opts.RecordSize = *recsize
+	opts.MaxRecordedEvents = *maxrec
 	if *l2kb > 0 {
 		opts.Config.L2SizeKB = *l2kb
 	}

@@ -133,11 +133,17 @@ const DefaultBatchCap = 4096
 // path — and the sink consumes the batch in one ProcessBatch call when
 // it supports batching, or via Replay when it does not.
 //
+// The backing array is kept at full length with a separate fill
+// cursor, so the inlined push is one bounds-checked store and an
+// increment rather than an append's slice-header rewrite — push is
+// the single hottest engine-side instruction sequence on the grid.
+//
 // A Buffer belongs to one goroutine, like the Processor it feeds.
 // Events are delivered strictly in append order; only the grouping
 // changes, never the sequence.
 type Buffer struct {
-	events []Event
+	events []Event // len == cap, filled up to n
+	n      int
 	sink   Processor
 	batch  BatchProcessor // non-nil when sink implements BatchProcessor
 	// sinkComparable records whether sink's dynamic type supports ==,
@@ -154,7 +160,7 @@ func NewBuffer(sink Processor, capacity int) *Buffer {
 	if capacity <= 0 {
 		capacity = DefaultBatchCap
 	}
-	b := &Buffer{events: make([]Event, 0, capacity)}
+	b := &Buffer{events: make([]Event, capacity)}
 	b.Bind(sink)
 	return b
 }
@@ -162,7 +168,7 @@ func NewBuffer(sink Processor, capacity int) *Buffer {
 // Bind points the buffer at a new sink, draining any pending events
 // into the previous sink first so no event is ever re-ordered or lost.
 func (b *Buffer) Bind(sink Processor) {
-	if len(b.events) > 0 {
+	if b.n > 0 {
 		b.Flush()
 	}
 	b.sink = sink
@@ -182,25 +188,27 @@ func (b *Buffer) BoundTo(sink Processor) bool {
 }
 
 // Pending returns how many events are buffered but not yet drained.
-func (b *Buffer) Pending() int { return len(b.events) }
+func (b *Buffer) Pending() int { return b.n }
 
 // Flush drains all pending events into the sink.
 func (b *Buffer) Flush() {
-	if len(b.events) == 0 {
+	if b.n == 0 {
 		return
 	}
+	pending := b.events[:b.n]
 	if b.batch != nil {
-		b.batch.ProcessBatch(b.events)
+		b.batch.ProcessBatch(pending)
 	} else if b.sink != nil {
-		Replay(b.sink, b.events)
+		Replay(b.sink, pending)
 	}
-	b.events = b.events[:0]
+	b.n = 0
 }
 
 // push appends one event, draining when the buffer reaches capacity.
 func (b *Buffer) push(ev Event) {
-	b.events = append(b.events, ev)
-	if len(b.events) == cap(b.events) {
+	b.events[b.n] = ev
+	b.n++
+	if b.n == len(b.events) {
 		b.Flush()
 	}
 }

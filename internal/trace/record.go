@@ -1,0 +1,274 @@
+package trace
+
+import "sync"
+
+// This file is the record-once / replay-many half of the batch API.
+// The measurement protocol of the paper (Section 4.3) feeds the same
+// event stream through the simulator several times — warm-up runs,
+// then a measured run — and the stream itself is a pure function of
+// the experiment cell, so re-generating it per run is pure overhead.
+// A Recorder captures the stream the first time it flows past (by
+// interposing on the BatchProcessor flush path the emitters already
+// drain through), and a Recording replays it any number of times by
+// feeding the captured chunks straight back into ProcessBatch — zero
+// re-emission, zero per-event dispatch, zero copying.
+//
+// Recordings store events in fixed-size chunks drawn from a shared
+// free list, so a worker measuring cells one after another recycles
+// the same arena instead of growing and abandoning multi-hundred-
+// megabyte slices per cell.
+
+// RecordChunkEvents is the event capacity of one recording chunk:
+// 8192 events x 32 bytes = 256 KiB, big enough to amortise the drain
+// call and small enough that partial chunks waste little.
+const RecordChunkEvents = 8192
+
+// chunkFree is the shared free list of retired chunks. It is a plain
+// list rather than a sync.Pool on purpose: a sync.Pool is drained at
+// every GC cycle, and with multi-gigabyte recordings cycling through
+// a grid run that means re-faulting the whole arena in from the
+// kernel over and over — measurably slower than the event copy
+// itself. The explicit list keeps the arena's pages resident, so the
+// steady-state footprint is the high-water recording (bounded by the
+// recording cap) and a cell's capture re-uses warm memory.
+var chunkFree struct {
+	mu     sync.Mutex
+	chunks [][]Event
+}
+
+func getChunk() []Event {
+	chunkFree.mu.Lock()
+	n := len(chunkFree.chunks)
+	if n == 0 {
+		chunkFree.mu.Unlock()
+		return make([]Event, 0, RecordChunkEvents)
+	}
+	c := chunkFree.chunks[n-1]
+	chunkFree.chunks = chunkFree.chunks[:n-1]
+	chunkFree.mu.Unlock()
+	return c[:0]
+}
+
+func putChunk(c []Event) {
+	if cap(c) < RecordChunkEvents {
+		return // never recycle undersized foreign slices
+	}
+	chunkFree.mu.Lock()
+	chunkFree.chunks = append(chunkFree.chunks, c[:0])
+	chunkFree.mu.Unlock()
+}
+
+// Recording is a captured event stream: an ordered sequence of events
+// held in fixed-size chunks. It is filled by a Recorder; once capture
+// is complete it is immutable and may be drained any number of times,
+// including concurrently read-only sharing within the goroutine that
+// owns it (drains mutate only the processor, never the recording).
+type Recording struct {
+	chunks [][]Event
+	n      int
+}
+
+// Len returns how many events the recording holds.
+func (r *Recording) Len() int { return r.n }
+
+// append copies events into the arena, drawing chunks from the free
+// list as needed. Only the Recorder calls it; after capture the
+// recording never changes.
+func (r *Recording) append(events []Event) {
+	for len(events) > 0 {
+		if len(r.chunks) == 0 {
+			r.chunks = append(r.chunks, getChunk())
+		}
+		last := &r.chunks[len(r.chunks)-1]
+		if len(*last) == cap(*last) {
+			r.chunks = append(r.chunks, getChunk())
+			last = &r.chunks[len(r.chunks)-1]
+		}
+		n := copy((*last)[len(*last):cap(*last)], events)
+		*last = (*last)[:len(*last)+n]
+		events = events[n:]
+		r.n += n
+	}
+}
+
+// appendOne records a single event (the per-event Processor path of a
+// Recorder whose sink does not batch).
+func (r *Recording) appendOne(ev Event) {
+	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1]) == cap(r.chunks[len(r.chunks)-1]) {
+		r.chunks = append(r.chunks, getChunk())
+	}
+	last := &r.chunks[len(r.chunks)-1]
+	*last = append(*last, ev)
+	r.n++
+}
+
+// Drain feeds the recorded stream into p, whole chunks at a time, in
+// the exact order it was captured: the replay path of a warm-up or
+// measured run. No events are copied or re-emitted — the chunks go
+// straight into ProcessBatch.
+func (r *Recording) Drain(p BatchProcessor) {
+	for _, c := range r.chunks {
+		p.ProcessBatch(c)
+	}
+}
+
+// Replay feeds the recorded stream into p one Processor call at a
+// time — the reference path, for sinks that do not batch.
+func (r *Recording) Replay(p Processor) {
+	for _, c := range r.chunks {
+		Replay(p, c)
+	}
+}
+
+// Equal reports whether two recordings hold the same event sequence,
+// independent of how the events landed in chunks.
+func (r *Recording) Equal(o *Recording) bool {
+	if r.n != o.n {
+		return false
+	}
+	oc, oi := 0, 0
+	for _, c := range r.chunks {
+		for i := range c {
+			for oc < len(o.chunks) && oi == len(o.chunks[oc]) {
+				oc, oi = oc+1, 0
+			}
+			if oc == len(o.chunks) || c[i] != o.chunks[oc][oi] {
+				return false
+			}
+			oi++
+		}
+	}
+	return true
+}
+
+// Release returns every chunk to the shared free list and empties the
+// recording. The recording must not be drained afterwards (it holds
+// no events), but it may be refilled by a new capture.
+func (r *Recording) Release() {
+	for _, c := range r.chunks {
+		putChunk(c)
+	}
+	r.chunks = r.chunks[:0]
+	r.n = 0
+}
+
+// Recorder captures an event stream in flight: it interposes on the
+// path between an emitter's Buffer and the processor, forwarding
+// every event unchanged (whole batches through ProcessBatch when the
+// sink batches) while appending a copy to its Recording. A cap bounds
+// the recording's memory: once the stream exceeds maxEvents the
+// recorder releases what it captured and keeps forwarding, and the
+// caller falls back to re-execution.
+//
+// A Recorder belongs to one goroutine, like the Buffer that feeds it.
+type Recorder struct {
+	rec      Recording
+	sink     Processor
+	batch    BatchProcessor // non-nil when sink batches
+	limit    int            // max events to record; <= 0 means unlimited
+	overflow bool
+}
+
+var _ BatchProcessor = (*Recorder)(nil)
+
+// NewRecorder returns a recorder forwarding into sink, capturing at
+// most maxEvents events (unlimited when maxEvents <= 0).
+func NewRecorder(sink Processor, maxEvents int) *Recorder {
+	r := &Recorder{sink: sink, limit: maxEvents}
+	r.batch, _ = sink.(BatchProcessor)
+	return r
+}
+
+// Recording returns the captured stream, or nil if the cap was
+// exceeded and the capture abandoned. The recording is only complete
+// once the emitter has flushed its final batch.
+func (r *Recorder) Recording() *Recording {
+	if r.overflow {
+		return nil
+	}
+	return &r.rec
+}
+
+// Overflowed reports whether the stream exceeded the recording cap.
+func (r *Recorder) Overflowed() bool { return r.overflow }
+
+// record appends a captured batch, abandoning the capture when it
+// would exceed the cap.
+func (r *Recorder) record(events []Event) {
+	if r.overflow {
+		return
+	}
+	if r.limit > 0 && r.rec.n+len(events) > r.limit {
+		r.overflow = true
+		r.rec.Release()
+		return
+	}
+	r.rec.append(events)
+}
+
+// ProcessBatch implements BatchProcessor: the batch goes to the sink
+// first (exactly as it would without the recorder in the path), then
+// into the recording.
+func (r *Recorder) ProcessBatch(events []Event) {
+	if r.batch != nil {
+		r.batch.ProcessBatch(events)
+	} else if r.sink != nil {
+		Replay(r.sink, events)
+	}
+	r.record(events)
+}
+
+// recordOne appends one captured event, honouring the cap.
+func (r *Recorder) recordOne(ev Event) {
+	if r.overflow {
+		return
+	}
+	if r.limit > 0 && r.rec.n+1 > r.limit {
+		r.overflow = true
+		r.rec.Release()
+		return
+	}
+	r.rec.appendOne(ev)
+}
+
+// FetchBlock implements Processor.
+func (r *Recorder) FetchBlock(addr uint64, size, instrs, uops uint32) {
+	r.sink.FetchBlock(addr, size, instrs, uops)
+	r.recordOne(Event{Kind: EvFetchBlock, Addr: addr, Size: size, A: instrs, B: uops})
+}
+
+// Load implements Processor.
+func (r *Recorder) Load(addr uint64, size uint32) {
+	r.sink.Load(addr, size)
+	r.recordOne(Event{Kind: EvLoad, Addr: addr, Size: size})
+}
+
+// Store implements Processor.
+func (r *Recorder) Store(addr uint64, size uint32) {
+	r.sink.Store(addr, size)
+	r.recordOne(Event{Kind: EvStore, Addr: addr, Size: size})
+}
+
+// Branch implements Processor.
+func (r *Recorder) Branch(pc, target uint64, taken bool) {
+	r.sink.Branch(pc, target, taken)
+	r.recordOne(Event{Kind: EvBranch, Addr: pc, Aux: target, Taken: taken})
+}
+
+// DataBurst implements Processor.
+func (r *Recorder) DataBurst(base uint64, bytes, loads, stores uint32) {
+	r.sink.DataBurst(base, bytes, loads, stores)
+	r.recordOne(Event{Kind: EvDataBurst, Addr: base, Size: bytes, A: loads, B: stores})
+}
+
+// ResourceStall implements Processor.
+func (r *Recorder) ResourceStall(dep, fu, ild float64) {
+	r.sink.ResourceStall(dep, fu, ild)
+	r.recordOne(ResourceStallEvent(dep, fu, ild))
+}
+
+// RecordProcessed implements Processor.
+func (r *Recorder) RecordProcessed() {
+	r.sink.RecordProcessed()
+	r.recordOne(Event{Kind: EvRecordProcessed})
+}

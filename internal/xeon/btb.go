@@ -30,6 +30,10 @@ type btb struct {
 	ents []btbEnt
 	// pattern[slot<<histBits | history] is a 2-bit counter.
 	pattern []uint8
+	// fresh is a pattern table's worth of weakly-taken counters,
+	// copied over a recycled slot on allocation so eviction never
+	// loops over bytes on the hot path.
+	fresh []uint8
 
 	refs       uint64
 	missesBTB  uint64 // lookups that missed the BTB
@@ -62,6 +66,7 @@ func newBTB(entries, assoc, histBits int) *btb {
 		histMask: uint16(1<<histBits - 1),
 		ents:     make([]btbEnt, n),
 		pattern:  make([]uint8, n<<uint(histBits)),
+		fresh:    make([]uint8, 1<<uint(histBits)),
 	}
 	for i := range b.ents {
 		b.ents[i].slot = uint16(i)
@@ -71,7 +76,28 @@ func newBTB(entries, assoc, histBits int) *btb {
 	for i := range b.pattern {
 		b.pattern[i] = 2
 	}
+	for i := range b.fresh {
+		b.fresh[i] = 2
+	}
 	return b
+}
+
+// ctrNext[ctr<<1|outcome] is the two-bit saturating counter's next
+// state: decrement on not-taken, increment on taken, clamped at the
+// ends. A table walk instead of compare-and-branch keeps the host's
+// own branch predictor out of the loop — the simulated outcomes are
+// close to random by design (the paper's ~50% BTB miss rate), which
+// makes every data-dependent host branch here a steady stream of
+// real mispredictions.
+var ctrNext = [8]uint8{0, 1, 0, 2, 1, 3, 2, 3}
+
+// b2u returns 1 for true, 0 for false (compiled branch-free).
+func b2u(b bool) uint64 {
+	var u uint64
+	if b {
+		u = 1
+	}
+	return u
 }
 
 // predict processes one retired branch: it makes the prediction the
@@ -79,10 +105,9 @@ func newBTB(entries, assoc, histBits int) *btb {
 // architectural outcome, and trains the structures. It returns whether
 // the BTB hit and whether the prediction was correct.
 func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
+	t := b2u(taken)
 	b.refs++
-	if taken {
-		b.taken++
-	}
+	b.taken += t
 	// Index by 16-byte PC granule, folding in higher bits so strided
 	// branch PCs spread across the sets.
 	key := (pc >> 4) ^ (pc >> 13)
@@ -90,28 +115,20 @@ func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
 	ents := b.ents
 
 	// MRU fast path: loop branches and hot sites re-execute the same
-	// PC back to back and hit way 0, where prediction and training
-	// happen in place with no recency shuffle.
+	// PC back to back and hit way 0, where prediction, training and
+	// history shift happen in place, branch-free (the outcome folds in
+	// as a bit, the counter steps through ctrNext). The stored history
+	// is always pre-masked, so the counter index needs no masking.
 	if e := &ents[base]; e.valid && e.tag == key {
-		btbHit = true
-		pi := uint64(e.slot)<<b.histBits | uint64(e.hist&b.histMask)
-		predictTaken := b.pattern[pi] >= 2
-		correct = predictTaken == taken
-		if !correct {
-			b.mispredict++
-		}
-		if taken {
-			if b.pattern[pi] < 3 {
-				b.pattern[pi]++
-			}
-		} else if b.pattern[pi] > 0 {
-			b.pattern[pi]--
-		}
-		e.hist = (e.hist << 1) & b.histMask
-		if taken {
-			e.hist |= 1
-		}
-		return btbHit, correct
+		pi := uint64(e.slot)<<b.histBits | uint64(e.hist)
+		ctr := b.pattern[pi]
+		// predictTaken is the counter's high bit; the prediction is
+		// wrong exactly when that bit differs from the outcome.
+		wrong := uint64(ctr>>1) ^ t
+		b.mispredict += wrong
+		b.pattern[pi] = ctrNext[uint64(ctr)<<1|t]
+		e.hist = (e.hist<<1 | uint16(t)) & b.histMask
+		return true, wrong == 0
 	}
 
 	way := -1
@@ -122,56 +139,39 @@ func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
 		}
 	}
 
-	var predictTaken bool
+	var wrong uint64
 	if way >= 0 {
 		btbHit = true
-		e := &ents[base+way]
-		ctr := b.pattern[uint64(e.slot)<<b.histBits|uint64(e.hist&b.histMask)]
-		predictTaken = ctr >= 2
-	} else {
-		b.missesBTB++
-		// Static fallback: backward taken, forward not taken.
-		predictTaken = target <= pc
-	}
-
-	correct = predictTaken == taken
-	if !correct {
-		b.mispredict++
-	}
-
-	if way >= 0 {
 		// Train the resident entry: update the pattern counter for the
 		// history that produced the prediction, then shift the history.
 		e := ents[base+way]
-		pi := uint64(e.slot)<<b.histBits | uint64(e.hist&b.histMask)
-		if taken {
-			if b.pattern[pi] < 3 {
-				b.pattern[pi]++
-			}
-		} else if b.pattern[pi] > 0 {
-			b.pattern[pi]--
-		}
-		e.hist = (e.hist << 1) & b.histMask
-		if taken {
-			e.hist |= 1
-		}
+		pi := uint64(e.slot)<<b.histBits | uint64(e.hist)
+		ctr := b.pattern[pi]
+		wrong = uint64(ctr>>1) ^ t
+		b.pattern[pi] = ctrNext[uint64(ctr)<<1|t]
+		e.hist = (e.hist<<1 | uint16(t)) & b.histMask
 		// Move to front (LRU within the set): shift the struct entries;
 		// pattern tables stay put, addressed through each entry's slot.
 		copy(ents[base+1:base+way+1], ents[base:base+way])
 		ents[base] = e
-	} else if taken {
-		// The P6 BTB allocates entries for taken branches only,
-		// evicting the set's LRU way and recycling its pattern slot.
-		// The branch was taken (this arm), so history starts at 1.
-		e := btbEnt{tag: key, valid: true, slot: ents[base+b.ways-1].slot, hist: 1}
-		copy(ents[base+1:base+b.ways], ents[base:base+b.ways-1])
-		ents[base] = e
-		fresh := b.pattern[uint64(e.slot)<<b.histBits : (uint64(e.slot)+1)<<b.histBits]
-		for i := range fresh {
-			fresh[i] = 2
+	} else {
+		b.missesBTB++
+		// Static fallback: backward taken, forward not taken.
+		wrong = b2u(target <= pc) ^ t
+		if taken {
+			// The P6 BTB allocates entries for taken branches only,
+			// evicting the set's LRU way and recycling its pattern slot.
+			// The branch was taken (this arm), so history starts at 1.
+			e := btbEnt{tag: key, valid: true, slot: ents[base+b.ways-1].slot, hist: 1}
+			copy(ents[base+1:base+b.ways], ents[base:base+b.ways-1])
+			ents[base] = e
+			// Reset the recycled slot's counters to the power-up state
+			// with one copy instead of a byte loop.
+			copy(b.pattern[uint64(e.slot)<<b.histBits:(uint64(e.slot)+1)<<b.histBits], b.fresh)
 		}
 	}
-	return btbHit, correct
+	b.mispredict += wrong
+	return btbHit, wrong == 0
 }
 
 // flush invalidates the whole predictor.

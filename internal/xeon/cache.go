@@ -2,14 +2,17 @@ package xeon
 
 import "fmt"
 
-// cacheEnt is one cache way: a line address plus its valid and dirty
-// state, kept together so a move-to-front shifts one small struct
-// instead of three parallel slices.
-type cacheEnt struct {
-	line  uint64
-	valid bool
-	dirty bool
-}
+// Each cache way is packed into one 64-bit word: the line address in
+// the high bits, the dirty and valid flags in the low two. A 4-way set
+// is then 32 bytes — a single host cache line — so the hottest loop of
+// the simulator (the batched event drain probing these sets hundreds
+// of millions of times per grid) touches one line per set instead of
+// three, and a tag compare is one mask-and-compare on a register.
+const (
+	entValid     uint64 = 1 << 0
+	entDirty     uint64 = 1 << 1
+	entLineShift        = 2
+)
 
 // cache is a set-associative, write-back cache with true-LRU
 // replacement inside each set. It operates on line addresses
@@ -18,10 +21,10 @@ type cacheEnt struct {
 // Ways within a set are kept in recency order: index 0 is the most
 // recently used. This is the simulator's hottest structure — the
 // batched pipeline drains thousands of events per call straight
-// through access — so the lookup is flattened: a hit on the MRU way
+// through lookup — so the path is flattened: a hit on the MRU way
 // (the common case for straight-line fetch and stride-1 data streams)
-// touches exactly one entry and shifts nothing, and the move-to-front
-// on other hits is a single in-place copy of struct entries.
+// costs exactly one bounds-checked probe of a packed word, and the
+// move-to-front on other hits shifts whole words in place.
 type cache struct {
 	name      string
 	sets      int
@@ -29,8 +32,9 @@ type cache struct {
 	setMask   uint64
 	lineShift uint
 
-	// ents[set*ways+way] holds the way's state, recency-ordered per set.
-	ents []cacheEnt
+	// ents[set*ways+way] holds the way's packed state (line<<2 |
+	// dirty<<1 | valid), recency-ordered per set.
+	ents []uint64
 
 	refs      uint64
 	misses    uint64
@@ -57,25 +61,92 @@ func newCache(name string, sizeBytes, assoc, lineSize int) *cache {
 		ways:      assoc,
 		setMask:   uint64(sets - 1),
 		lineShift: shift,
-		ents:      make([]cacheEnt, lines),
+		ents:      make([]uint64, lines),
 	}
 }
 
 // lineAddr converts a byte address to a line address.
 func (c *cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 
+// entryAt unpacks the way's state (tests and diagnostics; the hot path
+// works on the packed words directly).
+func (c *cache) entryAt(set, way int) (line uint64, valid, dirty bool) {
+	e := c.ents[set*c.ways+way]
+	return e >> entLineShift, e&entValid != 0, e&entDirty != 0
+}
+
+// lookup counts the reference and walks the line containing addr
+// through its set, filling on a miss: the folded form of the old
+// hitMRU-then-access pair, so the common hit costs one bounds-checked
+// probe of a packed way. The pipeline's drain writes the fold out by
+// hand — hitMRU (inlined) || lookupRest — because the composed method
+// exceeds the inliner's budget; this form exists for the TLBs' probe
+// wrapper and the property suite. Callers that need the victim's
+// identity for write-back modelling use access instead.
+func (c *cache) lookup(addr uint64, write bool) bool {
+	return c.hitMRU(addr, write) || c.lookupRest(addr, write)
+}
+
+// lookupRest finishes a lookup whose inlined hitMRU precheck missed:
+// it counts the reference (hitMRU counts only on a hit), scans the
+// remaining ways (move-to-front on a hit) and fills on a miss,
+// evicting the set's LRU way into the eviction/write-back counters.
+// Unlike access it never re-probes the MRU way the caller already
+// checked.
+func (c *cache) lookupRest(addr uint64, write bool) bool {
+	c.refs++
+	line := addr >> c.lineShift
+	base := int(line&c.setMask) * c.ways
+	ents := c.ents
+	tag := line<<entLineShift | entValid
+	for w := 1; w < c.ways; w++ {
+		if e := ents[base+w]; e&^entDirty == tag {
+			// Move to front (most recently used).
+			for j := base + w; j > base; j-- {
+				ents[j] = ents[j-1]
+			}
+			if write {
+				e |= entDirty
+			}
+			ents[base] = e
+			return true
+		}
+	}
+
+	c.misses++
+	// Victim is the last (LRU) way.
+	if v := ents[base+c.ways-1]; v&entValid != 0 {
+		c.evictions++
+		if v&entDirty != 0 {
+			c.wbacks++
+		}
+	}
+	for j := base + c.ways - 1; j > base; j-- {
+		ents[j] = ents[j-1]
+	}
+	if write {
+		ents[base] = tag | entDirty
+	} else {
+		ents[base] = tag
+	}
+	return false
+}
+
 // hitMRU is the inlinable precheck of the flattened lookup: if the
 // line containing addr sits in its set's MRU way, count the reference,
 // fold in the dirty bit and report the hit without the full access
 // machinery. The caller falls back to access (which recounts nothing —
 // hitMRU only counted when it returned true) on a miss of the front
-// way. The batched drain probes every structure through this first.
+// way. Retained for the property suite that pins MRU behaviour; the
+// pipeline's drain goes through lookup, which folds this probe in.
 func (c *cache) hitMRU(addr uint64, write bool) bool {
 	line := addr >> c.lineShift
 	e := &c.ents[int(line&c.setMask)*c.ways]
-	if e.valid && e.line == line {
+	if *e&^entDirty == line<<entLineShift|entValid {
 		c.refs++
-		e.dirty = e.dirty || write
+		if write {
+			*e |= entDirty
+		}
 		return true
 	}
 	return false
@@ -91,19 +162,26 @@ func (c *cache) access(addr uint64, write bool) (hit bool, victim uint64, victim
 	line := addr >> c.lineShift
 	base := int(line&c.setMask) * c.ways
 	ents := c.ents
+	tag := line<<entLineShift | entValid
 
 	// MRU fast path: consecutive references to the same line (field
 	// walks within a record, straight-line fetch) hit way 0 and need no
 	// recency shuffle at all.
-	if e := &ents[base]; e.valid && e.line == line {
-		e.dirty = e.dirty || write
+	if e := &ents[base]; *e&^entDirty == tag {
+		if write {
+			*e |= entDirty
+		}
 		return true, 0, false
 	}
 	for w := 1; w < c.ways; w++ {
-		if e := ents[base+w]; e.valid && e.line == line {
+		if e := ents[base+w]; e&^entDirty == tag {
 			// Move to front (most recently used).
-			copy(ents[base+1:base+w+1], ents[base:base+w])
-			e.dirty = e.dirty || write
+			for j := base + w; j > base; j-- {
+				ents[j] = ents[j-1]
+			}
+			if write {
+				e |= entDirty
+			}
 			ents[base] = e
 			return true, 0, false
 		}
@@ -111,16 +189,21 @@ func (c *cache) access(addr uint64, write bool) (hit bool, victim uint64, victim
 
 	c.misses++
 	// Victim is the last (LRU) way.
-	if v := ents[base+c.ways-1]; v.valid {
+	if v := ents[base+c.ways-1]; v&entValid != 0 {
 		c.evictions++
-		if v.dirty {
+		if v&entDirty != 0 {
 			c.wbacks++
-			victim = v.line << c.lineShift
+			victim = v >> entLineShift << c.lineShift
 			victimDirty = true
 		}
 	}
-	copy(ents[base+1:base+c.ways], ents[base:base+c.ways-1])
-	ents[base] = cacheEnt{line: line, valid: true, dirty: write}
+	for j := base + c.ways - 1; j > base; j-- {
+		ents[j] = ents[j-1]
+	}
+	if write {
+		tag |= entDirty
+	}
+	ents[base] = tag
 	return false, victim, victimDirty
 }
 
@@ -132,16 +215,19 @@ func (c *cache) touch(addr uint64) {
 	line := addr >> c.lineShift
 	base := int(line&c.setMask) * c.ways
 	ents := c.ents
+	tag := line<<entLineShift | entValid
 	for w := 0; w < c.ways; w++ {
-		if e := ents[base+w]; e.valid && e.line == line {
+		if e := ents[base+w]; e&^entDirty == tag {
 			return // already resident; leave recency alone
 		}
 	}
-	if ents[base+c.ways-1].valid {
+	if ents[base+c.ways-1]&entValid != 0 {
 		c.evictions++
 	}
-	copy(ents[base+1:base+c.ways], ents[base:base+c.ways-1])
-	ents[base] = cacheEnt{line: line, valid: true}
+	for j := base + c.ways - 1; j > base; j-- {
+		ents[j] = ents[j-1]
+	}
+	ents[base] = tag
 }
 
 // contains reports whether the line holding addr is resident, without
@@ -149,8 +235,9 @@ func (c *cache) touch(addr uint64) {
 func (c *cache) contains(addr uint64) bool {
 	line := c.lineAddr(addr)
 	base := int(line&c.setMask) * c.ways
+	tag := line<<entLineShift | entValid
 	for w := 0; w < c.ways; w++ {
-		if e := c.ents[base+w]; e.valid && e.line == line {
+		if e := c.ents[base+w]; e&^entDirty == tag {
 			return true
 		}
 	}
@@ -160,7 +247,7 @@ func (c *cache) contains(addr uint64) bool {
 // flush invalidates the entire cache (used between measured runs).
 func (c *cache) flush() {
 	for i := range c.ents {
-		c.ents[i] = cacheEnt{}
+		c.ents[i] = 0
 	}
 }
 

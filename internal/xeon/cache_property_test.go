@@ -111,6 +111,16 @@ func checkAgainstReference(t *testing.T, seed int64, sizeBytes, assoc, lineSize,
 		case 9:
 			c.touch(addr)
 			ref.touch(addr)
+		case 8:
+			// The folded probe-and-fill the pipeline drains through: it
+			// reports only the hit, but every counter must advance
+			// exactly as a full access would.
+			hit := c.lookup(addr, write)
+			rhit, _, _ := ref.access(addr, write)
+			if hit != rhit {
+				t.Fatalf("op %d (addr %#x write %v): lookup hit=%v, reference hit=%v",
+					i, addr, write, hit, rhit)
+			}
 		default:
 			hit, victim, vd := c.access(addr, write)
 			rhit, rvictim, rvd := ref.access(addr, write)
@@ -129,19 +139,18 @@ func checkAgainstReference(t *testing.T, seed int64, sizeBytes, assoc, lineSize,
 
 	// Final-state invariants, set by set.
 	for set := 0; set < c.sets; set++ {
-		base := set * c.ways
 		refEntries := ref.sets[uint64(set)]
 		// True LRU: the real cache's valid prefix must list exactly the
 		// reference's entries in the same recency order, dirty bits
 		// included.
 		n := 0
 		for w := 0; w < c.ways; w++ {
-			e := c.ents[base+w]
-			if !e.valid {
+			line, valid, dirty := c.entryAt(set, w)
+			if !valid {
 				// Validity is a prefix property: no valid entry may
 				// follow an invalid way.
 				for w2 := w; w2 < c.ways; w2++ {
-					if c.ents[base+w2].valid {
+					if _, v2, _ := c.entryAt(set, w2); v2 {
 						t.Fatalf("set %d: valid entry at way %d after invalid way %d", set, w2, w)
 					}
 				}
@@ -150,9 +159,9 @@ func checkAgainstReference(t *testing.T, seed int64, sizeBytes, assoc, lineSize,
 			if w >= len(refEntries) {
 				t.Fatalf("set %d: more resident ways than the reference (%d)", set, len(refEntries))
 			}
-			if e.line != refEntries[w].line || e.dirty != refEntries[w].dirty {
+			if line != refEntries[w].line || dirty != refEntries[w].dirty {
 				t.Fatalf("set %d way %d: got line=%#x dirty=%v, reference line=%#x dirty=%v",
-					set, w, e.line, e.dirty, refEntries[w].line, refEntries[w].dirty)
+					set, w, line, dirty, refEntries[w].line, refEntries[w].dirty)
 			}
 			n++
 		}
@@ -162,11 +171,11 @@ func checkAgainstReference(t *testing.T, seed int64, sizeBytes, assoc, lineSize,
 		// No duplicate lines within a set.
 		seen := map[uint64]bool{}
 		for w := 0; w < c.ways; w++ {
-			if e := c.ents[base+w]; e.valid {
-				if seen[e.line] {
-					t.Fatalf("set %d: line %#x resident twice", set, e.line)
+			if line, valid, _ := c.entryAt(set, w); valid {
+				if seen[line] {
+					t.Fatalf("set %d: line %#x resident twice", set, line)
 				}
-				seen[e.line] = true
+				seen[line] = true
 			}
 		}
 	}

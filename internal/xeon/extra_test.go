@@ -143,21 +143,23 @@ func TestStoreSpanningLinesDirtiesBoth(t *testing.T) {
 	if b.Counts.L1DReferences != 2 {
 		t.Errorf("spanning store refs = %d, want 2", b.Counts.L1DReferences)
 	}
-	if !p.l1d.ents[p.findWay(trace.HeapBase)].dirty || !p.l1d.ents[p.findWay(trace.HeapBase+32)].dirty {
+	if !p.dirtyIn(trace.HeapBase) || !p.dirtyIn(trace.HeapBase+32) {
 		t.Error("both spanned lines should be dirty")
 	}
 }
 
-// findWay locates the L1D entry index of addr for white-box checks.
-func (p *Pipeline) findWay(addr uint64) int {
+// dirtyIn reports whether the L1D line holding addr is resident and
+// dirty, for white-box checks.
+func (p *Pipeline) dirtyIn(addr uint64) bool {
 	line := p.l1d.lineAddr(addr)
-	base := int(line&p.l1d.setMask) * p.l1d.ways
+	set := int(line & p.l1d.setMask)
 	for w := 0; w < p.l1d.ways; w++ {
-		if e := p.l1d.ents[base+w]; e.valid && e.line == line {
-			return base + w
+		l, valid, dirty := p.l1d.entryAt(set, w)
+		if valid && l == line {
+			return dirty
 		}
 	}
-	return 0
+	return false
 }
 
 func TestL2UnifiedSharedBetweenCodeAndData(t *testing.T) {

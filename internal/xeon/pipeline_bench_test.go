@@ -1,0 +1,59 @@
+package xeon
+
+import (
+	"testing"
+
+	"wheretime/internal/trace"
+)
+
+// synthBatch builds an event mix shaped like the grid's hot stream:
+// mostly single-line loads and fetches, a quarter branches with
+// engine-like (ir)regularity, occasional bursts, stores and stalls.
+func synthBatch(n int) []trace.Event {
+	evs := make([]trace.Event, 0, n)
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; len(evs) < n; i++ {
+		code := trace.CodeBase + (next() % (1 << 18))
+		data := trace.HeapBase + (next() % (1 << 22))
+		evs = append(evs,
+			trace.Event{Kind: trace.EvFetchBlock, Addr: code &^ 31, Size: 28, A: 7, B: 11},
+			trace.Event{Kind: trace.EvLoad, Addr: data, Size: 8},
+			trace.Event{Kind: trace.EvLoad, Addr: data + 8, Size: 4},
+			trace.Event{Kind: trace.EvBranch, Addr: code, Aux: code + 64, Taken: next()&1 == 0},
+		)
+		switch i % 8 {
+		case 0:
+			evs = append(evs, trace.Event{Kind: trace.EvStore, Addr: data + 16, Size: 8})
+		case 1:
+			evs = append(evs, trace.Event{Kind: trace.EvDataBurst,
+				Addr: trace.PrivateBase + (next() % (1 << 14)), Size: 256, A: 6, B: 2})
+		case 2:
+			evs = append(evs, trace.ResourceStallEvent(1.5, 0.5, 0.25))
+		case 3:
+			evs = append(evs, trace.Event{Kind: trace.EvRecordProcessed})
+		}
+	}
+	return evs[:n]
+}
+
+// BenchmarkProcessBatch measures the batched drain — the simulator's
+// only hot loop once replay feeds it whole recorded chunks — over a
+// realistic event mix. Allocations per op must stay zero.
+func BenchmarkProcessBatch(b *testing.B) {
+	events := synthBatch(1 << 20)
+	p := New(DefaultConfig())
+	p.ProcessBatch(events) // warm the simulated hierarchy
+	b.SetBytes(int64(len(events)) * 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ProcessBatch(events)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+}

@@ -32,3 +32,7 @@ func (t *tlb) missRate() float64 { return t.c.missRate() }
 
 // hitMRU is the inlinable MRU-way precheck (see cache.hitMRU).
 func (t *tlb) hitMRU(addr uint64) bool { return t.c.hitMRU(addr, false) }
+
+// lookupRest finishes a probe whose hitMRU precheck missed (see
+// cache.lookupRest).
+func (t *tlb) lookupRest(addr uint64) bool { return t.c.lookupRest(addr, false) }
