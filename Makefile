@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench batch-smoke replay-smoke cover lint fmt golden profile bench-json ci
+.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke cover lint fmt golden profile profile-gang bench-json ci
 
 build:
 	$(GO) build ./...
@@ -49,21 +49,37 @@ batch-smoke:
 replay-smoke:
 	$(GO) test -count=1 -run 'TestGoldenFiles|TestReplayDisabledMatchesGoldens' ./internal/harness
 
+# The gang-equivalence smoke: a multi-platform grid measured through
+# the gang drain and cell by cell must agree counter for counter, and
+# the full golden grid rendered gang-off must stay byte-identical to
+# the same files the ganged default renders.
+gang-smoke:
+	$(GO) test -count=1 -run 'TestGangMatchesSequential|TestGangUsesOneExecution|TestGangDisabledMatchesGoldens' ./internal/harness
+
 # CPU profile of the full serial grid benchmark, written to grid.pprof
 # (inspect with: go tool pprof grid.pprof).
 profile:
 	$(GO) test -bench='BenchmarkGridSerial$$' -benchtime=1x -run='^$$' -cpuprofile grid.pprof .
 
-# Machine-readable perf record: the grid benchmarks (serial, parallel,
-# replay-disabled), the replay-vs-execute comparison and the drain
-# microbenchmark, written to BENCH_PR3.json for trajectory tracking.
-# Each step is its own recipe line so a failing benchmark run fails
-# the target instead of producing a silently incomplete record.
+# CPU profile of the multi-platform gang drain (BenchmarkGangSweep),
+# written to gang.pprof: where the K-config inner loops spend time.
+profile-gang:
+	$(GO) test -bench='BenchmarkGangSweep' -benchtime=1x -run='^$$' -cpuprofile gang.pprof .
+
+# Machine-readable perf record: the grid benchmarks (serial, parallel
+# at 1/2/max workers with the real counts reported, replay-disabled),
+# the gang-vs-sequential platform sweep, the replay-vs-execute
+# comparison, a raw TPC-D pass and the drain microbenchmark, written
+# to BENCH_PR4.json for trajectory tracking. The grid benchmarks build
+# with the committed default.pgo profile — the shipped configuration —
+# so the record measures what a PGO build delivers. Each step is its
+# own recipe line so a failing benchmark run fails the target instead
+# of producing a silently incomplete record.
 bench-json:
-	$(GO) test -bench='BenchmarkGridSerial$$|BenchmarkGridSerialNoReplay$$|BenchmarkGridParallel$$|BenchmarkReplayVsExecute' \
+	$(GO) test -pgo=default.pgo -bench='BenchmarkGridSerial$$|BenchmarkGridSerialNoReplay$$|BenchmarkGridParallel$$|BenchmarkReplayVsExecute|BenchmarkGangSweep$$|BenchmarkTPCDPass$$' \
 		-benchtime=1x -benchmem -run='^$$' . > bench-raw.txt
 	$(GO) test -bench='BenchmarkProcessBatch$$' -benchtime=3x -benchmem -run='^$$' ./internal/xeon >> bench-raw.txt
-	$(GO) run ./cmd/benchjson < bench-raw.txt > BENCH_PR3.json
+	$(GO) run ./cmd/benchjson < bench-raw.txt > BENCH_PR4.json
 	rm bench-raw.txt
 
 # Regenerate the golden files after an intentional output change.
@@ -80,4 +96,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench batch-smoke
+ci: lint build race bench batch-smoke replay-smoke gang-smoke

@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"wheretime/internal/core"
@@ -207,11 +208,88 @@ func benchGrid(b *testing.B, parallel int) {
 // the pre-concurrency baseline.
 func BenchmarkGridSerial(b *testing.B) { benchGrid(b, 1) }
 
-// BenchmarkGridParallel fans the same grid out across GOMAXPROCS
-// workers, each on an isolated simulator stack.
+// BenchmarkGridParallel fans the same grid out across worker pools of
+// 1, 2 and DefaultParallelism workers, each worker on an isolated
+// simulator stack. Every variant reports the worker count it actually
+// ran with and the GOMAXPROCS it ran under, so the committed bench
+// record says what the parallel datapoint really measured.
 func BenchmarkGridParallel(b *testing.B) {
-	b.ReportMetric(float64(harness.DefaultParallelism()), "workers")
-	benchGrid(b, harness.DefaultParallelism())
+	counts := []int{1, 2, harness.DefaultParallelism()}
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if seen[workers] {
+			continue // DefaultParallelism may be 1 or 2 on small hosts
+		}
+		seen[workers] = true
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			benchGrid(b, workers)
+		})
+	}
+}
+
+// BenchmarkTPCDPass measures one live TPC-D suite pass on System D —
+// emission plus drain of ~165M events, the dominant shape of the
+// serial grid and the gang drain's per-config inner loop.
+func BenchmarkTPCDPass(b *testing.B) {
+	env := getBenchEnv(b)
+	e := env.Engine(engine.SystemD)
+	queries := env.Dims.TPCDQueries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe := xeon.New(env.Opts.Config)
+		e.ResetState()
+		for _, q := range queries {
+			if _, err := e.Query(q, pipe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// gangSweepGrid is the platform sweep the gang benchmark measures:
+// the full microbenchmark grid and the TPC-D suites on three
+// platforms (the paper's, a 2MB L2, a 16K-entry BTB).
+func gangSweepGrid(opts harness.Options) []harness.CellSpec {
+	big := opts.Config
+	big.L2SizeKB = 2048
+	btb := opts.Config
+	btb.BTBEntries = 16384
+	var specs []harness.CellSpec
+	for _, cfg := range []xeon.Config{opts.Config, big, btb} {
+		o := opts
+		o.Config = cfg
+		for _, e := range harness.Experiments()[:2] { // fig5.1/5.2 share the micro grid
+			specs = append(specs, e.Cells(o)...)
+		}
+		specs = append(specs, harness.CellSpec{Kind: harness.CellTPCD, System: engine.SystemD, Config: cfg})
+	}
+	return specs
+}
+
+// BenchmarkGangSweep measures a three-platform sweep through the gang
+// drain (each cell's workload runs once, all platforms drain the one
+// stream) against the sequential path (each platform re-runs or
+// re-reads the stream). The ratio is what the multi-config gang buys.
+func BenchmarkGangSweep(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		gang bool
+	}{{"gang", true}, {"sequential", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			opts := benchOptions()
+			opts.Gang = mode.gang
+			specs := gangSweepGrid(opts)
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Measure(opts, specs, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkGridSerialUnbatched runs the full grid through the

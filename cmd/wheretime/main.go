@@ -7,25 +7,59 @@
 //	wheretime -list
 //	wheretime -experiment fig5.1 [-scale 0.02] [-selectivity 0.10] [-recsize 100]
 //	wheretime -experiment all [-parallel 8]
+//	wheretime -experiment fig5.1 -l2kb 512,2048
 //
 // Scale 1.0 is the paper's 1.2M-record R; per-record behaviour
 // converges within a few thousand records, so the default small scale
 // reproduces the shapes in seconds.
 //
 // The experiment grid decomposes into independent (system, query,
-// parameter) cells; -parallel fans them out across that many workers,
-// each on its own isolated simulator stack. The output is
+// parameter, platform) cells; -parallel fans them out across that many
+// workers, each on its own isolated simulator stack. The output is
 // byte-identical at every worker count; -parallel=1 runs today's
 // serial path.
+//
+// -l2kb and -btb take comma-separated lists. With more than one
+// resulting platform the requested experiments run on every
+// combination in a single grid, and cells that differ only in
+// platform gang into one multi-config drain: the workload executes
+// once per cell and every platform's counters come from that single
+// pass (disable with -gang=false to drain each platform separately —
+// the output must not change).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"wheretime/internal/harness"
+	"wheretime/internal/xeon"
 )
+
+// parseIntList parses a comma-separated list of non-negative
+// integers. Zero keeps its historical meaning — "use the default
+// platform value" — so scripts written against the old int flags
+// still work; deflt substitutes it.
+func parseIntList(flagName, s string, deflt int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("wheretime: -%s wants non-negative integers, got %q", flagName, part)
+		}
+		if v == 0 {
+			v = deflt
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -34,8 +68,9 @@ func main() {
 		scale       = flag.Float64("scale", 0.01, "dataset scale relative to the paper's 1.2M-row R")
 		selectivity = flag.Float64("selectivity", 0.10, "range selection selectivity")
 		recsize     = flag.Int("recsize", 100, "record size in bytes")
-		l2kb        = flag.Int("l2kb", 0, "override L2 cache size in KB (0 = Table 4.1's 512)")
-		btb         = flag.Int("btb", 0, "override BTB entries (0 = Pentium II's 512)")
+		l2kb        = flag.String("l2kb", "", "override L2 cache size in KB; a comma-separated list sweeps platforms in one ganged grid (0 or empty = Table 4.1's 512)")
+		btb         = flag.String("btb", "", "override BTB entries; a comma-separated list sweeps platforms (0 or empty = Pentium II's 512)")
+		gang        = flag.Bool("gang", true, "gang cells that differ only in platform config into one multi-config drain (off: drain each platform separately, for debugging; output is identical)")
 		parallel    = flag.Int("parallel", harness.DefaultParallelism(), "worker count for the experiment grid (1 = serial)")
 		maxrec      = flag.Int("maxrecorded", 0, "recording cap in events for the record-once/replay-many engine (0 = default, negative disables replay)")
 	)
@@ -53,16 +88,38 @@ func main() {
 	opts.Selectivity = *selectivity
 	opts.RecordSize = *recsize
 	opts.MaxRecordedEvents = *maxrec
-	if *l2kb > 0 {
-		opts.Config.L2SizeKB = *l2kb
-	}
-	if *btb > 0 {
-		opts.Config.BTBEntries = *btb
-	}
-	if err := opts.Config.Validate(); err != nil {
+	opts.Gang = *gang
+
+	l2s, err := parseIntList("l2kb", *l2kb, opts.Config.L2SizeKB)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	btbs, err := parseIntList("btb", *btb, opts.Config.BTBEntries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(l2s) == 0 {
+		l2s = []int{opts.Config.L2SizeKB}
+	}
+	if len(btbs) == 0 {
+		btbs = []int{opts.Config.BTBEntries}
+	}
+	var configs []xeon.Config
+	for _, l2 := range l2s {
+		for _, b := range btbs {
+			cfg := opts.Config
+			cfg.L2SizeKB = l2
+			cfg.BTBEntries = b
+			if err := cfg.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			configs = append(configs, cfg)
+		}
+	}
+	opts.Config = configs[0]
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "wheretime: -parallel must be >= 1 (got %d)\n", *parallel)
 		os.Exit(2)
@@ -80,22 +137,63 @@ func main() {
 		exps = []harness.Experiment{e}
 	}
 
-	cfg := opts.Config
 	dims := opts.Dims()
-	fmt.Printf("Platform: %dMHz, L1 %d/%dKB, L2 %dKB, %dB lines, BTB %d entries, memory latency %.0f cycles\n",
-		cfg.ClockMHz, cfg.L1ISizeKB, cfg.L1DSizeKB, cfg.L2SizeKB, cfg.LineSize, cfg.BTBEntries, cfg.MemoryLatency)
+	printPlatform(configs[0])
 	fmt.Printf("Dataset: R=%d records x %dB, S=%d, selectivity %.0f%% (scale %.3g), %d workers\n\n",
 		dims.RRecords, dims.RecordSize, dims.SRecords, *selectivity*100, *scale, *parallel)
 
-	rendered, err := harness.RunExperiments(opts, exps, *parallel)
+	if len(configs) == 1 {
+		rendered, err := harness.RunExperiments(opts, exps, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, e := range exps {
+			fmt.Printf("== %s — %s ==\n\n", e.Name, e.Paper)
+			for _, t := range rendered[i] {
+				fmt.Println(t.Render())
+			}
+		}
+		return
+	}
+
+	// Platform sweep: one grid over every (experiment, platform) cell.
+	// Cells that differ only in platform share an emission key, so the
+	// gang scheduler measures each workload once for all platforms.
+	optsFor := func(cfg xeon.Config) harness.Options {
+		o := opts
+		o.Config = cfg
+		return o
+	}
+	var specs []harness.CellSpec
+	for _, cfg := range configs {
+		for _, e := range exps {
+			specs = append(specs, e.Cells(optsFor(cfg))...)
+		}
+	}
+	res, err := harness.Measure(opts, specs, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	for i, e := range exps {
+	for _, e := range exps {
 		fmt.Printf("== %s — %s ==\n\n", e.Name, e.Paper)
-		for _, t := range rendered[i] {
-			fmt.Println(t.Render())
+		for _, cfg := range configs {
+			printPlatform(cfg)
+			fmt.Println()
+			tables, err := e.Render(optsFor(cfg), res)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, t := range tables {
+				fmt.Println(t.Render())
+			}
 		}
 	}
+}
+
+func printPlatform(cfg xeon.Config) {
+	fmt.Printf("Platform: %dMHz, L1 %d/%dKB, L2 %dKB, %dB lines, BTB %d entries, memory latency %.0f cycles\n",
+		cfg.ClockMHz, cfg.L1ISizeKB, cfg.L1DSizeKB, cfg.L2SizeKB, cfg.LineSize, cfg.BTBEntries, cfg.MemoryLatency)
 }

@@ -38,6 +38,11 @@ type Engine struct {
 	// different (or unprovably-same) processor get their own buffer
 	// until the transaction commits or aborts.
 	openTxns int
+
+	// execs counts plan executions (Run calls), the observable the
+	// gang-drain tests use to prove a multi-config unit executed the
+	// workload once for the whole gang rather than once per config.
+	execs uint64
 }
 
 // New builds an engine for the given system over the catalog.
@@ -65,6 +70,9 @@ func (e *Engine) CodeFootprint() uint64 { return e.layout.CodeFootprint() }
 // ResetState clears all routine dynamic state (used between measured
 // runs when determinism matters).
 func (e *Engine) ResetState() { e.layout.ResetAll() }
+
+// Executions returns how many plans this engine has run.
+func (e *Engine) Executions() uint64 { return e.execs }
 
 // PlanOptions returns the planner options this system uses.
 func (e *Engine) PlanOptions() sql.PlanOptions {
@@ -180,6 +188,7 @@ func (e *Engine) Run(p *sql.Plan, proc trace.Processor) (Result, error) {
 	if p == nil {
 		return Result{}, fmt.Errorf("engine: nil plan")
 	}
+	e.execs++
 	buf, owned := e.emitter(proc)
 	res, err := e.dispatch(p, buf)
 	if owned {

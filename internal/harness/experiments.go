@@ -113,7 +113,7 @@ func tpcdGridCells(opts Options) []CellSpec {
 	var specs []CellSpec
 	for _, s := range tpcdSystems {
 		specs = append(specs, microCell(opts, s, SRS))
-		specs = append(specs, CellSpec{Kind: CellTPCD, System: s})
+		specs = append(specs, CellSpec{Kind: CellTPCD, System: s, Config: opts.Config})
 	}
 	return specs
 }
@@ -137,7 +137,7 @@ const tpccTxns = 400
 func tpccCells(opts Options) []CellSpec {
 	var specs []CellSpec
 	for _, s := range engine.Systems() {
-		specs = append(specs, CellSpec{Kind: CellTPCC, System: s, Txns: tpccTxns})
+		specs = append(specs, CellSpec{Kind: CellTPCC, System: s, Txns: tpccTxns, Config: opts.Config})
 	}
 	return specs
 }
@@ -360,7 +360,7 @@ func fig56Render(opts Options, res *Results) ([]Table, error) {
 	}
 	right, err := mk("Figure 5.6 (right): CPI breakdown, TPC-D queries",
 		func(s engine.System) (*core.Breakdown, error) {
-			cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s})
+			cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s, Config: opts.Config})
 			return cell.Breakdown, err
 		})
 	if err != nil {
@@ -405,7 +405,7 @@ func fig57Render(opts Options, res *Results) ([]Table, error) {
 	}
 	right, err := mk("Figure 5.7 (right): cache-related stalls, TPC-D queries",
 		func(s engine.System) (*core.Breakdown, error) {
-			cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s})
+			cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s, Config: opts.Config})
 			return cell.Breakdown, err
 		})
 	if err != nil {
@@ -458,7 +458,7 @@ func tpccRender(opts Options, res *Results) ([]Table, error) {
 		Header: []string{"System", "CPI", "Computation", "Memory", "Branch", "Resource", "L2(D+I) % of TM"},
 	}
 	for _, s := range engine.Systems() {
-		cell, err := res.Get(CellSpec{Kind: CellTPCC, System: s, Txns: tpccTxns})
+		cell, err := res.Get(CellSpec{Kind: CellTPCC, System: s, Txns: tpccTxns, Config: opts.Config})
 		if err != nil {
 			return nil, err
 		}
@@ -507,9 +507,9 @@ func claimsCells(opts Options) []CellSpec {
 		specs = append(specs, spec)
 	}
 	for _, s := range []engine.System{engine.SystemB, engine.SystemD} {
-		specs = append(specs, CellSpec{Kind: CellTPCD, System: s})
+		specs = append(specs, CellSpec{Kind: CellTPCD, System: s, Config: opts.Config})
 	}
-	specs = append(specs, CellSpec{Kind: CellTPCC, System: engine.SystemC, Txns: claimTPCCTxns})
+	specs = append(specs, CellSpec{Kind: CellTPCC, System: engine.SystemC, Txns: claimTPCCTxns, Config: opts.Config})
 	return specs
 }
 
@@ -681,7 +681,7 @@ func checkClaims(opts Options, res *Results) ([]Claim, error) {
 	tpcdSimilar := true
 	tpcdL1I := true
 	for _, s := range []engine.System{engine.SystemB, engine.SystemD} {
-		cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s})
+		cell, err := res.Get(CellSpec{Kind: CellTPCD, System: s, Config: opts.Config})
 		if err != nil {
 			return nil, err
 		}
@@ -699,7 +699,7 @@ func checkClaims(opts Options, res *Results) ([]Claim, error) {
 		cpiOK && tpcdSimilar && tpcdL1I)
 
 	// C10: TPC-C CPI 2.5-4.5, memory stalls >= ~55%, L2-heavy.
-	cell, err := res.Get(CellSpec{Kind: CellTPCC, System: engine.SystemC, Txns: claimTPCCTxns})
+	cell, err := res.Get(CellSpec{Kind: CellTPCC, System: engine.SystemC, Txns: claimTPCCTxns, Config: opts.Config})
 	if err != nil {
 		return nil, err
 	}

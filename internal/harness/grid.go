@@ -8,6 +8,7 @@ import (
 	"wheretime/internal/fanout"
 	"wheretime/internal/trace"
 	"wheretime/internal/workload"
+	"wheretime/internal/xeon"
 )
 
 // This file is the concurrent experiment grid. Every figure and table
@@ -47,18 +48,50 @@ type CellSpec struct {
 	RecordSize int
 	// Txns is the transaction count (CellTPCC only).
 	Txns int
+	// Config is the simulated platform the cell is measured on. The
+	// zero value means the run options' platform. Config never
+	// influences the emitted event stream — only how the stream is
+	// costed — so cells differing only here share one recording and
+	// gang into a single multi-config drain (see Measure).
+	Config xeon.Config
 }
 
-// String names the cell for diagnostics.
+// emissionKey strips the platform configuration from a spec, leaving
+// exactly the fields that determine the emitted event stream: the key
+// the trace cache stores captures under, and the key the gang
+// scheduler groups by.
+func emissionKey(spec CellSpec) CellSpec {
+	spec.Config = xeon.Config{}
+	return spec
+}
+
+// configFor resolves a spec's platform: its explicit Config, or the
+// environment's when the spec leaves it zero.
+func (env *Env) configFor(spec CellSpec) xeon.Config {
+	if spec.Config == (xeon.Config{}) {
+		return env.Opts.Config
+	}
+	return spec.Config
+}
+
+// String names the cell for diagnostics, including the platform when
+// the spec pins one (sweeps measure otherwise-identical cells on
+// several platforms, and an error must say which).
 func (c CellSpec) String() string {
+	var name string
 	switch c.Kind {
 	case CellTPCD:
-		return fmt.Sprintf("%s/TPC-D", c.System)
+		name = fmt.Sprintf("%s/TPC-D", c.System)
 	case CellTPCC:
-		return fmt.Sprintf("%s/TPC-C(%d)", c.System, c.Txns)
+		name = fmt.Sprintf("%s/TPC-C(%d)", c.System, c.Txns)
 	default:
-		return fmt.Sprintf("%s/%s(sel=%g,rec=%dB)", c.System, c.Query, c.Selectivity, c.RecordSize)
+		name = fmt.Sprintf("%s/%s(sel=%g,rec=%dB)", c.System, c.Query, c.Selectivity, c.RecordSize)
 	}
+	if c.Config != (xeon.Config{}) {
+		name += fmt.Sprintf("@[L1=%d/%dKB L2=%dKB BTB=%d]",
+			c.Config.L1ISizeKB, c.Config.L1DSizeKB, c.Config.L2SizeKB, c.Config.BTBEntries)
+	}
+	return name
 }
 
 // microCell returns the base-environment spec for (s, q) under opts.
@@ -69,6 +102,7 @@ func microCell(opts Options, s engine.System, q QueryKind) CellSpec {
 		Query:       q,
 		Selectivity: opts.Selectivity,
 		RecordSize:  opts.RecordSize,
+		Config:      opts.Config,
 	}
 }
 
@@ -77,32 +111,73 @@ func microCell(opts Options, s engine.System, q QueryKind) CellSpec {
 // from the base. Not safe for concurrent use — the concurrent grid
 // gives each worker a private Env via EnvFactory.
 func (env *Env) RunSpec(spec CellSpec) (Cell, error) {
+	cfg := env.configFor(spec)
 	switch spec.Kind {
 	case CellTPCD:
-		return env.RunTPCD(spec.System)
+		return env.runTPCDMemo(spec.System, cfg)
 	case CellTPCC:
-		cell, _, err := env.RunTPCC(spec.System, spec.Txns)
+		cell, _, err := env.runTPCCCfg(spec.System, spec.Txns, cfg)
 		return cell, err
 	case CellMicro:
-		target := env
-		if spec.RecordSize != env.Opts.RecordSize {
-			sub, err := env.subEnv(spec.RecordSize)
-			if err != nil {
-				return Cell{}, err
-			}
-			target = sub
+		target, err := env.microTarget(spec)
+		if err != nil {
+			return Cell{}, err
 		}
-		if spec.Selectivity != target.Opts.Selectivity {
-			// A shallow copy shares the databases, engines and memo map
-			// (the memo key includes selectivity); only the query text
-			// changes.
-			shifted := *target
-			shifted.Opts.Selectivity = spec.Selectivity
-			target = &shifted
-		}
-		return target.Run(spec.System, spec.Query)
+		return target.runMemo(spec.System, spec.Query, cfg)
 	default:
 		return Cell{}, fmt.Errorf("harness: unknown cell kind %d", spec.Kind)
+	}
+}
+
+// microTarget routes a micro cell to the environment it measures in:
+// the base env, the cached sub-environment at the cell's record size,
+// and/or a shallow selectivity shift.
+func (env *Env) microTarget(spec CellSpec) (*Env, error) {
+	target := env
+	if spec.RecordSize != env.Opts.RecordSize {
+		sub, err := env.subEnv(spec.RecordSize)
+		if err != nil {
+			return nil, err
+		}
+		target = sub
+	}
+	if spec.Selectivity != target.Opts.Selectivity {
+		// A shallow copy shares the databases, engines and memo map
+		// (the memo key includes selectivity); only the query text
+		// changes.
+		shifted := *target
+		shifted.Opts.Selectivity = spec.Selectivity
+		target = &shifted
+	}
+	return target, nil
+}
+
+// RunGang measures one gang: cells that share an emission-relevant
+// key (same system, query and workload parameters) and differ only in
+// platform configuration. The whole gang is one work unit on one
+// multi-config drain — the engine executes (or the recording is read)
+// once for all K configurations. Each cell's counters are
+// bit-identical to measuring it alone; the golden suite runs the grid
+// both gang-on and gang-off against the same files.
+func (env *Env) RunGang(unit []CellSpec) ([]Cell, error) {
+	cfgs := make([]xeon.Config, len(unit))
+	for i := range unit {
+		cfgs[i] = env.configFor(unit[i])
+	}
+	spec := unit[0]
+	switch spec.Kind {
+	case CellTPCD:
+		return env.runGangTPCD(unit, cfgs)
+	case CellTPCC:
+		return env.runGangTPCC(unit, cfgs)
+	case CellMicro:
+		target, err := env.microTarget(spec)
+		if err != nil {
+			return nil, err
+		}
+		return target.runGangMicro(unit, cfgs)
+	default:
+		return nil, fmt.Errorf("harness: unknown cell kind %d", spec.Kind)
 	}
 }
 
@@ -180,24 +255,28 @@ func newTraceCache(budget int) *traceCache {
 	return &traceCache{budget: budget, cells: make(map[CellSpec]*cellTrace)}
 }
 
-// lookup returns the capture for key, if cached. Nil-safe: a nil
-// cache (recording disabled) never hits.
+// lookup returns the capture for key, if cached. Keys normalise
+// through emissionKey, so a config-bearing spec finds the capture its
+// stream shares with every other platform. Nil-safe: a nil cache
+// (recording disabled) never hits.
 func (tc *traceCache) lookup(key CellSpec) (*cellTrace, bool) {
 	if tc == nil {
 		return nil, false
 	}
-	ct, ok := tc.cells[key]
+	ct, ok := tc.cells[emissionKey(key)]
 	return ct, ok
 }
 
 // store retains a capture, evicting the oldest entries when the
 // worker's event budget would overflow. A capture bigger than the
-// whole budget is released immediately.
+// whole budget is released immediately. Keys normalise through
+// emissionKey like lookup's.
 func (tc *traceCache) store(key CellSpec, ct *cellTrace) {
 	if tc == nil {
 		ct.release()
 		return
 	}
+	key = emissionKey(key)
 	if old, ok := tc.cells[key]; ok {
 		// Replacing an entry (same cell re-captured): drop the old one.
 		tc.total -= old.events()
@@ -314,15 +393,72 @@ func dedupeSpecs(specs []CellSpec) []CellSpec {
 	return out
 }
 
-// Measure simulates every cell of the grid, fanning the cells out
-// across parallel workers (parallel <= 1 preserves the serial path:
-// one environment, cells in declaration order). Each worker owns an
-// isolated simulator stack built by its private EnvFactory, and the
-// aggregated Results are independent of scheduling: a cell's
-// measurement is a pure function of (opts, spec), which
-// TestParallelMatchesSerial pins down.
+// gangUnits partitions deduplicated specs into scheduler work units.
+// With the gang drain enabled, cells sharing an emission-relevant key
+// — the same key the trace cache uses, everything but the platform
+// Config — form one multi-config unit; order is first-seen, so the
+// serial path remains deterministic. With it disabled (or on the
+// unbatched reference path, which measures one event at a time), every
+// cell is its own unit.
+func gangUnits(opts Options, specs []CellSpec) [][]CellSpec {
+	if !opts.Gang || opts.Unbatched {
+		units := make([][]CellSpec, len(specs))
+		for i, s := range specs {
+			units[i] = []CellSpec{s}
+		}
+		return units
+	}
+	var order []CellSpec
+	groups := make(map[CellSpec][]CellSpec, len(specs))
+	for _, s := range specs {
+		k := emissionKey(s)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], s)
+	}
+	units := make([][]CellSpec, len(order))
+	for i, k := range order {
+		units[i] = groups[k]
+	}
+	return units
+}
+
+// measureUnit runs one work unit on an environment: the gang drain
+// when enabled, the per-cell path otherwise.
+func measureUnit(env *Env, unit []CellSpec, gang bool) ([]Cell, error) {
+	if gang {
+		cells, err := env.RunGang(unit)
+		if err != nil {
+			return nil, fmt.Errorf("gang of %d x %s: %w", len(unit), unit[0], err)
+		}
+		return cells, nil
+	}
+	cells := make([]Cell, len(unit))
+	for i, spec := range unit {
+		c, err := env.RunSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("cell %s: %w", spec, err)
+		}
+		cells[i] = c
+	}
+	return cells, nil
+}
+
+// Measure simulates every cell of the grid, fanning the scheduler's
+// work units out across parallel workers (parallel <= 1 preserves the
+// serial path: one environment, units in declaration order). Cells
+// that differ only in platform configuration gang into single units
+// measured in one pass over their shared event stream (see RunGang);
+// everything else is one cell per unit. Each worker owns an isolated
+// simulator stack built by its private EnvFactory, and the aggregated
+// Results are independent of scheduling: a cell's measurement is a
+// pure function of (opts, spec), which TestParallelMatchesSerial and
+// the gang equivalence suite pin down.
 func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 	specs = dedupeSpecs(specs)
+	gang := opts.Gang && !opts.Unbatched
+	units := gangUnits(opts, specs)
 	res := &Results{cells: make(map[CellSpec]Cell, len(specs))}
 
 	if parallel <= 1 {
@@ -330,35 +466,45 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, spec := range specs {
-			c, err := env.RunSpec(spec)
+		for _, unit := range units {
+			cells, err := measureUnit(env, unit, gang)
 			if err != nil {
-				return nil, fmt.Errorf("harness: cell %s: %w", spec, err)
+				return nil, fmt.Errorf("harness: %w", err)
 			}
-			res.cells[spec] = c
+			for i, spec := range unit {
+				res.cells[spec] = cells[i]
+			}
 		}
 		return res, nil
 	}
 
 	type outcome struct {
-		cell Cell
-		err  error
+		cells []Cell
+		err   error
 	}
-	outcomes := make([]outcome, len(specs))
-	fanout.Run(len(specs), parallel, func() func(int) bool {
+	outcomes := make([]outcome, len(units))
+	fanout.Run(len(units), parallel, func() func(int) bool {
 		factory := NewEnvFactory(opts)
 		return func(i int) bool {
-			cell, err := factory.RunSpec(specs[i])
-			outcomes[i] = outcome{cell: cell, err: err}
+			env, err := factory.Env()
+			if err == nil {
+				var cells []Cell
+				cells, err = measureUnit(env, units[i], gang)
+				outcomes[i] = outcome{cells: cells, err: err}
+			} else {
+				outcomes[i] = outcome{err: err}
+			}
 			return err == nil
 		}
 	})
 
 	for i, o := range outcomes {
 		if o.err != nil {
-			return nil, fmt.Errorf("harness: cell %s: %w", specs[i], o.err)
+			return nil, fmt.Errorf("harness: %w", o.err)
 		}
-		res.cells[specs[i]] = o.cell
+		for j, spec := range units[i] {
+			res.cells[spec] = o.cells[j]
+		}
 	}
 	return res, nil
 }

@@ -64,6 +64,14 @@ type Options struct {
 	// both ways and diffs them. Slower — for verification, not for
 	// experiments.
 	Unbatched bool
+	// Gang enables the multi-config gang drain: grid cells that differ
+	// only in platform Config group into single work units measured in
+	// one pass over their shared event stream through a
+	// xeon.MultiPipeline (see Measure and RunGang). Off, every cell
+	// drains its stream separately — the debugging reference; outputs
+	// are byte-identical either way, which the golden suite checks.
+	// DefaultOptions enables it.
+	Gang bool
 	// MaxRecordedEvents caps the event arena of the record-once /
 	// replay-many engine: a cell whose stream exceeds the cap falls
 	// back to re-executing every run (so huge OLTP mixes cannot blow
@@ -112,6 +120,7 @@ func DefaultOptions() Options {
 		Selectivity: 0.10,
 		Config:      xeon.DefaultConfig(),
 		Warmup:      1,
+		Gang:        true,
 	}
 }
 
@@ -159,6 +168,7 @@ type memoKey struct {
 	s   engine.System
 	q   QueryKind
 	sel float64
+	cfg xeon.Config
 }
 
 // Dims returns the dataset dimensions these options build, without
@@ -245,15 +255,20 @@ func (env *Env) planFor(s engine.System, q QueryKind, query string) (*sql.Plan, 
 // then one measured run, the warm-cache protocol of Section 4.3 —
 // with the engine executing once and the recorded stream replayed for
 // the repeat runs (see run). Results are memoised per (system, query,
-// selectivity).
+// selectivity, platform).
 func (env *Env) Run(s engine.System, q QueryKind) (Cell, error) {
-	key := memoKey{s: s, q: q, sel: env.Opts.Selectivity}
+	return env.runMemo(s, q, env.Opts.Config)
+}
+
+// runMemo is Run on an explicit platform configuration.
+func (env *Env) runMemo(s engine.System, q QueryKind, cfg xeon.Config) (Cell, error) {
+	key := memoKey{s: s, q: q, sel: env.Opts.Selectivity, cfg: cfg}
 	if env.memo != nil {
 		if c, ok := env.memo[key]; ok {
 			return c, nil
 		}
 	}
-	c, err := env.run(s, q)
+	c, err := env.run(s, q, cfg)
 	if err == nil && env.memo != nil {
 		env.memo[key] = c
 	}
@@ -263,20 +278,20 @@ func (env *Env) Run(s engine.System, q QueryKind) (Cell, error) {
 // processor returns the event sink a measurement feeds: the pipeline
 // itself (batched drain), or its unbatched reference wrapper when the
 // options ask for the per-event path.
-func (env *Env) processor(pipe *xeon.Pipeline) trace.Processor {
+func (env *Env) processor(p trace.Processor) trace.Processor {
 	if env.Opts.Unbatched {
-		return trace.Unbatched{Processor: pipe}
+		return trace.Unbatched{Processor: p}
 	}
-	return pipe
+	return p
 }
 
-// newRecorder returns a recorder capturing the pipeline's input into
-// the worker's trace arena, or nil when recording is disabled.
-func (env *Env) newRecorder(pipe *xeon.Pipeline) *trace.Recorder {
+// newRecorder returns a recorder capturing the sink's input into the
+// worker's trace arena, or nil when recording is disabled.
+func (env *Env) newRecorder(sink trace.Processor) *trace.Recorder {
 	if env.traces == nil {
 		return nil
 	}
-	return trace.NewRecorder(pipe, env.traces.budget)
+	return trace.NewRecorder(sink, env.traces.budget)
 }
 
 // finishCell assembles and validates the measured breakdown.
@@ -299,12 +314,12 @@ func finishCell(s engine.System, q QueryKind, what string, pipe *xeon.Pipeline, 
 // MaxRecordedEvents) or the stream overflows the cap, every run
 // re-executes the engine instead — the slower path with the identical
 // event sequence, which the replay-smoke CI step diffs against.
-func (env *Env) run(s engine.System, q QueryKind) (Cell, error) {
+func (env *Env) run(s engine.System, q QueryKind, cfg xeon.Config) (Cell, error) {
 	query, ok := env.queryFor(s, q)
 	if !ok {
 		return Cell{}, fmt.Errorf("harness: system %s does not run %s", s, q)
 	}
-	pipe := xeon.New(env.Opts.Config)
+	pipe := xeon.New(cfg)
 	runs := env.Opts.Warmup + 1
 	key := CellSpec{Kind: CellMicro, System: s, Query: q,
 		Selectivity: env.Opts.Selectivity, RecordSize: env.Opts.RecordSize}
@@ -386,13 +401,18 @@ func (env *Env) RunAll() ([]Cell, error) {
 // returns the summed breakdown (the paper reports TPC-D averages).
 // Results are memoised.
 func (env *Env) RunTPCD(s engine.System) (Cell, error) {
-	key := memoKey{s: s, q: QueryKind(-1)}
+	return env.runTPCDMemo(s, env.Opts.Config)
+}
+
+// runTPCDMemo is RunTPCD on an explicit platform configuration.
+func (env *Env) runTPCDMemo(s engine.System, cfg xeon.Config) (Cell, error) {
+	key := memoKey{s: s, q: QueryKind(-1), cfg: cfg}
 	if env.memo != nil {
 		if c, ok := env.memo[key]; ok {
 			return c, nil
 		}
 	}
-	c, err := env.runTPCD(s)
+	c, err := env.runTPCD(s, cfg)
 	if err == nil && env.memo != nil {
 		env.memo[key] = c
 	}
@@ -405,8 +425,8 @@ func (env *Env) RunTPCD(s engine.System) (Cell, error) {
 // emits the identical stream, and the measured pass replays the
 // captured warm-up pass (planning included — replay skips the SQL
 // front end entirely).
-func (env *Env) runTPCD(s engine.System) (Cell, error) {
-	pipe := xeon.New(env.Opts.Config)
+func (env *Env) runTPCD(s engine.System, cfg xeon.Config) (Cell, error) {
+	pipe := xeon.New(cfg)
 	// The suite's stream depends on the dataset dimensions but not on
 	// the selectivity knob (the 17 queries are fixed), so selectivity
 	// shifts of the same environment share one capture.
@@ -456,7 +476,12 @@ func (env *Env) runTPCD(s engine.System) (Cell, error) {
 // both captured phases into a fresh pipeline without rebuilding the
 // database or executing a single transaction.
 func (env *Env) RunTPCC(s engine.System, txns int) (Cell, workload.TPCCStats, error) {
-	pipe := xeon.New(env.Opts.Config)
+	return env.runTPCCCfg(s, txns, env.Opts.Config)
+}
+
+// runTPCCCfg is RunTPCC on an explicit platform configuration.
+func (env *Env) runTPCCCfg(s engine.System, txns int, cfg xeon.Config) (Cell, workload.TPCCStats, error) {
+	pipe := xeon.New(cfg)
 	key := CellSpec{Kind: CellTPCC, System: s, Txns: txns}
 	if ct, ok := env.traces.lookup(key); ok {
 		ct.warm.Drain(pipe)
@@ -466,18 +491,32 @@ func (env *Env) RunTPCC(s engine.System, txns int) (Cell, workload.TPCCStats, er
 		return cell, ct.stats, err
 	}
 
-	return env.runOLTP(s, txns, pipe, key)
+	stats, err := env.runOLTP(s, txns, pipe, key)
+	if err != nil {
+		return Cell{}, stats, err
+	}
+	cell, err := finishCell(s, 0, "TPC-C", pipe, engine.Result{})
+	return cell, stats, err
+}
+
+// measureSink is the drain a measurement protocol feeds: a solo
+// pipeline or a multi-config gang.
+type measureSink interface {
+	trace.BatchProcessor
+	ResetStats()
 }
 
 // runOLTP executes the OLTP mix for real: warm-up slice, counter
 // reset, measured mix, with both phases captured for cache revisits.
 // The whole mix emits through the env's reusable buffer (re-bound per
 // phase, never reallocated), preserving today's program order exactly.
-func (env *Env) runOLTP(s engine.System, txns int, pipe *xeon.Pipeline, key CellSpec) (Cell, workload.TPCCStats, error) {
+// meas is the drain — a solo pipeline or a gang — whose counters the
+// caller extracts afterwards.
+func (env *Env) runOLTP(s engine.System, txns int, meas measureSink, key CellSpec) (workload.TPCCStats, error) {
 	dims := workload.DefaultTPCCDims()
 	db, err := workload.BuildTPCC(dims)
 	if err != nil {
-		return Cell{}, workload.TPCCStats{}, err
+		return workload.TPCCStats{}, err
 	}
 	e := engine.New(s, db.Catalog)
 
@@ -485,34 +524,33 @@ func (env *Env) runOLTP(s engine.System, txns int, pipe *xeon.Pipeline, key Cell
 		if rec != nil {
 			return rec
 		}
-		return env.processor(pipe)
+		return env.processor(meas)
 	}
 	// Warm up with a slice of the mix.
-	warmRec := env.newRecorder(pipe)
+	warmRec := env.newRecorder(meas)
 	buf := env.emitBuffer(sink(warmRec))
 	if _, err := workload.RunTPCC(db, e, buf, txns/4+1); err != nil {
-		return Cell{}, workload.TPCCStats{}, err
+		return workload.TPCCStats{}, err
 	}
 	buf.Flush()
-	pipe.ResetStats()
+	meas.ResetStats()
 	var measRec *trace.Recorder
 	if warmRec != nil && !warmRec.Overflowed() {
 		// Only worth capturing the measured mix if the warm-up slice
 		// fit: a cache entry needs both phases.
-		measRec = env.newRecorder(pipe)
+		measRec = env.newRecorder(meas)
 	}
 	buf.Bind(sink(measRec))
 	stats, err := workload.RunTPCC(db, e, buf, txns)
 	if err != nil {
-		return Cell{}, stats, err
+		return stats, err
 	}
 	buf.Flush()
 	if warmRec != nil && !warmRec.Overflowed() && measRec != nil && !measRec.Overflowed() {
 		env.traces.store(key, &cellTrace{
 			warm: warmRec.Recording(), stream: measRec.Recording(), stats: stats})
 	}
-	cell, err := finishCell(s, 0, "TPC-C", pipe, engine.Result{})
-	return cell, stats, err
+	return stats, nil
 }
 
 // emitBuffer returns the env's reusable emission buffer bound to sink
@@ -525,6 +563,154 @@ func (env *Env) emitBuffer(sink trace.Processor) *trace.Buffer {
 		env.oltpBuf.Bind(sink)
 	}
 	return env.oltpBuf
+}
+
+// finishGang extracts one cell per ganged configuration from the
+// multi-config drain, in unit order.
+func finishGang(unit []CellSpec, what string, multi *xeon.MultiPipeline, res engine.Result) ([]Cell, error) {
+	cells := make([]Cell, len(unit))
+	for i := range unit {
+		c, err := finishCell(unit[i].System, unit[i].Query, what, multi.Pipe(i), res)
+		if err != nil {
+			return nil, err
+		}
+		cells[i] = c
+	}
+	return cells, nil
+}
+
+// runGangMicro measures one micro cell's gang: K platform
+// configurations over the identical emitted stream, under exactly the
+// protocol of run — every run starts from reset engine state, the
+// first execution is captured in flight, and warm-up plus measured
+// runs drain the capture. One pass over each stream feeds all K
+// configurations, so the engine executes (or the arena is read) once
+// instead of K times; if the stream overflows the recording cap, the
+// fallback re-executes the engine per run, still emitting once for
+// the whole gang.
+func (env *Env) runGangMicro(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error) {
+	s, q := unit[0].System, unit[0].Query
+	query, ok := env.queryFor(s, q)
+	if !ok {
+		return nil, fmt.Errorf("harness: system %s does not run %s", s, q)
+	}
+	multi := xeon.NewMulti(cfgs)
+	runs := env.Opts.Warmup + 1
+	key := CellSpec{Kind: CellMicro, System: s, Query: q,
+		Selectivity: env.Opts.Selectivity, RecordSize: env.Opts.RecordSize}
+
+	if ct, ok := env.traces.lookup(key); ok {
+		for i := 0; i < runs; i++ {
+			if i == runs-1 {
+				multi.ResetStats()
+			}
+			ct.stream.Drain(multi)
+		}
+		return finishGang(unit, q.String(), multi, ct.result)
+	}
+
+	e := env.engines[s]
+	plan, err := env.planFor(s, q, query)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := env.newRecorder(multi)
+	var proc trace.Processor = multi
+	if rec != nil {
+		proc = rec
+	}
+	if runs == 1 {
+		multi.ResetStats() // the first execution is the measured run
+	}
+	e.ResetState()
+	res, err := e.Run(plan, proc)
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 1; i < runs; i++ {
+		if i == runs-1 {
+			multi.ResetStats()
+		}
+		if rec != nil && !rec.Overflowed() {
+			rec.Recording().Drain(multi)
+		} else {
+			e.ResetState()
+			if res, err = e.Run(plan, multi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if rec != nil && !rec.Overflowed() {
+		env.traces.store(key, &cellTrace{stream: rec.Recording(), result: res})
+	}
+	return finishGang(unit, q.String(), multi, res)
+}
+
+// runGangTPCD measures one system's TPC-D gang under the protocol of
+// runTPCD: a captured warm-up pass replayed for the measured pass,
+// re-execution when the suite's stream overflows the cap — either way
+// one emission or arena pass for all K configurations.
+func (env *Env) runGangTPCD(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error) {
+	s := unit[0].System
+	multi := xeon.NewMulti(cfgs)
+	key := CellSpec{Kind: CellTPCD, System: s, RecordSize: env.Opts.RecordSize}
+
+	if ct, ok := env.traces.lookup(key); ok {
+		ct.stream.Drain(multi) // warm-up pass
+		multi.ResetStats()
+		ct.stream.Drain(multi) // measured pass
+		return finishGang(unit, "TPC-D", multi, engine.Result{})
+	}
+
+	e := env.engines[s]
+	queries := env.Dims.TPCDQueries()
+	rec := env.newRecorder(multi)
+	var proc trace.Processor = multi
+	if rec != nil {
+		proc = rec
+	}
+	e.ResetState()
+	for _, q := range queries {
+		if _, err := e.Query(q, proc); err != nil {
+			return nil, err
+		}
+	}
+	multi.ResetStats()
+	if rec != nil && !rec.Overflowed() {
+		rec.Recording().Drain(multi)
+		env.traces.store(key, &cellTrace{stream: rec.Recording()})
+	} else {
+		e.ResetState()
+		for _, q := range queries {
+			if _, err := e.Query(q, multi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return finishGang(unit, "TPC-D", multi, engine.Result{})
+}
+
+// runGangTPCC measures one (system, txns) OLTP gang: the mix executes
+// once (see runOLTP) with every configuration draining the emitted
+// stream, or replays a cached capture's two phases into the whole
+// gang.
+func (env *Env) runGangTPCC(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error) {
+	s, txns := unit[0].System, unit[0].Txns
+	multi := xeon.NewMulti(cfgs)
+	key := CellSpec{Kind: CellTPCC, System: s, Txns: txns}
+
+	if ct, ok := env.traces.lookup(key); ok {
+		ct.warm.Drain(multi)
+		multi.ResetStats()
+		ct.stream.Drain(multi)
+		return finishGang(unit, "TPC-C", multi, engine.Result{})
+	}
+	if _, err := env.runOLTP(s, txns, multi, key); err != nil {
+		return nil, err
+	}
+	return finishGang(unit, "TPC-C", multi, engine.Result{})
 }
 
 var _ trace.Processor = (*xeon.Pipeline)(nil)

@@ -120,6 +120,17 @@ func (r *Recording) Replay(p Processor) {
 	}
 }
 
+// DrainMulti feeds the recorded stream into every sink: the multi-
+// sink half of the gang drain, Drain through a Fanout. Each chunk is
+// read from the arena once and handed to all sinks before the next
+// chunk, so K consumers cost one pass of memory traffic; every sink
+// still sees the exact captured order. A gang of pipelines can
+// equally drain through a single xeon.MultiPipeline via Drain;
+// DrainMulti is the trace-level form for heterogeneous sinks.
+func (r *Recording) DrainMulti(ps ...BatchProcessor) {
+	r.Drain(Fanout(ps))
+}
+
 // Equal reports whether two recordings hold the same event sequence,
 // independent of how the events landed in chunks.
 func (r *Recording) Equal(o *Recording) bool {

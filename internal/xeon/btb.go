@@ -1,5 +1,7 @@
 package xeon
 
+import "math/bits"
+
 // btb models the Pentium II branch prediction unit: a set-associative
 // Branch Target Buffer whose entries carry per-branch history
 // registers feeding pattern tables of two-bit saturating counters (a
@@ -9,25 +11,46 @@ package xeon
 // branches taken, forward branches not taken — exactly as Section 5.3
 // describes.
 //
+// The predictor is the hottest structure of the batched event drain,
+// and the simulated outcomes and BTB hits are close to coin flips by
+// design (the paper's ~50% miss rate), so the layout and control flow
+// are tuned for the host, not for abstraction:
+//
+//   - Each way is two interleaved uint64 words — the tag and a packed
+//     metadata word (valid | pattern slot | history) — so a 4-way set
+//     is one 64-byte host line and every lane is register-friendly.
+//   - The MRU way keeps a dedicated early path: loop branches and hot
+//     sites re-hit way 0, where training happens in place with no
+//     reorder traffic.
+//   - The remaining ways are matched with mask arithmetic instead of a
+//     compare-and-break loop, collapsing three effectively random host
+//     branches into one hit-vs-miss decision; the recency reorder on a
+//     rest-way hit is an unconditional select writeback.
+//   - Branches are kept where they gate real work (MRU hit, rest hit
+//     vs miss, allocation): they are speculation points that let the
+//     host run ahead. Replacing them wholesale with conditional moves
+//     was measured slower — select chains turn control dependencies
+//     into serial data dependencies on every event.
+//
 // Pattern tables are stored out of line: each entry carries a slot
 // number into the pattern array, and recency moves shuffle only the
-// small entry structs while the tables stay put. Eviction recycles the
+// per-set words while the tables stay put. Eviction recycles the
 // victim's slot for the incoming branch (resetting its counters to the
 // power-up state), which is observationally identical to the tables
-// moving with the entries but keeps the per-branch bookkeeping — the
-// hottest path of the batched event drain — free of copying and
-// allocation.
+// moving with the entries.
 type btb struct {
 	sets    int
 	ways    int
 	setMask uint64
 
 	histBits uint
-	histMask uint16
+	histMask uint64
 
-	// ents[set*ways+way] holds the way's state, recency-ordered per
-	// set; ents[i].slot indexes that entry's pattern table.
-	ents []btbEnt
+	// ents[(set*ways+way)*2] is the way's tag and ents[...*2+1] its
+	// packed metadata: valid(bit 63) | slot(bits 16..62) |
+	// history(bits 0..15), recency-ordered per set. The history is
+	// stored pre-masked, so the pattern index needs no extra masking.
+	ents []uint64
 	// pattern[slot<<histBits | history] is a 2-bit counter.
 	pattern []uint8
 	// fresh is a pattern table's worth of weakly-taken counters,
@@ -41,14 +64,15 @@ type btb struct {
 	taken      uint64
 }
 
-// btbEnt is one BTB way: the branch tag, its history register, and the
-// fixed pattern-table slot its counters live in.
-type btbEnt struct {
-	tag   uint64
-	hist  uint16
-	slot  uint16
-	valid bool
-}
+const (
+	btbValid     uint64 = 1 << 63
+	btbSlotShift        = 16
+	// btbSlotMask extracts the slot field after the >>16 shift (the
+	// valid bit lands on bit 47 and is masked off).
+	btbSlotMask uint64 = 1<<47 - 1
+	// btbHistField covers the packed history bits.
+	btbHistField uint64 = 0xFFFF
+)
 
 // newBTB builds a predictor with the given entry count, associativity
 // and history length.
@@ -57,19 +81,22 @@ func newBTB(entries, assoc, histBits int) *btb {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("xeon: BTB set count must be a positive power of two")
 	}
+	if histBits < 1 || histBits > 16 {
+		panic("xeon: BTB history length must be between 1 and 16 bits")
+	}
 	n := sets * assoc
 	b := &btb{
 		sets:     sets,
 		ways:     assoc,
 		setMask:  uint64(sets - 1),
 		histBits: uint(histBits),
-		histMask: uint16(1<<histBits - 1),
-		ents:     make([]btbEnt, n),
+		histMask: uint64(1)<<histBits - 1,
+		ents:     make([]uint64, 2*n),
 		pattern:  make([]uint8, n<<uint(histBits)),
 		fresh:    make([]uint8, 1<<uint(histBits)),
 	}
-	for i := range b.ents {
-		b.ents[i].slot = uint16(i)
+	for i := 0; i < n; i++ {
+		b.ents[2*i+1] = uint64(i) << btbSlotShift
 	}
 	// Initialise the two-bit counters to weakly taken, the usual
 	// power-up state.
@@ -85,10 +112,7 @@ func newBTB(entries, assoc, histBits int) *btb {
 // ctrNext[ctr<<1|outcome] is the two-bit saturating counter's next
 // state: decrement on not-taken, increment on taken, clamped at the
 // ends. A table walk instead of compare-and-branch keeps the host's
-// own branch predictor out of the loop — the simulated outcomes are
-// close to random by design (the paper's ~50% BTB miss rate), which
-// makes every data-dependent host branch here a steady stream of
-// real mispredictions.
+// own branch predictor out of the loop.
 var ctrNext = [8]uint8{0, 1, 0, 2, 1, 3, 2, 3}
 
 // b2u returns 1 for true, 0 for false (compiled branch-free).
@@ -100,40 +124,103 @@ func b2u(b bool) uint64 {
 	return u
 }
 
+// sel returns a when c is 1 and b when c is 0, branch-free. c must be
+// 0 or 1.
+func sel(c, a, b uint64) uint64 { return b ^ ((a ^ b) & -c) }
+
+// btbKey folds a branch PC into its BTB tag: 16-byte granules, with
+// higher bits folded in so strided branch PCs spread across the sets.
+func btbKey(pc uint64) uint64 { return (pc >> 4) ^ (pc >> 13) }
+
 // predict processes one retired branch: it makes the prediction the
 // hardware would have made for (pc,target), compares it with the
 // architectural outcome, and trains the structures. It returns whether
 // the BTB hit and whether the prediction was correct.
 func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
+	if b.ways != 4 {
+		return b.predictAny(pc, target, taken)
+	}
 	t := b2u(taken)
 	b.refs++
 	b.taken += t
-	// Index by 16-byte PC granule, folding in higher bits so strided
-	// branch PCs spread across the sets.
-	key := (pc >> 4) ^ (pc >> 13)
-	base := int(key&b.setMask) * b.ways
-	ents := b.ents
+	key := btbKey(pc)
+	base := int(key&b.setMask) * 8
+	set := b.ents[base : base+8 : base+8]
 
-	// MRU fast path: loop branches and hot sites re-execute the same
-	// PC back to back and hit way 0, where prediction, training and
-	// history shift happen in place, branch-free (the outcome folds in
-	// as a bit, the counter steps through ctrNext). The stored history
-	// is always pre-masked, so the counter index needs no masking.
-	if e := &ents[base]; e.valid && e.tag == key {
-		pi := uint64(e.slot)<<b.histBits | uint64(e.hist)
-		ctr := b.pattern[pi]
-		// predictTaken is the counter's high bit; the prediction is
-		// wrong exactly when that bit differs from the outcome.
-		wrong := uint64(ctr>>1) ^ t
+	// Match all four ways with mask arithmetic over the one-line set:
+	// the only control decision on the probe is hit-vs-miss. Branches
+	// at distinct sites interleave enough that an MRU-first precheck
+	// is just one more effectively random host branch (loop branches
+	// never reach here — the batch drain retires whole same-site runs
+	// through branchRun).
+	t0, m0 := set[0], set[1]
+	t1, m1 := set[2], set[3]
+	t2, m2 := set[4], set[5]
+	t3, m3 := set[6], set[7]
+	mask := b2u(t0 == key)&(m0>>63) |
+		(b2u(t1 == key)&(m1>>63))<<1 |
+		(b2u(t2 == key)&(m2>>63))<<2 |
+		(b2u(t3 == key)&(m3>>63))<<3
+
+	if mask == 0 {
+		b.missesBTB++
+		// Static fallback: backward taken, forward not taken.
+		wrong := b2u(target <= pc) ^ t
 		b.mispredict += wrong
-		b.pattern[pi] = ctrNext[uint64(ctr)<<1|t]
-		e.hist = (e.hist<<1 | uint16(t)) & b.histMask
-		return true, wrong == 0
+		if taken {
+			// The P6 BTB allocates entries for taken branches only,
+			// evicting the set's LRU way and recycling its pattern
+			// slot; the branch was taken, so history starts at 1.
+			vslot := m3 >> btbSlotShift & btbSlotMask
+			set[0], set[1] = key, btbValid|vslot<<btbSlotShift|1
+			set[2], set[3] = t0, m0
+			set[4], set[5] = t1, m1
+			set[6], set[7] = t2, m2
+			// Reset the recycled slot's counters to the power-up state
+			// with one copy instead of a byte loop.
+			copy(b.pattern[vslot<<b.histBits:(vslot+1)<<b.histBits], b.fresh)
+		}
+		return false, wrong == 0
 	}
 
+	// Hit: train the resident entry, then move it to the front. The
+	// reorder is an unconditional select writeback of the permuted set
+	// — pure store traffic into the line the probe just loaded, where
+	// a data-dependent shift loop would be another effectively random
+	// host branch. On an MRU hit every word but the front pair writes
+	// back unchanged.
+	way := uint64(bits.TrailingZeros64(mask))
+	em := set[2*way+1]
+	pi := (em>>btbSlotShift&btbSlotMask)<<b.histBits | em&b.histMask
+	ctr := b.pattern[pi]
+	// The dynamic prediction is the counter's high bit: wrong exactly
+	// when that bit differs from the outcome.
+	wrong := uint64(ctr>>1) ^ t
+	b.pattern[pi] = ctrNext[uint64(ctr)<<1|t]
+	b.mispredict += wrong
+	c1 := b2u(way >= 1)
+	c2 := b2u(way >= 2)
+	c3 := b2u(way >= 3)
+	set[0] = key
+	set[1] = em&^btbHistField | (em<<1|t)&b.histMask
+	set[2], set[3] = sel(c1, t0, t1), sel(c1, m0, m1)
+	set[4], set[5] = sel(c2, t1, t2), sel(c2, m1, m2)
+	set[6], set[7] = sel(c3, t2, t3), sel(c3, m2, m3)
+	return true, wrong == 0
+}
+
+// predictAny is the generic-associativity body: the same semantics as
+// the 4-way fast path, written as plain loops.
+func (b *btb) predictAny(pc, target uint64, taken bool) (btbHit, correct bool) {
+	t := b2u(taken)
+	b.refs++
+	b.taken += t
+	key := btbKey(pc)
+	base := int(key&b.setMask) * b.ways * 2
+
 	way := -1
-	for w := 1; w < b.ways; w++ {
-		if e := ents[base+w]; e.valid && e.tag == key {
+	for w := 0; w < b.ways; w++ {
+		if b.ents[base+2*w+1]>>63 != 0 && b.ents[base+2*w] == key {
 			way = w
 			break
 		}
@@ -142,44 +229,47 @@ func (b *btb) predict(pc, target uint64, taken bool) (btbHit, correct bool) {
 	var wrong uint64
 	if way >= 0 {
 		btbHit = true
-		// Train the resident entry: update the pattern counter for the
-		// history that produced the prediction, then shift the history.
-		e := ents[base+way]
-		pi := uint64(e.slot)<<b.histBits | uint64(e.hist)
+		em := b.ents[base+2*way+1]
+		pi := (em>>btbSlotShift&btbSlotMask)<<b.histBits | em&b.histMask
 		ctr := b.pattern[pi]
 		wrong = uint64(ctr>>1) ^ t
 		b.pattern[pi] = ctrNext[uint64(ctr)<<1|t]
-		e.hist = (e.hist<<1 | uint16(t)) & b.histMask
-		// Move to front (LRU within the set): shift the struct entries;
-		// pattern tables stay put, addressed through each entry's slot.
-		copy(ents[base+1:base+way+1], ents[base:base+way])
-		ents[base] = e
+		trained := em&^btbHistField | (em<<1|t)&b.histMask
+		// Move to front (LRU within the set); pattern tables stay put,
+		// addressed through each entry's slot.
+		for j := base + 2*way; j > base; j -= 2 {
+			b.ents[j] = b.ents[j-2]
+			b.ents[j+1] = b.ents[j-1]
+		}
+		b.ents[base] = key
+		b.ents[base+1] = trained
 	} else {
 		b.missesBTB++
 		// Static fallback: backward taken, forward not taken.
 		wrong = b2u(target <= pc) ^ t
 		if taken {
-			// The P6 BTB allocates entries for taken branches only,
-			// evicting the set's LRU way and recycling its pattern slot.
-			// The branch was taken (this arm), so history starts at 1.
-			e := btbEnt{tag: key, valid: true, slot: ents[base+b.ways-1].slot, hist: 1}
-			copy(ents[base+1:base+b.ways], ents[base:base+b.ways-1])
-			ents[base] = e
-			// Reset the recycled slot's counters to the power-up state
-			// with one copy instead of a byte loop.
-			copy(b.pattern[uint64(e.slot)<<b.histBits:(uint64(e.slot)+1)<<b.histBits], b.fresh)
+			last := base + 2*(b.ways-1)
+			vslot := b.ents[last+1] >> btbSlotShift & btbSlotMask
+			for j := last; j > base; j -= 2 {
+				b.ents[j] = b.ents[j-2]
+				b.ents[j+1] = b.ents[j-1]
+			}
+			b.ents[base] = key
+			b.ents[base+1] = btbValid | vslot<<btbSlotShift | 1
+			copy(b.pattern[vslot<<b.histBits:(vslot+1)<<b.histBits], b.fresh)
 		}
 	}
 	b.mispredict += wrong
 	return btbHit, wrong == 0
 }
 
-// flush invalidates the whole predictor.
+// flush invalidates the whole predictor: tags, valid bits and
+// histories clear, slots keep their pattern-table assignments, and
+// every counter returns to the power-up state.
 func (b *btb) flush() {
-	for i := range b.ents {
-		b.ents[i].valid = false
-		b.ents[i].tag = 0
-		b.ents[i].hist = 0
+	for i := 0; i < len(b.ents); i += 2 {
+		b.ents[i] = 0
+		b.ents[i+1] &^= btbValid | btbHistField
 	}
 	for i := range b.pattern {
 		b.pattern[i] = 2

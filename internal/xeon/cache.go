@@ -1,6 +1,9 @@
 package xeon
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Each cache way is packed into one 64-bit word: the line address in
 // the high bits, the dirty and valid flags in the low two. A 4-way set
@@ -31,6 +34,11 @@ type cache struct {
 	ways      int
 	setMask   uint64
 	lineShift uint
+	// wayShift is log2(ways) — associativities are required to be
+	// powers of two — so the hottest address computation, set index
+	// to entry index, is a shift rather than a multiply on the
+	// probe load's critical path.
+	wayShift uint
 
 	// ents[set*ways+way] holds the way's packed state (line<<2 |
 	// dirty<<1 | valid), recency-ordered per set.
@@ -51,9 +59,16 @@ func newCache(name string, sizeBytes, assoc, lineSize int) *cache {
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("xeon: cache %s: %d sets is not a positive power of two", name, sets))
 	}
+	if assoc&(assoc-1) != 0 {
+		panic(fmt.Sprintf("xeon: cache %s: associativity %d is not a power of two", name, assoc))
+	}
 	shift := uint(0)
 	for 1<<shift != lineSize {
 		shift++
+	}
+	wayShift := uint(0)
+	for 1<<wayShift != assoc {
+		wayShift++
 	}
 	return &cache{
 		name:      name,
@@ -61,6 +76,7 @@ func newCache(name string, sizeBytes, assoc, lineSize int) *cache {
 		ways:      assoc,
 		setMask:   uint64(sets - 1),
 		lineShift: shift,
+		wayShift:  wayShift,
 		ents:      make([]uint64, lines),
 	}
 }
@@ -93,12 +109,46 @@ func (c *cache) lookup(addr uint64, write bool) bool {
 // evicting the set's LRU way into the eviction/write-back counters.
 // Unlike access it never re-probes the MRU way the caller already
 // checked.
+//
+// The 4-way body (every configuration the experiments run) matches
+// the remaining ways with mask arithmetic over the one-line set — the
+// per-way compares on simulated-random residency were a steady source
+// of host mispredictions as a compare-and-break loop — leaving a
+// single hit-vs-miss branch; the reorder is a select writeback and
+// the victim bookkeeping folds in branch-free.
 func (c *cache) lookupRest(addr uint64, write bool) bool {
 	c.refs++
 	line := addr >> c.lineShift
-	base := int(line&c.setMask) * c.ways
-	ents := c.ents
+	base := int(line&c.setMask) << c.wayShift
 	tag := line<<entLineShift | entValid
+	if c.ways == 4 {
+		ents := c.ents[base : base+4 : base+4]
+		e0, e1, e2, e3 := ents[0], ents[1], ents[2], ents[3]
+		m := b2u(e1&^entDirty == tag)<<1 |
+			b2u(e2&^entDirty == tag)<<2 |
+			b2u(e3&^entDirty == tag)<<3
+		if m != 0 {
+			w := uint64(bits.TrailingZeros64(m))
+			e := ents[w] | entDirty&-b2u(write)
+			c2 := b2u(w >= 2)
+			c3 := b2u(w >= 3)
+			ents[0] = e
+			ents[1] = e0
+			ents[2] = sel(c2, e1, e2)
+			ents[3] = sel(c3, e2, e3)
+			return true
+		}
+		c.misses++
+		// Victim is the last (LRU) way.
+		valid := e3 & entValid
+		c.evictions += valid
+		c.wbacks += e3 >> 1 & valid
+		ents[0] = tag | entDirty&-b2u(write)
+		ents[1], ents[2], ents[3] = e0, e1, e2
+		return false
+	}
+
+	ents := c.ents
 	for w := 1; w < c.ways; w++ {
 		if e := ents[base+w]; e&^entDirty == tag {
 			// Move to front (most recently used).
@@ -141,7 +191,7 @@ func (c *cache) lookupRest(addr uint64, write bool) bool {
 // pipeline's drain goes through lookup, which folds this probe in.
 func (c *cache) hitMRU(addr uint64, write bool) bool {
 	line := addr >> c.lineShift
-	e := &c.ents[int(line&c.setMask)*c.ways]
+	e := &c.ents[int(line&c.setMask)<<c.wayShift]
 	if *e&^entDirty == line<<entLineShift|entValid {
 		c.refs++
 		if write {
@@ -160,7 +210,7 @@ func (c *cache) hitMRU(addr uint64, write bool) bool {
 func (c *cache) access(addr uint64, write bool) (hit bool, victim uint64, victimDirty bool) {
 	c.refs++
 	line := addr >> c.lineShift
-	base := int(line&c.setMask) * c.ways
+	base := int(line&c.setMask) << c.wayShift
 	ents := c.ents
 	tag := line<<entLineShift | entValid
 
@@ -213,9 +263,21 @@ func (c *cache) access(addr uint64, write bool) (hit bool, victim uint64, victim
 // the formulae rely on.
 func (c *cache) touch(addr uint64) {
 	line := addr >> c.lineShift
-	base := int(line&c.setMask) * c.ways
-	ents := c.ents
+	base := int(line&c.setMask) << c.wayShift
 	tag := line<<entLineShift | entValid
+	if c.ways == 4 {
+		ents := c.ents[base : base+4 : base+4]
+		e0, e1, e2, e3 := ents[0], ents[1], ents[2], ents[3]
+		if e0&^entDirty == tag || e1&^entDirty == tag ||
+			e2&^entDirty == tag || e3&^entDirty == tag {
+			return // already resident; leave recency alone
+		}
+		c.evictions += e3 & entValid
+		ents[0] = tag
+		ents[1], ents[2], ents[3] = e0, e1, e2
+		return
+	}
+	ents := c.ents
 	for w := 0; w < c.ways; w++ {
 		if e := ents[base+w]; e&^entDirty == tag {
 			return // already resident; leave recency alone
@@ -234,7 +296,7 @@ func (c *cache) touch(addr uint64) {
 // touching statistics or recency.
 func (c *cache) contains(addr uint64) bool {
 	line := c.lineAddr(addr)
-	base := int(line&c.setMask) * c.ways
+	base := int(line&c.setMask) << c.wayShift
 	tag := line<<entLineShift | entValid
 	for w := 0; w < c.ways; w++ {
 		if e := c.ents[base+w]; e&^entDirty == tag {

@@ -138,6 +138,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("xeon: cache sizes must be positive")
 	case c.CacheAssoc <= 0 || c.TLBAssoc <= 0 || c.BTBAssoc <= 0:
 		return fmt.Errorf("xeon: associativities must be positive")
+	case c.CacheAssoc&(c.CacheAssoc-1) != 0 || c.TLBAssoc&(c.TLBAssoc-1) != 0:
+		// The packed-way probes index sets with a shift, so cache and
+		// TLB associativities must be powers of two.
+		return fmt.Errorf("xeon: cache/TLB associativities must be powers of two")
 	case c.ITLBEntries < c.TLBAssoc || c.DTLBEntries < c.TLBAssoc:
 		return fmt.Errorf("xeon: TLBs must hold at least one set")
 	case c.BTBEntries < c.BTBAssoc:

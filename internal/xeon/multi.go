@@ -1,0 +1,138 @@
+package xeon
+
+import "wheretime/internal/trace"
+
+// MultiPipeline is the multi-config gang drain: it holds K platform
+// configurations' complete simulation state — caches, TLBs, branch
+// predictor, stall accounting — and feeds every event to all K of
+// them, so one pass over a recorded trace (or one live engine
+// execution) produces K cells' counter sets. The trace is read from
+// memory once instead of K times and, on the live path, the engine
+// emits once instead of K times; each configuration's counters are
+// bit-identical to draining a solo Pipeline, which the gang
+// equivalence suite pins per counter.
+//
+// ProcessBatch splits each incoming batch into host-cache-resident
+// blocks and runs every configuration over a block before advancing,
+// so the event words stay hot across the K per-config inner loops
+// while each loop keeps the solo drain's flattened, branch-lean shape
+// (packed-way probes, mask-matched BTB sets, same-site branch runs).
+// Event order per configuration is exactly batch order: blocks
+// partition the batch, and every configuration finishes block i
+// before any sees block i+1.
+//
+// Like Pipeline, a MultiPipeline is single-goroutine state: the
+// concurrent grid builds one per gang work unit inside a worker.
+type MultiPipeline struct {
+	pipes []*Pipeline
+}
+
+var _ trace.Processor = (*MultiPipeline)(nil)
+var _ trace.BatchProcessor = (*MultiPipeline)(nil)
+
+// gangBlockEvents is the sub-batch size of the gang drain: 1024
+// events x 32 bytes = 32 KiB, sized to stay resident in the host L1D
+// while all K configurations consume the block.
+const gangBlockEvents = 1024
+
+// NewMulti builds one pipeline per configuration. It panics on an
+// empty slice or an invalid configuration, like New.
+func NewMulti(cfgs []Config) *MultiPipeline {
+	if len(cfgs) == 0 {
+		panic("xeon: NewMulti needs at least one configuration")
+	}
+	m := &MultiPipeline{pipes: make([]*Pipeline, len(cfgs))}
+	for i, cfg := range cfgs {
+		m.pipes[i] = New(cfg)
+	}
+	return m
+}
+
+// K returns the number of ganged configurations.
+func (m *MultiPipeline) K() int { return len(m.pipes) }
+
+// Pipe returns the i-th configuration's pipeline, for counter
+// extraction (Breakdown, Rates) after a drain.
+func (m *MultiPipeline) Pipe(i int) *Pipeline { return m.pipes[i] }
+
+// ResetStats starts the measured run on every configuration: counters
+// and accumulated stall time reset, cache/TLB/predictor contents kept
+// (the warm-cache protocol of Section 4.3).
+func (m *MultiPipeline) ResetStats() {
+	for _, p := range m.pipes {
+		p.ResetStats()
+	}
+}
+
+// ProcessBatch implements trace.BatchProcessor: block-wise over the
+// batch, all configurations per block. A single-config gang degrades
+// to the solo drain with no block splitting.
+func (m *MultiPipeline) ProcessBatch(events []trace.Event) {
+	if len(m.pipes) == 1 {
+		m.pipes[0].ProcessBatch(events)
+		return
+	}
+	for start := 0; start < len(events); start += gangBlockEvents {
+		end := start + gangBlockEvents
+		if end > len(events) {
+			end = len(events)
+		}
+		block := events[start:end]
+		for _, p := range m.pipes {
+			p.ProcessBatch(block)
+		}
+	}
+}
+
+// The per-event Processor methods fan each call out in configuration
+// order, so an unbatched emitter sees the same per-config sequence
+// the batched path produces.
+
+// FetchBlock implements trace.Processor.
+func (m *MultiPipeline) FetchBlock(addr uint64, size, instrs, uops uint32) {
+	for _, p := range m.pipes {
+		p.FetchBlock(addr, size, instrs, uops)
+	}
+}
+
+// Load implements trace.Processor.
+func (m *MultiPipeline) Load(addr uint64, size uint32) {
+	for _, p := range m.pipes {
+		p.Load(addr, size)
+	}
+}
+
+// Store implements trace.Processor.
+func (m *MultiPipeline) Store(addr uint64, size uint32) {
+	for _, p := range m.pipes {
+		p.Store(addr, size)
+	}
+}
+
+// Branch implements trace.Processor.
+func (m *MultiPipeline) Branch(pc, target uint64, taken bool) {
+	for _, p := range m.pipes {
+		p.Branch(pc, target, taken)
+	}
+}
+
+// DataBurst implements trace.Processor.
+func (m *MultiPipeline) DataBurst(base uint64, bytes, loads, stores uint32) {
+	for _, p := range m.pipes {
+		p.DataBurst(base, bytes, loads, stores)
+	}
+}
+
+// ResourceStall implements trace.Processor.
+func (m *MultiPipeline) ResourceStall(dep, fu, ild float64) {
+	for _, p := range m.pipes {
+		p.ResourceStall(dep, fu, ild)
+	}
+}
+
+// RecordProcessed implements trace.Processor.
+func (m *MultiPipeline) RecordProcessed() {
+	for _, p := range m.pipes {
+		p.RecordProcessed()
+	}
+}
