@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke cover lint fmt golden profile profile-gang bench-json ci
+.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke scenario-smoke docs-check cover lint fmt golden profile profile-gang bench-json ci
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,21 @@ replay-smoke:
 gang-smoke:
 	$(GO) test -count=1 -run 'TestGangMatchesSequential|TestGangUsesOneExecution|TestGangDisabledMatchesGoldens' ./internal/harness
 
+# The new-scenario smoke: the three scenario experiments (Grace hash
+# join, sort-based aggregation, B-tree range scan) rendered against
+# their goldens on their own small grid, plus the result cross-checks
+# against their reference operators. Cheap enough for every push; the
+# nightly full grid additionally diffs the scenario cells across the
+# unbatched / replay-off / gang-off paths.
+scenario-smoke:
+	$(GO) test -count=1 -run 'TestScenarioGoldens|TestScenarioResultsConsistent|TestScenarioSystemASkipsBRS' ./internal/harness
+
+# The documentation contract: every relative link in docs/*.md and
+# README.md resolves (files and #anchors), and every internal/ package
+# carries a proper package comment.
+docs-check:
+	$(GO) run ./cmd/docscheck
+
 # CPU profile of the full serial grid benchmark, written to grid.pprof
 # (inspect with: go tool pprof grid.pprof).
 profile:
@@ -96,4 +111,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench batch-smoke replay-smoke gang-smoke
+ci: lint build race bench batch-smoke replay-smoke gang-smoke scenario-smoke docs-check

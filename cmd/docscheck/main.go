@@ -1,0 +1,212 @@
+// Command docscheck verifies the repository's documentation contract,
+// the checks behind `make docs-check`:
+//
+//   - every relative markdown link in docs/*.md and README.md resolves
+//     to an existing file, and every #fragment (same-file or into
+//     another markdown file) matches a heading there;
+//   - every package under internal/ carries a proper package comment
+//     ("Package <name> ..." on the package clause of a non-test file).
+//
+// It prints one line per violation and exits nonzero if any exist, so
+// broken cross-references and undocumented packages fail CI instead of
+// rotting silently.
+//
+//	docscheck [-root .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// fenceRe matches fenced code blocks, which may contain [x](y)-shaped
+// text that is not a link.
+var fenceRe = regexp.MustCompile("(?s)```.*?```")
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var problems []string
+	complain := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	checkLinks(*root, complain)
+	checkPackageComments(*root, complain)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: docs links and package comments OK")
+}
+
+// docFiles returns the markdown files under the documentation
+// contract: docs/*.md plus the top-level README.
+func docFiles(root string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	readme := filepath.Join(root, "README.md")
+	if _, err := os.Stat(readme); err == nil {
+		files = append(files, readme)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// anchorsOf returns the github-style heading slugs of a markdown
+// document.
+func anchorsOf(md string) map[string]bool {
+	anchors := make(map[string]bool)
+	for _, m := range headingRe.FindAllStringSubmatch(md, -1) {
+		anchors[slugify(m[1])] = true
+	}
+	return anchors
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase,
+// spaces to dashes, markup and punctuation dropped.
+func slugify(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	var sb strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteRune('-')
+		}
+	}
+	return sb.String()
+}
+
+// checkLinks verifies every relative link in the doc files.
+func checkLinks(root string, complain func(string, ...any)) {
+	files, err := docFiles(root)
+	if err != nil {
+		complain("docscheck: %v", err)
+		return
+	}
+	if len(files) == 0 {
+		complain("docscheck: no documentation files found under %s", root)
+		return
+	}
+	// Anchor sets are memoised per target file.
+	anchorCache := make(map[string]map[string]bool)
+	anchors := func(path string) (map[string]bool, error) {
+		if a, ok := anchorCache[path]; ok {
+			return a, nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := anchorsOf(string(b))
+		anchorCache[path] = a
+		return a, nil
+	}
+
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			complain("docscheck: %v", err)
+			continue
+		}
+		body := fenceRe.ReplaceAllString(string(b), "")
+		rel, _ := filepath.Rel(root, f)
+		for _, m := range linkRe.FindAllStringSubmatch(body, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not this tool's contract
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			if path == "" {
+				// Same-file fragment.
+				a, err := anchors(f)
+				if err != nil {
+					complain("docscheck: %v", err)
+					continue
+				}
+				if !a[frag] {
+					complain("%s: broken anchor #%s", rel, frag)
+				}
+				continue
+			}
+			dest := filepath.Join(filepath.Dir(f), path)
+			info, err := os.Stat(dest)
+			if err != nil {
+				complain("%s: broken link %s", rel, target)
+				continue
+			}
+			if frag != "" && !info.IsDir() && strings.HasSuffix(path, ".md") {
+				a, err := anchors(dest)
+				if err != nil {
+					complain("docscheck: %v", err)
+					continue
+				}
+				if !a[frag] {
+					complain("%s: link %s: no heading for #%s in %s", rel, target, frag, path)
+				}
+			}
+		}
+	}
+}
+
+// checkPackageComments verifies every internal/ package documents
+// itself, walking the whole tree so nested packages are held to the
+// same contract as direct children.
+func checkPackageComments(root string, complain func(string, ...any)) {
+	var dirs []string
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && d.IsDir() && d.Name() != "testdata" {
+			dirs = append(dirs, path)
+		}
+		return err
+	})
+	if err != nil {
+		complain("docscheck: %v", err)
+		return
+	}
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			complain("docscheck: %s: %v", dir, err)
+			continue
+		}
+		rel, _ := filepath.Rel(root, dir)
+		for name, pkg := range pkgs {
+			documented := false
+			for _, file := range pkg.Files {
+				if file.Doc != nil && strings.HasPrefix(file.Doc.Text(), "Package "+name) {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				complain(`%s: package %s has no "Package %s ..." comment`, rel, name, name)
+			}
+		}
+	}
+}

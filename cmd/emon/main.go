@@ -28,7 +28,7 @@ func main() {
 		eventsFlag = flag.String("events", "INST_RETIRED,UOPS_RETIRED", "comma-separated event list")
 		all        = flag.Bool("all", false, "measure every supported event")
 		sysFlag    = flag.String("system", "C", "system variant: A, B, C or D")
-		queryFlag  = flag.String("query", "srs", "query: srs, irs or sj")
+		queryFlag  = flag.String("query", "srs", "query: srs, irs, sj, ghj, sag or brs")
 		scale      = flag.Float64("scale", 0.01, "dataset scale")
 		sel        = flag.Float64("selectivity", 0.10, "range selectivity")
 		parallel   = flag.Int("parallel", harness.DefaultParallelism(), "workers measuring counter pairs (1 = serial)")
@@ -62,20 +62,33 @@ func main() {
 
 	var query string
 	useIndex := false
+	hint := sql.HintNone
 	switch strings.ToLower(*queryFlag) {
 	case "srs":
 		query = dims.QuerySRS(*sel)
 	case "irs":
 		query = dims.QueryIRS(*sel)
 		useIndex = true
-		if sys == engine.SystemA {
-			fmt.Fprintln(os.Stderr, "emon: System A does not use the index (Section 5.1)")
-			os.Exit(2)
-		}
 	case "sj":
 		query = dims.QuerySJ()
+	case "ghj":
+		query = dims.QueryGHJ()
+		hint = sql.HintGraceJoin
+	case "sag":
+		query = dims.QuerySAG(*sel)
+		hint = sql.HintSortAgg
+	case "brs":
+		query = dims.QueryBRS(*sel)
+		useIndex = true
+		hint = sql.HintIndexOnly
 	default:
 		fmt.Fprintf(os.Stderr, "emon: unknown query %q\n", *queryFlag)
+		os.Exit(2)
+	}
+	// The index-based kinds follow the grid's validity rule: a system
+	// whose profile does not use the index cannot run them.
+	if useIndex && !engine.DefaultProfile(sys).UseIndex {
+		fmt.Fprintf(os.Stderr, "emon: system %s does not use the index (Section 5.1)\n", sys)
 		os.Exit(2)
 	}
 
@@ -97,6 +110,7 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
+		plan.Hint = hint
 		return func(p trace.Processor) {
 			eng.ResetState()
 			if _, err := eng.Run(plan, p); err != nil {

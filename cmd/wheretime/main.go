@@ -7,6 +7,7 @@
 //	wheretime -list
 //	wheretime -experiment fig5.1 [-scale 0.02] [-selectivity 0.10] [-recsize 100]
 //	wheretime -experiment all [-parallel 8]
+//	wheretime -experiment ghj,sortagg,btree        # the scenario operators
 //	wheretime -experiment fig5.1 -l2kb 512,2048
 //
 // Scale 1.0 is the paper's 1.2M-record R; per-record behaviour
@@ -64,7 +65,7 @@ func parseIntList(flagName, s string, deflt int) ([]int, error) {
 func main() {
 	var (
 		list        = flag.Bool("list", false, "list available experiments")
-		exp         = flag.String("experiment", "claims", `experiment to run (or "all")`)
+		exp         = flag.String("experiment", "claims", `experiment to run: a name, a comma-separated list (e.g. "ghj,sortagg,btree"), or "all"`)
 		scale       = flag.Float64("scale", 0.01, "dataset scale relative to the paper's 1.2M-row R")
 		selectivity = flag.Float64("selectivity", 0.10, "range selection selectivity")
 		recsize     = flag.Int("recsize", 100, "record size in bytes")
@@ -129,12 +130,16 @@ func main() {
 	if *exp == "all" {
 		exps = harness.Experiments()
 	} else {
-		e, err := harness.Find(*exp)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		// A comma-separated list runs several experiments over one
+		// deduplicated grid (cells shared between them measure once).
+		for _, name := range strings.Split(*exp, ",") {
+			e, err := harness.Find(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
 		}
-		exps = []harness.Experiment{e}
 	}
 
 	dims := opts.Dims()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"wheretime/internal/sql"
 	"wheretime/internal/storage"
 	"wheretime/internal/trace"
 )
@@ -24,4 +25,45 @@ func (e *Engine) deformat(buf *trace.Buffer, pg *storage.Page, cols int) {
 		n = cols
 	}
 	e.rt[rkFieldIter].InvokeFracBuf(buf, uint32(n), baselineFields)
+}
+
+// scanEmit walks a table's heap emitting the shared scan protocol
+// every scanning operator rides: per page, the buffer-pool fix
+// (rkPageNext) and header load; per record, the slot advance
+// (rkScanNext), the record materialisation (TouchRecord over cols, in
+// the caller's column order — order matters for PAX emission),
+// deformatting, and — when the access carries a filter — the
+// predicate evaluation (rkQualEval) with its data-dependent retired
+// branch. fn then receives the record with its qualification outcome
+// and emits the operator-specific work. Every scan operator (seq
+// scan, both hash-join inputs, both Grace partition phases, sort-agg
+// run generation) funnels through here, so the scan emission protocol
+// has exactly one definition.
+func (e *Engine) scanEmit(buf *trace.Buffer, acc *sql.TableAccess, cols []int,
+	fn func(pg *storage.Page, slot uint16, matched bool)) {
+
+	qual := e.rt[rkQualEval]
+	qualPC := qual.Addr + uint64(qual.CodeBytes) - 8
+	pool := e.cat.Pool()
+	for _, pid := range acc.Table.Heap.PageIDs() {
+		pg := pool.Get(pid)
+		e.rt[rkPageNext].InvokeBuf(buf)
+		buf.Load(pg.HeaderAddr(), 16)
+		n := pg.NumRecords()
+		for s := 0; s < n; s++ {
+			slot := uint16(s)
+			e.rt[rkScanNext].InvokeBuf(buf)
+			pg.TouchRecord(buf, slot, cols...)
+			e.deformat(buf, pg, 2)
+			matched := true
+			if acc.HasFilter {
+				qual.InvokeBuf(buf)
+				v := pg.Field(slot, acc.FilterCol)
+				matched = v >= acc.Lo && v < acc.Hi
+				// Taken means "record rejected, skip the per-record work".
+				buf.Branch(qualPC, qualPC+96, !matched)
+			}
+			fn(pg, slot, matched)
+		}
+	}
 }

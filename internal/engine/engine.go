@@ -197,9 +197,18 @@ func (e *Engine) Run(p *sql.Plan, proc trace.Processor) (Result, error) {
 	return res, err
 }
 
-// dispatch routes a plan to its access path, emitting into buf.
+// dispatch routes a plan to its access path, emitting into buf. A
+// plan hint pins the operator; without one the default paths apply.
 func (e *Engine) dispatch(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	e.rt[rkQueryStart].InvokeBuf(buf)
+	switch p.Hint {
+	case sql.HintGraceJoin:
+		return e.runGraceJoin(p, buf)
+	case sql.HintSortAgg:
+		return e.runSortAgg(p, buf)
+	case sql.HintIndexOnly:
+		return e.runBTreeRange(p, buf)
+	}
 	switch {
 	case p.IsJoin():
 		return e.runHashJoin(p, buf)

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"fmt"
+
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// The Grace/hybrid hash join (plan hint sql.HintGraceJoin) executes an
+// equijoin in two phases with partition-sized working sets, the
+// structure analysed in the robust dynamic hybrid hash join
+// literature:
+//
+//   - Partition: both inputs are scanned once and hash-partitioned on
+//     the join key into per-partition output buffers — sequential
+//     writes within a partition, the partition chosen by (different
+//     bits of) the same hash the in-partition table later uses.
+//   - Join: partition pairs are processed one at a time. The build
+//     partition is read sequentially into an in-memory chained hash
+//     table whose bucket array is reused across partitions (the hot,
+//     cache-resident working set hybrid joins are built for), then the
+//     probe partition streams through it with one random bucket access
+//     plus a chain walk per probe record — the hash-bucket
+//     random-access pattern, confined to a partition-sized region.
+//
+// Results are identical to the single-table in-memory join
+// (runHashJoin): partitioning only routes tuples, it never drops or
+// duplicates a match.
+
+// Simulated partition geometry.
+const (
+	// gracePartTargetBytes sizes build partitions: enough partitions
+	// are chosen that a build partition's entries fit this working set.
+	gracePartTargetBytes = 64 * 1024
+	// gracePartEntryBytes is one partitioned tuple: join key, RID,
+	// carried aggregate column, padding.
+	gracePartEntryBytes = 16
+	// gracePartStride separates partition output buffers in the
+	// simulated address space (each partition writes its own region).
+	gracePartStride = 1 << 22
+	// graceMaxParts bounds the partition fan-out.
+	graceMaxParts = 64
+)
+
+// graceEntry is one partitioned tuple held for the join phase. seq is
+// the entry's position in its partition buffer; its simulated address
+// derives from it.
+type graceEntry struct {
+	key int32
+	val int32
+	rid storage.RID
+	seq uint32
+}
+
+// gracePartitions returns the partition count for a build side of n
+// records: the smallest power of two giving partitions under the
+// working-set target, at least 2 (so the partition pattern is always
+// exercised) and at most graceMaxParts.
+func gracePartitions(n uint64) uint64 {
+	parts := uint64(2)
+	for parts < graceMaxParts && n*gracePartEntryBytes/parts > gracePartTargetBytes {
+		parts <<= 1
+	}
+	return parts
+}
+
+// gracePart selects an entry's partition: high hash bits, disjoint
+// from the low bits the in-partition bucket index uses.
+func gracePart(key int32, partMask uint64) uint64 {
+	return uint64(hash32(key)>>16) & partMask
+}
+
+// partEntryAddr returns the simulated address of entry seq of
+// partition p in the region at base. Offsets wrap at the partition
+// stride: a partition that outgrows its output buffer recycles it (the
+// spill-and-reuse behaviour of a real partitioner), so overflow can
+// never alias a neighbouring partition's region. At the harness's
+// scales every partition fits its stride and the wrap never engages.
+func partEntryAddr(base, p uint64, seq uint32) uint64 {
+	return base + p*gracePartStride + uint64(seq)*gracePartEntryBytes%gracePartStride
+}
+
+// partitionInput scans one side of the join and hash-partitions it:
+// the shared scan emission (page fix, record touch, deformat, optional
+// filter), then one rkPartition invocation and a sequential
+// partition-buffer write per surviving record. countRecords fires
+// RecordProcessed per scanned record — set on the probe side, whose
+// cardinality is the paper-style per-record denominator.
+func (e *Engine) partitionInput(buf *trace.Buffer, acc *sql.TableAccess, keyCol int,
+	aggCol int, carryAgg bool, base uint64, partMask uint64, countRecords bool) [][]graceEntry {
+
+	parts := make([][]graceEntry, partMask+1)
+	cols := []int{keyCol, acc.FilterCol}
+	if carryAgg {
+		cols = append(cols, aggCol)
+	}
+	e.scanEmit(buf, acc, cols, func(pg *storage.Page, slot uint16, matched bool) {
+		if !matched {
+			if countRecords {
+				buf.RecordProcessed()
+			}
+			return
+		}
+		key := pg.Field(slot, keyCol)
+		var val int32
+		if carryAgg {
+			val = pg.Field(slot, aggCol)
+		}
+		p := gracePart(key, partMask)
+		e.rt[rkPartition].InvokeBuf(buf)
+		seq := uint32(len(parts[p]))
+		buf.Store(partEntryAddr(base, p, seq), gracePartEntryBytes)
+		parts[p] = append(parts[p], graceEntry{
+			key: key, val: val, rid: storage.RID{Page: pg.ID(), Slot: slot}, seq: seq})
+		if countRecords {
+			buf.RecordProcessed()
+		}
+	})
+	return parts
+}
+
+// runGraceJoin executes an equijoin plan as a Grace/hybrid hash join.
+// The aggregate result is identical to runHashJoin's; only the access
+// structure differs.
+func (e *Engine) runGraceJoin(p *sql.Plan, buf *trace.Buffer) (Result, error) {
+	if !p.IsJoin() {
+		return Result{}, fmt.Errorf("engine: %s hint on a single-table plan", p.Hint)
+	}
+	build, probe := p.Inner, p.Outer
+	buildCol, probeCol := p.InnerCol, p.OuterCol
+
+	agg := newAggState(p.Agg)
+	readsOuter := !p.CountAll && p.AggTable == probe.Table
+	readsInner := !p.CountAll && p.AggTable == build.Table
+	aggCol := p.AggCol
+
+	nBuild := build.Table.Heap.NumRecords()
+	nProbe := probe.Table.Heap.NumRecords()
+	parts := gracePartitions(nBuild)
+	// Grow the fan-out (up to the cap) until both sides' partitions are
+	// expected to fit their stride regions; past the cap, partEntryAddr
+	// wraps within the partition rather than aliasing a neighbour.
+	for parts < graceMaxParts && (nBuild*gracePartEntryBytes/parts > gracePartStride ||
+		nProbe*gracePartEntryBytes/parts > gracePartStride) {
+		parts <<= 1
+	}
+	partMask := parts - 1
+
+	// Region layout in the per-query workspace: build partitions, then
+	// probe partitions, then the reusable in-memory table region.
+	buildBase := workspaceBase
+	probeBase := buildBase + (partMask+1)*gracePartStride
+	tableBase := probeBase + (partMask+1)*gracePartStride
+
+	// --- Partition phase --------------------------------------------
+	buildParts := e.partitionInput(buf, build, buildCol, aggCol, readsInner,
+		buildBase, partMask, false)
+	probeParts := e.partitionInput(buf, probe, probeCol, aggCol, readsOuter,
+		probeBase, partMask, true)
+
+	// --- Join phase: one partition pair at a time --------------------
+	probeRt := e.rt[rkHashProbe]
+	matchPC := probeRt.Addr + uint64(probeRt.CodeBytes) - 8
+
+	for pi := uint64(0); pi <= partMask; pi++ {
+		bp, pp := buildParts[pi], probeParts[pi]
+		if len(pp) == 0 && len(bp) == 0 {
+			continue
+		}
+		// Build the in-memory table over this partition. The bucket
+		// array and entry arena live at tableBase for every partition:
+		// the reused, cache-resident working set of a hybrid join.
+		nBuckets := nextPow2(uint64(len(bp)) + 1)
+		bucketMask := nBuckets - 1
+		entriesBase := tableBase + nBuckets*hashBucketBytes
+		table := make(map[int32][]graceEntry, len(bp))
+		for i, ent := range bp {
+			// Sequential read of the build partition buffer...
+			buf.Load(partEntryAddr(buildBase, pi, ent.seq), gracePartEntryBytes)
+			e.rt[rkHashBuild].InvokeBuf(buf)
+			// ...random bucket-head update and entry write.
+			b := uint64(hash32(ent.key)) & bucketMask
+			buf.Store(tableBase+b*hashBucketBytes, hashBucketBytes)
+			buf.Store(entriesBase+uint64(i)*hashEntryBytes, hashEntryBytes)
+			ent.seq = uint32(i) // entry index in the in-memory arena
+			table[ent.key] = append(table[ent.key], ent)
+		}
+		// Stream the probe partition through it.
+		for _, ent := range pp {
+			buf.Load(partEntryAddr(probeBase, pi, ent.seq), gracePartEntryBytes)
+			probeRt.InvokeBuf(buf)
+			b := uint64(hash32(ent.key)) & bucketMask
+			buf.Load(tableBase+b*hashBucketBytes, hashBucketBytes)
+			chain := table[ent.key]
+			for _, bent := range chain {
+				buf.Load(entriesBase+uint64(bent.seq)*hashEntryBytes, hashEntryBytes)
+				buf.Branch(matchPC, matchPC+64, true)
+				e.rt[rkJoinMatch].InvokeBuf(buf)
+				switch {
+				case readsOuter:
+					// The aggregate column travelled with the probe
+					// tuple; read it back from the partition buffer.
+					buf.Load(partEntryAddr(probeBase, pi, ent.seq)+8, storage.FieldSize)
+					agg.add(ent.val)
+				case readsInner:
+					buf.Load(entriesBase+uint64(bent.seq)*hashEntryBytes+8, storage.FieldSize)
+					agg.add(bent.val)
+				default:
+					agg.addCount()
+				}
+			}
+			if len(chain) == 0 {
+				buf.Branch(matchPC, matchPC+64, false)
+			}
+		}
+	}
+	return agg.result(), nil
+}

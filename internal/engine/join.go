@@ -47,93 +47,60 @@ func (e *Engine) runHashJoin(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	table := make(map[int32][]hashEntry, nBuild)
 	var entryIdx uint32
 
-	qual := e.rt[rkQualEval]
-	qualPC := qual.Addr + uint64(qual.CodeBytes) - 8
-
-	for _, pid := range build.Table.Heap.PageIDs() {
-		pg := pool.Get(pid)
-		e.rt[rkPageNext].InvokeBuf(buf)
-		buf.Load(pg.HeaderAddr(), 16)
-		for s := 0; s < pg.NumRecords(); s++ {
-			slot := uint16(s)
-			e.rt[rkScanNext].InvokeBuf(buf)
-			pg.TouchRecord(buf, slot, buildCol, build.FilterCol)
-			e.deformat(buf, pg, 2)
-			if build.HasFilter {
-				qual.InvokeBuf(buf)
-				v := pg.Field(slot, build.FilterCol)
-				if ok := v >= build.Lo && v < build.Hi; !ok {
-					buf.Branch(qualPC, qualPC+96, true)
-					continue
-				}
-				buf.Branch(qualPC, qualPC+96, false)
-			}
-			key := pg.Field(slot, buildCol)
-			e.rt[rkHashBuild].InvokeBuf(buf)
-			// Bucket-head update and entry write.
-			b := uint64(hash32(key)) & bucketMask
-			buf.Store(workspaceBase+b*hashBucketBytes, hashBucketBytes)
-			buf.Store(entriesBase+uint64(entryIdx)*hashEntryBytes, hashEntryBytes)
-			table[key] = append(table[key], hashEntry{key: key, rid: storage.RID{Page: pg.ID(), Slot: slot}, idx: entryIdx})
-			entryIdx++
+	e.scanEmit(buf, build, []int{buildCol, build.FilterCol}, func(pg *storage.Page, slot uint16, matched bool) {
+		if !matched {
+			return
 		}
-	}
+		key := pg.Field(slot, buildCol)
+		e.rt[rkHashBuild].InvokeBuf(buf)
+		// Bucket-head update and entry write.
+		b := uint64(hash32(key)) & bucketMask
+		buf.Store(workspaceBase+b*hashBucketBytes, hashBucketBytes)
+		buf.Store(entriesBase+uint64(entryIdx)*hashEntryBytes, hashEntryBytes)
+		table[key] = append(table[key], hashEntry{key: key, rid: storage.RID{Page: pg.ID(), Slot: slot}, idx: entryIdx})
+		entryIdx++
+	})
 
 	// --- Probe phase -------------------------------------------------
 	probeRt := e.rt[rkHashProbe]
 	matchPC := probeRt.Addr + uint64(probeRt.CodeBytes) - 8
-	for _, pid := range probe.Table.Heap.PageIDs() {
-		pg := pool.Get(pid)
-		e.rt[rkPageNext].InvokeBuf(buf)
-		buf.Load(pg.HeaderAddr(), 16)
-		for s := 0; s < pg.NumRecords(); s++ {
-			slot := uint16(s)
-			e.rt[rkScanNext].InvokeBuf(buf)
-			pg.TouchRecord(buf, slot, probeCol, probe.FilterCol)
-			e.deformat(buf, pg, 2)
-			if probe.HasFilter {
-				qual.InvokeBuf(buf)
-				v := pg.Field(slot, probe.FilterCol)
-				if ok := v >= probe.Lo && v < probe.Hi; !ok {
-					buf.Branch(qualPC, qualPC+96, true)
-					buf.RecordProcessed()
-					continue
-				}
-				buf.Branch(qualPC, qualPC+96, false)
-			}
-			key := pg.Field(slot, probeCol)
-			probeRt.InvokeBuf(buf)
-			b := uint64(hash32(key)) & bucketMask
-			buf.Load(workspaceBase+b*hashBucketBytes, hashBucketBytes)
-			chain := table[key]
-			// Walk the chain entries; the key-compare branch outcome
-			// depends on data, so it retires as an architectural
-			// branch per entry.
-			for _, ent := range chain {
-				buf.Load(entriesBase+uint64(ent.idx)*hashEntryBytes, hashEntryBytes)
-				buf.Branch(matchPC, matchPC+64, true)
-				e.rt[rkJoinMatch].InvokeBuf(buf)
-				// Verify against the build-side record (random access
-				// into the build heap) and aggregate.
-				bpg := pool.Get(ent.rid.Page)
-				bpg.TouchRecord(buf, ent.rid.Slot, buildCol)
-				switch {
-				case readsOuter:
-					buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
-					agg.add(pg.Field(slot, aggCol))
-				case readsInner:
-					buf.Load(bpg.FieldAddr(ent.rid.Slot, aggCol), storage.FieldSize)
-					agg.add(bpg.Field(ent.rid.Slot, aggCol))
-				default:
-					agg.addCount()
-				}
-			}
-			if len(chain) == 0 {
-				buf.Branch(matchPC, matchPC+64, false)
-			}
+	e.scanEmit(buf, probe, []int{probeCol, probe.FilterCol}, func(pg *storage.Page, slot uint16, matched bool) {
+		if !matched {
 			buf.RecordProcessed()
+			return
 		}
-	}
+		key := pg.Field(slot, probeCol)
+		probeRt.InvokeBuf(buf)
+		b := uint64(hash32(key)) & bucketMask
+		buf.Load(workspaceBase+b*hashBucketBytes, hashBucketBytes)
+		chain := table[key]
+		// Walk the chain entries; the key-compare branch outcome
+		// depends on data, so it retires as an architectural
+		// branch per entry.
+		for _, ent := range chain {
+			buf.Load(entriesBase+uint64(ent.idx)*hashEntryBytes, hashEntryBytes)
+			buf.Branch(matchPC, matchPC+64, true)
+			e.rt[rkJoinMatch].InvokeBuf(buf)
+			// Verify against the build-side record (random access
+			// into the build heap) and aggregate.
+			bpg := pool.Get(ent.rid.Page)
+			bpg.TouchRecord(buf, ent.rid.Slot, buildCol)
+			switch {
+			case readsOuter:
+				buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
+				agg.add(pg.Field(slot, aggCol))
+			case readsInner:
+				buf.Load(bpg.FieldAddr(ent.rid.Slot, aggCol), storage.FieldSize)
+				agg.add(bpg.Field(ent.rid.Slot, aggCol))
+			default:
+				agg.addCount()
+			}
+		}
+		if len(chain) == 0 {
+			buf.Branch(matchPC, matchPC+64, false)
+		}
+		buf.RecordProcessed()
+	})
 	return agg.result(), nil
 }
 

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+
+	"wheretime/internal/index"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// runBTreeRange (plan hint sql.HintIndexOnly) answers a range
+// aggregate from the B+-tree alone: one root-to-leaf descent to the
+// start of the range, then a walk along the leaf chain — the pure
+// index access pattern, a handful of random node jumps followed by
+// strictly sequential leaf reads, with no heap page fetched at any
+// point. Only aggregates the leaves can answer qualify: COUNT(*), or
+// an aggregate over the indexed column itself. One RecordProcessed
+// fires per selected entry, the same per-selected-record denominator
+// as the indexed range selection.
+func (e *Engine) runBTreeRange(p *sql.Plan, buf *trace.Buffer) (Result, error) {
+	if p.IsJoin() {
+		return Result{}, fmt.Errorf("engine: %s hint on a join plan", p.Hint)
+	}
+	acc := p.Outer
+	t := acc.Table
+	if !acc.HasFilter {
+		return Result{}, fmt.Errorf("engine: %s scan needs a range predicate", p.Hint)
+	}
+	tree := t.Indexes[acc.FilterCol]
+	if tree == nil {
+		return Result{}, fmt.Errorf("engine: plan wants an index on %s column %d but none exists",
+			t.Name, acc.FilterCol)
+	}
+	indexOnly := p.CountAll || (p.AggTable == t && p.AggCol == acc.FilterCol)
+	if !indexOnly {
+		return Result{}, fmt.Errorf("engine: %s scan cannot compute an aggregate over a non-indexed column", p.Hint)
+	}
+	agg := newAggState(p.Agg)
+
+	leaf := e.rt[rkIdxLeafNext]
+	accum := e.rt[rkAggAccum]
+
+	tree.RangeTrace(acc.Lo, acc.Hi,
+		e.descentEmit(buf),
+		func(key int32, rid storage.RID, pos index.LeafPos) bool {
+			leaf.InvokeBuf(buf)
+			buf.Load(pos.Addr+32+uint64(pos.Index)*idxLeafEntryBytes, idxLeafEntryBytes)
+			accum.InvokeBuf(buf)
+			if p.CountAll {
+				agg.addCount()
+			} else {
+				agg.add(key)
+			}
+			buf.RecordProcessed()
+			return true
+		})
+	return agg.result(), nil
+}

@@ -61,6 +61,21 @@ const (
 	// occupies address space between hot routines.
 	rkColdPath
 
+	// The scenario operators below are appended after rkColdPath so
+	// their routines place after every original one: adding them moved
+	// no existing routine's address, keeping the original experiments'
+	// event streams byte-identical.
+
+	// rkPartition runs per record hash-partitioned in a Grace join's
+	// partition phase: hash, output-buffer append, spill bookkeeping.
+	rkPartition
+	// rkSortRun runs per qualifying record during sort run generation:
+	// entry formatting and insertion into the in-memory run.
+	rkSortRun
+	// rkSortMerge runs per record merged: loser-tree comparison and
+	// winner advance of the multi-way merge.
+	rkSortMerge
+
 	numRoutineKinds
 )
 
@@ -71,6 +86,7 @@ func (k RoutineKind) String() string {
 		"idx_descend", "idx_leaf_next", "rid_fetch", "hash_build",
 		"hash_probe", "join_match", "txn_begin", "txn_commit",
 		"lock_acquire", "log_write", "update_field", "field_iter", "cold_path",
+		"partition", "sort_run", "sort_merge",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -120,6 +136,12 @@ var routineBases = [numRoutineKinds]routineBase{
 	rkUpdateField: {instrs: 1100, bodyBytes: 12 * 1024, privBytes: 1024, ilpMult: 2.2},
 	rkFieldIter:   {instrs: 1400, bodyBytes: 16 * 1024, privBytes: 1024},
 	rkColdPath:    {instrs: 6000, bodyBytes: 24 * 1024, privBytes: 0},
+	// Scenario operators. Partitioning is a short hash-and-copy path;
+	// run generation is comparable to hash build; the merge inner loop
+	// branches on key comparisons (data values), like aggregation.
+	rkPartition: {instrs: 1000, bodyBytes: 12 * 1024, privBytes: 2048},
+	rkSortRun:   {instrs: 1300, bodyBytes: 14 * 1024, privBytes: 2048},
+	rkSortMerge: {instrs: 1500, bodyBytes: 14 * 1024, privBytes: 1536, irrMult: 4},
 }
 
 // buildRoutines lays out one routine per kind according to the

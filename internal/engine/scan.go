@@ -20,45 +20,38 @@ func (e *Engine) runSeqScan(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	aggCol := p.AggCol
 	readsAggCol := !p.CountAll && p.AggTable == t
 
-	// The data-dependent predicate branch lives at a fixed site near
-	// the end of the qualification routine.
-	qual := e.rt[rkQualEval]
-	qualPC := qual.Addr + uint64(qual.CodeBytes) - 8
+	e.scanEmit(buf, acc, []int{acc.FilterCol}, func(pg *storage.Page, slot uint16, matched bool) {
+		if matched {
+			e.rt[rkAggAccum].InvokeBuf(buf)
+			if readsAggCol {
+				buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
+				agg.add(pg.Field(slot, aggCol))
+			} else {
+				agg.addCount()
+			}
+		}
+		buf.RecordProcessed()
+	})
+	return agg.result(), nil
+}
 
-	pool := e.cat.Pool()
-	for _, pid := range t.Heap.PageIDs() {
-		pg := pool.Get(pid)
-		e.rt[rkPageNext].InvokeBuf(buf)
-		buf.Load(pg.HeaderAddr(), 16)
-		n := pg.NumRecords()
-		for s := 0; s < n; s++ {
-			slot := uint16(s)
-			e.rt[rkScanNext].InvokeBuf(buf)
-			// Materialise the record (row stores copy the whole
-			// record; PAX touches the needed columns).
-			pg.TouchRecord(buf, slot, acc.FilterCol)
-			e.deformat(buf, pg, 2)
-			matched := true
-			if acc.HasFilter {
-				qual.InvokeBuf(buf)
-				v := pg.Field(slot, acc.FilterCol)
-				matched = v >= acc.Lo && v < acc.Hi
-				// Taken means "record rejected, skip the aggregate".
-				buf.Branch(qualPC, qualPC+96, !matched)
-			}
-			if matched {
-				e.rt[rkAggAccum].InvokeBuf(buf)
-				if readsAggCol {
-					buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
-					agg.add(pg.Field(slot, aggCol))
-				} else {
-					agg.addCount()
-				}
-			}
-			buf.RecordProcessed()
+// idxLeafEntryBytes is one leaf entry: 4-byte key + 8-byte RID.
+const idxLeafEntryBytes = 12
+
+// descentEmit returns the per-level visitor of a B+-tree descent: one
+// rkIdxDescend invocation per node, with the binary search touching
+// log2(keys) positions spread through the node page. Both index
+// operators (RID-fetching selection and index-only range scan) share
+// this one definition of the descent cost.
+func (e *Engine) descentEmit(buf *trace.Buffer) func(index.DescentStep) {
+	return func(step index.DescentStep) {
+		e.rt[rkIdxDescend].InvokeBuf(buf)
+		span := uint64(storage.PageSize)
+		for i := 0; i < step.KeysInspected; i++ {
+			span >>= 1
+			buf.Load(step.Addr+span, storage.FieldSize)
 		}
 	}
-	return agg.result(), nil
 }
 
 // runIndexScan executes query (1) through the non-clustered B+-tree:
@@ -78,23 +71,13 @@ func (e *Engine) runIndexScan(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	aggCol := p.AggCol
 	readsAggCol := !p.CountAll && p.AggTable == t
 
-	const entryBytes = 12 // 4-byte key + 8-byte RID in the leaf
 	pool := e.cat.Pool()
 
 	tree.RangeTrace(acc.Lo, acc.Hi,
-		func(step index.DescentStep) {
-			// One node visit per level: the binary search touches
-			// log2(keys) positions spread through the node page.
-			e.rt[rkIdxDescend].InvokeBuf(buf)
-			span := uint64(storage.PageSize)
-			for i := 0; i < step.KeysInspected; i++ {
-				span >>= 1
-				buf.Load(step.Addr+span, storage.FieldSize)
-			}
-		},
+		e.descentEmit(buf),
 		func(key int32, rid storage.RID, pos index.LeafPos) bool {
 			e.rt[rkIdxLeafNext].InvokeBuf(buf)
-			buf.Load(pos.Addr+32+uint64(pos.Index)*entryBytes, entryBytes)
+			buf.Load(pos.Addr+32+uint64(pos.Index)*idxLeafEntryBytes, idxLeafEntryBytes)
 
 			// Materialise the record: buffer-pool lookup, page fix,
 			// slot dereference — a random page access for a

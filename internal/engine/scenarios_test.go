@@ -1,0 +1,197 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+)
+
+// The scenario operators must be drop-in access-path replacements:
+// identical results to the default operators over the same SQL, new
+// access patterns in the emitted stream, and the same
+// pure-function-of-the-plan determinism the record/replay engine
+// depends on.
+
+// prepareHinted plans a query with an explicit operator hint.
+func prepareHinted(t *testing.T, db *workload.Database, query string, hint sql.Hint, useIndex bool) *sql.Plan {
+	t.Helper()
+	plan, err := sql.Prepare(db.Catalog, query, sql.PlanOptions{UseIndex: useIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Hint = hint
+	return plan
+}
+
+func TestGraceJoinMatchesHashJoin(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	q := db.Dims.QuerySJ()
+
+	base, err := e.Query(q, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetState()
+	grace, err := e.Run(prepareHinted(t, db, db.Dims.QueryGHJ(), sql.HintGraceJoin, true), trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grace.Rows != base.Rows {
+		t.Errorf("grace join rows = %d, in-memory join rows = %d", grace.Rows, base.Rows)
+	}
+	if math.Abs(grace.Value-base.Value) > 1e-9 {
+		t.Errorf("grace join avg = %v, in-memory join avg = %v", grace.Value, base.Value)
+	}
+	if base.Rows == 0 {
+		t.Fatal("join should produce matches")
+	}
+}
+
+func TestSortAggMatchesSeqScan(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemC, db.Catalog)
+	for _, sel := range []float64{0.02, 0.10, 0.50} {
+		q := db.Dims.QuerySAG(sel)
+		plan, err := sql.Prepare(db.Catalog, q, sql.PlanOptions{UseIndex: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.ResetState()
+		base, err := e.Run(plan, trace.Discard{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.ResetState()
+		sorted, err := e.Run(prepareHinted(t, db, q, sql.HintSortAgg, false), trace.Discard{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sorted.Rows != base.Rows || math.Abs(sorted.Value-base.Value) > 1e-9 {
+			t.Errorf("sel %.2f: sort-agg (%v, %d rows) != seq scan (%v, %d rows)",
+				sel, sorted.Value, sorted.Rows, base.Value, base.Rows)
+		}
+	}
+}
+
+func TestBTreeRangeCount(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	lo, hi := db.Dims.SelectivityBounds(0.10)
+	_, want := referenceAvg(db, lo, hi)
+	res, err := e.Run(prepareHinted(t, db, db.Dims.QueryBRS(0.10), sql.HintIndexOnly, true), trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != want || uint64(res.Value) != want {
+		t.Errorf("index-only count = (%v, %d rows), reference count = %d", res.Value, res.Rows, want)
+	}
+	if want == 0 {
+		t.Fatal("range should select some entries")
+	}
+}
+
+// heapWatcher records whether any data access landed inside the
+// buffer-pool's data pages, [lo, hi). Index nodes live in their own
+// region far above the data pages, so this isolates heap record
+// fetches.
+type heapWatcher struct {
+	trace.Counting
+	lo, hi      uint64
+	heapTouches int
+}
+
+func (w *heapWatcher) Load(addr uint64, size uint32) {
+	if addr >= w.lo && addr < w.hi {
+		w.heapTouches++
+	}
+	w.Counting.Load(addr, size)
+}
+
+func (w *heapWatcher) Store(addr uint64, size uint32) {
+	if addr >= w.lo && addr < w.hi {
+		w.heapTouches++
+	}
+	w.Counting.Store(addr, size)
+}
+
+// TestBTreeRangeTouchesNoHeap pins the scenario's defining property:
+// the index-only scan answers entirely from B-tree nodes — not one
+// load or store lands in a heap data page.
+func TestBTreeRangeTouchesNoHeap(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	w := heapWatcher{
+		lo: trace.HeapBase,
+		hi: trace.HeapBase + uint64(db.Catalog.Pool().NumPages())*storage.PageSize,
+	}
+	res, err := e.Run(prepareHinted(t, db, db.Dims.QueryBRS(0.20), sql.HintIndexOnly, true), trace.Unbatched{Processor: &w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows == 0 {
+		t.Fatal("scan selected nothing")
+	}
+	if w.heapTouches != 0 {
+		t.Errorf("index-only scan touched the heap %d times", w.heapTouches)
+	}
+	if w.Loads == 0 {
+		t.Error("scan emitted no loads at all")
+	}
+}
+
+// TestScenarioStreamsDeterministic pins the record/replay contract for
+// the new operators: from reset engine state, two executions of the
+// same hinted plan emit streams with identical event tallies.
+func TestScenarioStreamsDeterministic(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	cases := []struct {
+		name string
+		plan *sql.Plan
+	}{
+		{"grace", prepareHinted(t, db, db.Dims.QueryGHJ(), sql.HintGraceJoin, true)},
+		{"sortagg", prepareHinted(t, db, db.Dims.QuerySAG(0.10), sql.HintSortAgg, false)},
+		{"btree", prepareHinted(t, db, db.Dims.QueryBRS(0.10), sql.HintIndexOnly, true)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a, b trace.Counting
+			e.ResetState()
+			if _, err := e.Run(tc.plan, &a); err != nil {
+				t.Fatal(err)
+			}
+			e.ResetState()
+			if _, err := e.Run(tc.plan, &b); err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("two reset runs emitted different streams:\n first %+v\nsecond %+v", a, b)
+			}
+			if a.Loads == 0 || a.Branches == 0 || a.Records == 0 {
+				t.Errorf("stream looks empty: %+v", a)
+			}
+		})
+	}
+}
+
+// TestHintValidation pins the dispatch errors: a hint on the wrong
+// plan shape must fail loudly, not silently fall back.
+func TestHintValidation(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	if _, err := e.Run(prepareHinted(t, db, db.Dims.QuerySRS(0.10), sql.HintGraceJoin, false), trace.Discard{}); err == nil {
+		t.Error("grace hint on a single-table plan should fail")
+	}
+	if _, err := e.Run(prepareHinted(t, db, db.Dims.QuerySJ(), sql.HintSortAgg, false), trace.Discard{}); err == nil {
+		t.Error("sort-agg hint on a join plan should fail")
+	}
+	if _, err := e.Run(prepareHinted(t, db, db.Dims.QuerySRS(0.10), sql.HintIndexOnly, false), trace.Discard{}); err == nil {
+		t.Error("index-only hint on a non-indexed aggregate (avg over a3) should fail")
+	}
+}

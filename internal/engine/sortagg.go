@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// The sort-based aggregation (plan hint sql.HintSortAgg) executes a
+// single-table aggregate the way a sort-group engine would: qualifying
+// records are formatted into fixed-size (key, value) entries and
+// written sequentially into working-set-sized runs; full runs are
+// sorted in place; the runs then merge in multi-way passes — the
+// characteristic sequential-with-strided-merge access pattern, reading
+// round-robin across the merge fan-in while writing one sequential
+// output — and the final pass feeds the aggregate. The result is
+// identical to the sequential scan's: ordering never changes an
+// avg/sum/count/min/max.
+
+// Simulated sort geometry.
+const (
+	// sortEntryBytes is one run entry: sort key, carried aggregate
+	// value, padding to a power-of-two stride.
+	sortEntryBytes = 16
+	// sortRunCap is the entries per generated run, sized so a run is a
+	// 64KB working set (L2-resident while it is sorted).
+	sortRunCap = 64 * 1024 / sortEntryBytes
+	// sortMergeFanIn is the merge width of one pass.
+	sortMergeFanIn = 8
+	// sortRegionStride separates the two ping-pong merge regions: runs
+	// of one pass are read from one region while the merged output is
+	// written sequentially into the other.
+	sortRegionStride = 1 << 30
+)
+
+// sortEntry is one (sort key, aggregate value) pair in a run.
+type sortEntry struct {
+	key int32
+	val int32
+	// seq breaks key ties with input order, keeping the sort total and
+	// the emitted comparison outcomes deterministic.
+	seq uint32
+}
+
+// sortRun is one run: its entries and its base entry offset within its
+// ping-pong region (runs of a pass are laid out back to back).
+type sortRun struct {
+	ents []sortEntry
+	base uint64
+}
+
+// addr returns the simulated address of entry i of the run in region
+// side (0 or 1).
+func (r *sortRun) addr(side, i uint64) uint64 {
+	return workspaceBase + side*sortRegionStride + (r.base+i)*sortEntryBytes
+}
+
+// log2int returns ceil(log2(n)) for n >= 1, at least 1.
+func log2int(n int) int {
+	k := 1
+	for v := n - 1; v > 1; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// closeRun sorts a filled run in place, emitting the in-memory sort's
+// hardware behaviour: log2(n) invocation-equivalents of rkSortRun
+// instruction work (one per quicksort level — the bulk of the
+// per-comparison cost was already charged at insertion, which
+// rkSortRun's per-entry invocation models), and one read-compare-write
+// pass of address traffic over the run. Deeper levels' repeated
+// traffic is deliberately elided: the run is sized to fit the L2, so
+// re-touches past the first pass hit by construction.
+func (e *Engine) closeRun(buf *trace.Buffer, r *sortRun) {
+	n := len(r.ents)
+	if n <= 1 {
+		return
+	}
+	srt := e.rt[rkSortRun]
+	cmpPC := srt.Addr + uint64(srt.CodeBytes) - 8
+	srt.InvokeFracBuf(buf, uint32(log2int(n)), 1)
+	for i := 0; i < n; i++ {
+		a := r.addr(0, uint64(i))
+		buf.Load(a, sortEntryBytes)
+		// The comparison branch retires with a data-dependent outcome:
+		// whether this entry is already in order relative to its
+		// neighbour.
+		taken := i > 0 && r.ents[i-1].key > r.ents[i].key
+		buf.Branch(cmpPC, cmpPC+48, taken)
+		buf.Store(a, sortEntryBytes)
+	}
+	sort.Slice(r.ents, func(a, b int) bool {
+		if r.ents[a].key != r.ents[b].key {
+			return r.ents[a].key < r.ents[b].key
+		}
+		return r.ents[a].seq < r.ents[b].seq
+	})
+}
+
+// mergeRuns merges up to sortMergeFanIn source runs from region side
+// into one output run based at outBase in the other region, emitting
+// the strided merge pattern: each output entry costs one rkSortMerge
+// invocation, one load from the winning source run (reads stride
+// across the fan-in's run buffers in key order), one data-dependent
+// winner-change branch, and one sequential output store.
+func (e *Engine) mergeRuns(buf *trace.Buffer, runs []*sortRun, side, outBase uint64) *sortRun {
+	mrt := e.rt[rkSortMerge]
+	winPC := mrt.Addr + uint64(mrt.CodeBytes) - 8
+	cursors := make([]int, len(runs))
+	out := &sortRun{base: outBase}
+	last := -1
+	for {
+		win := -1
+		for i, r := range runs {
+			if cursors[i] >= len(r.ents) {
+				continue
+			}
+			if win < 0 {
+				win = i
+				continue
+			}
+			a, b := r.ents[cursors[i]], runs[win].ents[cursors[win]]
+			if a.key < b.key || (a.key == b.key && a.seq < b.seq) {
+				win = i
+			}
+		}
+		if win < 0 {
+			return out
+		}
+		mrt.InvokeBuf(buf)
+		buf.Load(runs[win].addr(side, uint64(cursors[win])), sortEntryBytes)
+		buf.Branch(winPC, winPC+48, win != last)
+		buf.Store(out.addr(1-side, uint64(len(out.ents))), sortEntryBytes)
+		out.ents = append(out.ents, runs[win].ents[cursors[win]])
+		last = win
+		cursors[win]++
+	}
+}
+
+// runSortAgg executes a single-table aggregate plan by external sort.
+func (e *Engine) runSortAgg(p *sql.Plan, buf *trace.Buffer) (Result, error) {
+	if p.IsJoin() {
+		return Result{}, fmt.Errorf("engine: %s hint on a join plan", p.Hint)
+	}
+	acc := p.Outer
+	t := acc.Table
+	agg := newAggState(p.Agg)
+	aggCol := p.AggCol
+	readsAggCol := !p.CountAll && p.AggTable == t
+
+	srt := e.rt[rkSortRun]
+
+	// --- Run generation ----------------------------------------------
+	// The scan emission is the shared protocol (scanEmit — identical to
+	// the sequential scan's); qualifying records additionally format a
+	// sort entry and append it to the current run, a sequential write
+	// into region 0.
+	var runs []*sortRun
+	run := &sortRun{ents: make([]sortEntry, 0, sortRunCap)}
+	var seq uint32
+	e.scanEmit(buf, acc, []int{acc.FilterCol}, func(pg *storage.Page, slot uint16, matched bool) {
+		if matched {
+			srt.InvokeBuf(buf)
+			ent := sortEntry{seq: seq}
+			if acc.HasFilter {
+				ent.key = pg.Field(slot, acc.FilterCol)
+			}
+			if readsAggCol {
+				buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
+				ent.val = pg.Field(slot, aggCol)
+			}
+			seq++
+			buf.Store(run.addr(0, uint64(len(run.ents))), sortEntryBytes)
+			run.ents = append(run.ents, ent)
+			if len(run.ents) == sortRunCap {
+				e.closeRun(buf, run)
+				runs = append(runs, run)
+				run = &sortRun{ents: make([]sortEntry, 0, sortRunCap), base: uint64(seq)}
+			}
+		}
+		buf.RecordProcessed()
+	})
+	if len(run.ents) > 0 {
+		e.closeRun(buf, run)
+		runs = append(runs, run)
+	}
+
+	// --- Merge passes ------------------------------------------------
+	side := uint64(0)
+	for len(runs) > 1 {
+		var next []*sortRun
+		var outBase uint64
+		for g := 0; g < len(runs); g += sortMergeFanIn {
+			end := g + sortMergeFanIn
+			if end > len(runs) {
+				end = len(runs)
+			}
+			merged := e.mergeRuns(buf, runs[g:end], side, outBase)
+			outBase += uint64(len(merged.ents))
+			next = append(next, merged)
+		}
+		runs = next
+		side = 1 - side
+	}
+
+	// --- Aggregation over the sorted run -----------------------------
+	art := e.rt[rkAggAccum]
+	if len(runs) == 1 {
+		final := runs[0]
+		for i, ent := range final.ents {
+			art.InvokeBuf(buf)
+			buf.Load(final.addr(side, uint64(i)), sortEntryBytes)
+			if readsAggCol {
+				agg.add(ent.val)
+			} else {
+				agg.addCount()
+			}
+		}
+	}
+	return agg.result(), nil
+}

@@ -49,6 +49,9 @@ func Experiments() []Experiment {
 		{Name: "fig5.7", Paper: "Figure 5.7: cache stall breakdown, SRS vs TPC-D", Cells: tpcdGridCells, Render: fig57Render},
 		{Name: "recsize", Paper: "Section 5.2.1-5.2.2: record size sweep", Cells: recordSizeCells, Render: recordSizeRender},
 		{Name: "tpcc", Paper: "Section 5.5: TPC-C behaviour", Cells: tpccCells, Render: tpccRender},
+		{Name: "ghj", Paper: "Scenario: Grace/hybrid hash join breakdown", Cells: scenarioCells(GHJ), Render: scenarioRender(GHJ)},
+		{Name: "sortagg", Paper: "Scenario: sort-based aggregation breakdown", Cells: scenarioCells(SAG), Render: scenarioRender(SAG)},
+		{Name: "btree", Paper: "Scenario: B-tree range scan breakdown", Cells: scenarioCells(BRS), Render: scenarioRender(BRS)},
 		{Name: "claims", Paper: "Section 1/5: headline claims check", Cells: claimsCells, Render: claimsRender},
 	}
 }
@@ -67,13 +70,23 @@ func Find(name string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", name, strings.Join(names, ", "))
 }
 
-// allQueries lists the query kinds in paper order.
+// allQueries lists the paper's query kinds in paper order (the
+// original figures render exactly these; the scenario kinds get their
+// own experiments).
 var allQueries = []QueryKind{SRS, IRS, SJ}
 
+// scenarioQueries lists the scenario kinds added on top of the paper's
+// set, in registry order.
+var scenarioQueries = []QueryKind{GHJ, SAG, BRS}
+
 // validMicro reports whether (s, q) is a measurable combination:
-// System A skips IRS because it does not use the index (Section 5.1).
+// System A skips the index-based kinds (IRS, BRS) because it does not
+// use the index (Section 5.1).
 func validMicro(s engine.System, q QueryKind) bool {
-	return q != IRS || engine.DefaultProfile(s).UseIndex
+	if q == IRS || q == BRS {
+		return engine.DefaultProfile(s).UseIndex
+	}
+	return true
 }
 
 // microGridCells emits the full (query, system) microbenchmark grid at
@@ -140,6 +153,84 @@ func tpccCells(opts Options) []CellSpec {
 		specs = append(specs, CellSpec{Kind: CellTPCC, System: s, Txns: tpccTxns, Config: opts.Config})
 	}
 	return specs
+}
+
+// scenarioLongName spells out a scenario kind for table titles.
+func scenarioLongName(q QueryKind) string {
+	switch q {
+	case GHJ:
+		return "Grace/hybrid hash join"
+	case SAG:
+		return "sort-based aggregation"
+	case BRS:
+		return "B-tree range scan"
+	default:
+		return q.String()
+	}
+}
+
+// scenarioCells emits one microbenchmark cell per valid system for a
+// scenario query kind. Scenario cells are ordinary CellMicro specs, so
+// they dedupe, gang, record/replay and parallelise exactly like the
+// paper's cells.
+func scenarioCells(q QueryKind) func(opts Options) []CellSpec {
+	return func(opts Options) []CellSpec {
+		var specs []CellSpec
+		for _, s := range engine.Systems() {
+			if !validMicro(s, q) {
+				continue
+			}
+			specs = append(specs, microCell(opts, s, q))
+		}
+		return specs
+	}
+}
+
+// scenarioRender renders a scenario's paper-style tables: the
+// execution-time breakdown (with CPI and instructions per record) and
+// the memory-stall breakdown, one row per system.
+func scenarioRender(q QueryKind) func(opts Options, res *Results) ([]Table, error) {
+	return func(opts Options, res *Results) ([]Table, error) {
+		exec := Table{
+			Title:  fmt.Sprintf("Scenario %s (%s): execution time breakdown (%%)", q, scenarioLongName(q)),
+			Header: []string{"System", "CPI", "Computation", "Memory", "Branch mispred", "Resource", "Instr/rec"},
+		}
+		mem := Table{
+			Title:  fmt.Sprintf("Scenario %s (%s): memory stall breakdown (%% of TM)", q, scenarioLongName(q)),
+			Header: []string{"System", "L1D", "L1I", "L2D", "L2I", "ITLB"},
+		}
+		switch q {
+		case GHJ:
+			exec.Note = "Per record of R (the probe input), partition and join phases included."
+		case SAG:
+			exec.Note = "Per record of R; run generation, merge passes and final aggregation included."
+		case BRS:
+			exec.Note = "Per selected entry; index-only — no heap page is touched. System A omitted (no index, Section 5.1)."
+		}
+		for _, s := range engine.Systems() {
+			if !validMicro(s, q) {
+				continue
+			}
+			cell, err := res.Get(microCell(opts, s, q))
+			if err != nil {
+				return nil, err
+			}
+			b := cell.Breakdown
+			exec.AddRow(s.String(), f2(b.CPI()),
+				pct(b.GroupPercent(core.GroupComputation)),
+				pct(b.GroupPercent(core.GroupMemory)),
+				pct(b.GroupPercent(core.GroupBranch)),
+				pct(b.GroupPercent(core.GroupResource)),
+				num(b.InstructionsPerRecord()))
+			mem.AddRow(s.String(),
+				pct(b.MemoryPercent(core.TL1D)),
+				pct(b.MemoryPercent(core.TL1I)),
+				pct(b.MemoryPercent(core.TL2D)),
+				pct(b.MemoryPercent(core.TL2I)),
+				pct(b.MemoryPercent(core.TITLB)))
+		}
+		return []Table{exec, mem}, nil
+	}
 }
 
 // Fig51 regenerates the execution time breakdown: one table per query,

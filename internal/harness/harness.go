@@ -16,10 +16,13 @@ import (
 	"wheretime/internal/xeon"
 )
 
-// QueryKind names the three microbenchmark queries of Section 3.3.
+// QueryKind names the microbenchmark queries: the three of Section 3.3
+// plus the scenario operators added on top of the paper's set, each a
+// distinct access pattern through the same trace pipeline.
 type QueryKind int
 
-// The workload queries, with the paper's abbreviations.
+// The workload queries. The first three use the paper's
+// abbreviations; the scenario kinds extend the set.
 const (
 	// SRS is the sequential range selection.
 	SRS QueryKind = iota
@@ -27,9 +30,23 @@ const (
 	IRS
 	// SJ is the sequential join.
 	SJ
+	// GHJ is the Grace/hybrid hash join: both join inputs are
+	// hash-partitioned to partition-sized working sets, then each
+	// partition pair is joined through a reused in-memory table —
+	// hash-bucket random access confined to partition-sized regions.
+	GHJ
+	// SAG is the sort-based aggregation: run generation over the
+	// qualifying records, multi-way merge passes (sequential reads
+	// strided across the merge fan-in), aggregation over the final
+	// run.
+	SAG
+	// BRS is the B-tree range scan: root-to-leaf descent, then a
+	// leaf-chain walk answering a COUNT(*) from the index alone — no
+	// heap record is ever fetched.
+	BRS
 )
 
-// String returns the paper's abbreviation.
+// String returns the query's abbreviation.
 func (q QueryKind) String() string {
 	switch q {
 	case SRS:
@@ -38,6 +55,12 @@ func (q QueryKind) String() string {
 		return "IRS"
 	case SJ:
 		return "SJ"
+	case GHJ:
+		return "GHJ"
+	case SAG:
+		return "SAG"
+	case BRS:
+		return "BRS"
 	default:
 		return fmt.Sprintf("QueryKind(%d)", int(q))
 	}
@@ -221,8 +244,8 @@ func (env *Env) database(s engine.System) *workload.Database {
 func (env *Env) Engine(s engine.System) *engine.Engine { return env.engines[s] }
 
 // queryFor returns the SQL and plan for a (system, query) pair, and
-// whether the pair is valid (System A skips IRS: it does not use the
-// index, Section 5.1).
+// whether the pair is valid (System A skips the index-based kinds IRS
+// and BRS: it does not use the index, Section 5.1).
 func (env *Env) queryFor(s engine.System, q QueryKind) (string, bool) {
 	switch q {
 	case SRS:
@@ -234,21 +257,46 @@ func (env *Env) queryFor(s engine.System, q QueryKind) (string, bool) {
 		return env.Dims.QueryIRS(env.Opts.Selectivity), true
 	case SJ:
 		return env.Dims.QuerySJ(), true
+	case GHJ:
+		return env.Dims.QueryGHJ(), true
+	case SAG:
+		return env.Dims.QuerySAG(env.Opts.Selectivity), true
+	case BRS:
+		if !engine.DefaultProfile(s).UseIndex {
+			return "", false
+		}
+		return env.Dims.QueryBRS(env.Opts.Selectivity), true
 	default:
 		return "", false
 	}
 }
 
 // planFor builds the plan with the right physical choice for the
-// query kind: SRS forces a sequential scan even on systems whose
-// planner would pick the index, matching the paper's protocol of
-// running query (1) before the index exists.
+// query kind: SRS (and SAG, which sorts the scan's output) forces a
+// sequential scan even on systems whose planner would pick the index,
+// matching the paper's protocol of running query (1) before the index
+// exists, and the scenario kinds pin their operator with a plan hint.
 func (env *Env) planFor(s engine.System, q QueryKind, query string) (*sql.Plan, error) {
 	opts := env.engines[s].PlanOptions()
-	if q == SRS {
+	switch q {
+	case SRS, SAG:
 		opts.UseIndex = false
+	case BRS:
+		opts.UseIndex = true
 	}
-	return sql.Prepare(env.database(s).Catalog, query, opts)
+	plan, err := sql.Prepare(env.database(s).Catalog, query, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch q {
+	case GHJ:
+		plan.Hint = sql.HintGraceJoin
+	case SAG:
+		plan.Hint = sql.HintSortAgg
+	case BRS:
+		plan.Hint = sql.HintIndexOnly
+	}
+	return plan, nil
 }
 
 // Run measures one (system, query) cell: warm-up runs, counter reset,
@@ -379,10 +427,11 @@ func (env *Env) run(s engine.System, q QueryKind, cfg xeon.Config) (Cell, error)
 	return finishCell(s, q, q.String(), pipe, res)
 }
 
-// RunAll measures every valid (system, query) cell.
+// RunAll measures every valid (system, query) cell, scenario kinds
+// included.
 func (env *Env) RunAll() ([]Cell, error) {
 	var cells []Cell
-	for _, q := range []QueryKind{SRS, IRS, SJ} {
+	for _, q := range append(append([]QueryKind{}, allQueries...), scenarioQueries...) {
 		for _, s := range engine.Systems() {
 			if _, ok := env.queryFor(s, q); !ok {
 				continue

@@ -56,9 +56,9 @@ func TestRunProducesValidBreakdowns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 systems x SRS + 3 x IRS + 4 x SJ = 11 cells.
-	if len(cells) != 11 {
-		t.Fatalf("got %d cells, want 11", len(cells))
+	// 4 systems x (SRS, SJ, GHJ, SAG) + 3 x (IRS, BRS) = 22 cells.
+	if len(cells) != 22 {
+		t.Fatalf("got %d cells, want 22", len(cells))
 	}
 	for _, c := range cells {
 		if err := c.Breakdown.Validate(); err != nil {
@@ -123,7 +123,7 @@ func TestQueryResultsAgreeAcrossSystems(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
+	if len(exps) != 14 {
 		t.Errorf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}

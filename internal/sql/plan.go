@@ -43,9 +43,53 @@ func (a *TableAccess) Selectivity(min, max int32) float64 {
 	return (hi - lo) / span
 }
 
+// Hint pins a physical operator the planner would not choose on its
+// own. The harness uses hints to measure specific execution scenarios
+// — a partitioned Grace/hybrid hash join, a sort-based aggregation, an
+// index-only B-tree range scan — over the same SQL the default
+// operators run, so operator choice is explicit in the plan rather
+// than implicit in engine state.
+type Hint int
+
+// The physical-operator hints.
+const (
+	// HintNone lets the engine pick its default access path.
+	HintNone Hint = iota
+	// HintGraceJoin executes an equijoin as a Grace/hybrid hash join:
+	// both inputs are hash-partitioned to partition-sized working sets,
+	// then each partition pair is joined in memory.
+	HintGraceJoin
+	// HintSortAgg executes a single-table aggregate by external sort:
+	// run generation over the qualifying records, merge passes, and
+	// aggregation over the final sorted run.
+	HintSortAgg
+	// HintIndexOnly answers a range aggregate from the B-tree alone:
+	// one root-to-leaf descent, then a leaf-chain walk, with no heap
+	// record fetches.
+	HintIndexOnly
+)
+
+// String names the hint.
+func (h Hint) String() string {
+	switch h {
+	case HintNone:
+		return "none"
+	case HintGraceJoin:
+		return "grace-join"
+	case HintSortAgg:
+		return "sort-agg"
+	case HintIndexOnly:
+		return "index-only"
+	default:
+		return fmt.Sprintf("Hint(%d)", int(h))
+	}
+}
+
 // Plan is an executable lowering of a SELECT: an aggregate over a
 // single restricted table, or over an equijoin of two.
 type Plan struct {
+	// Hint pins the physical operator (HintNone = engine default).
+	Hint     Hint
 	Agg      AggFunc
 	CountAll bool // COUNT(*)
 	// AggTable/AggCol locate the aggregated column (unused for

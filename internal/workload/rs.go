@@ -133,3 +133,23 @@ func (d Dims) QueryIRS(sel float64) string { return d.QuerySRS(sel) }
 func (d Dims) QuerySJ() string {
 	return "select avg(r.a3) from r, s where r.a2 = s.a1"
 }
+
+// QueryGHJ returns the SQL of the Grace/hybrid hash join scenario: the
+// same equijoin as QuerySJ, executed with the partitioned operator
+// (plan hint sql.HintGraceJoin) instead of the one-pass in-memory
+// join. The results must be identical; only the access pattern moves.
+func (d Dims) QueryGHJ() string { return d.QuerySJ() }
+
+// QuerySAG returns the SQL of the sort-based aggregation scenario: the
+// same range aggregate as QuerySRS, executed by external sort (run
+// generation plus merge passes, plan hint sql.HintSortAgg) instead of
+// a direct scan-and-accumulate.
+func (d Dims) QuerySAG(sel float64) string { return d.QuerySRS(sel) }
+
+// QueryBRS returns the SQL of the B-tree range scan scenario: a range
+// COUNT(*) the engine answers from the a2 index alone (plan hint
+// sql.HintIndexOnly) — descent plus leaf-chain walk, no heap fetches.
+func (d Dims) QueryBRS(sel float64) string {
+	lo, hi := d.SelectivityBounds(sel)
+	return fmt.Sprintf("select count(*) from r where a2 < %d and a2 > %d", hi, lo)
+}
