@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke scenario-smoke docs-check cover lint fmt golden profile profile-gang bench-json ci
+.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke docs-check cover lint fmt golden profile profile-gang bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,15 @@ replay-smoke:
 gang-smoke:
 	$(GO) test -count=1 -run 'TestGangMatchesSequential|TestGangUsesOneExecution|TestGangDisabledMatchesGoldens' ./internal/harness
 
+# The compression-equivalence smoke: the full golden grid rendered
+# with recorded traces in the columnar compressed arena (the default;
+# TestGoldenFiles), with the raw []Event arena, plus the codec
+# round-trip and fuzz-seed regression tests. Fails if the codec
+# changes a single byte of any figure or loses an event anywhere.
+compress-smoke:
+	$(GO) test -count=1 -run 'TestCodec|FuzzCodecRoundTrip' ./internal/trace
+	$(GO) test -count=1 -run 'TestGoldenFiles|TestCompressionDisabledMatchesGoldens' ./internal/harness
+
 # The new-scenario smoke: the three scenario experiments (Grace hash
 # join, sort-based aggregation, B-tree range scan) rendered against
 # their goldens on their own small grid, plus the result cross-checks
@@ -83,19 +92,28 @@ profile-gang:
 
 # Machine-readable perf record: the grid benchmarks (serial, parallel
 # at 1/2/max workers with the real counts reported, replay-disabled),
-# the gang-vs-sequential platform sweep, the replay-vs-execute
-# comparison, a raw TPC-D pass and the drain microbenchmark, written
-# to BENCH_PR4.json for trajectory tracking. The grid benchmarks build
-# with the committed default.pgo profile — the shipped configuration —
-# so the record measures what a PGO build delivers. Each step is its
-# own recipe line so a failing benchmark run fails the target instead
-# of producing a silently incomplete record.
+# the gang-vs-sequential platform sweep, the replay-vs-execute and
+# compressed-vs-raw-replay comparisons (the latter carries the
+# measured compression ratio), a raw TPC-D pass and the drain
+# microbenchmarks, written to BENCH.json for trajectory tracking
+# (committed as BENCH_PR<n>.json when a PR re-baselines). The grid
+# benchmarks build with the committed default.pgo profile — the
+# shipped configuration — so the record measures what a PGO build
+# delivers. Each step is its own recipe line so a failing benchmark
+# run fails the target instead of producing a silently incomplete
+# record.
 bench-json:
-	$(GO) test -pgo=default.pgo -bench='BenchmarkGridSerial$$|BenchmarkGridSerialNoReplay$$|BenchmarkGridParallel$$|BenchmarkReplayVsExecute|BenchmarkGangSweep$$|BenchmarkTPCDPass$$' \
+	$(GO) test -pgo=default.pgo -bench='BenchmarkGridSerial$$|BenchmarkGridSerialNoReplay$$|BenchmarkGridParallel$$|BenchmarkReplayVsExecute|BenchmarkCompressedReplay|BenchmarkGangSweep$$|BenchmarkTPCDPass$$' \
 		-benchtime=1x -benchmem -run='^$$' . > bench-raw.txt
-	$(GO) test -bench='BenchmarkProcessBatch$$' -benchtime=3x -benchmem -run='^$$' ./internal/xeon >> bench-raw.txt
-	$(GO) run ./cmd/benchjson < bench-raw.txt > BENCH_PR4.json
+	$(GO) test -bench='BenchmarkProcessBatch$$|BenchmarkCompressedDrain$$' -benchtime=3x -benchmem -run='^$$' ./internal/xeon >> bench-raw.txt
+	$(GO) run ./cmd/benchjson < bench-raw.txt > BENCH.json
 	rm bench-raw.txt
+
+# The benchmark regression gate the nightly CI runs after bench-json:
+# fails if grid time in the fresh BENCH.json regressed >10% against
+# the committed PR record.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH.json
 
 # Regenerate the golden files after an intentional output change.
 # (The package path precedes -update: go test stops parsing at the
@@ -111,4 +129,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench batch-smoke replay-smoke gang-smoke scenario-smoke docs-check
+ci: lint build race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke docs-check

@@ -14,6 +14,7 @@ import (
 	"wheretime/internal/engine"
 	"wheretime/internal/harness"
 	"wheretime/internal/storage"
+	"wheretime/internal/trace"
 	"wheretime/internal/workload"
 	"wheretime/internal/xeon"
 )
@@ -362,6 +363,57 @@ func BenchmarkReplayVsExecute(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCompressedReplay is the compression-ratio record: it
+// captures the full TPC-C measured mix once per arena layout —
+// columnar-compressed and raw []Event chunks — and replays each into
+// the simulator. The arena_mb/raw_mb/ratio metrics are the measured
+// size trade on a real engine stream (the acceptance bar is >= 4x),
+// and compressed-vs-raw ns/op is what the fused block decode costs on
+// top of the same ProcessBatch hot loop. Together with
+// BenchmarkReplayVsExecute (replay vs re-execution of the same mix)
+// this locates the DRAM-vs-recompute crossover behind
+// harness.DefaultMaxRecordedEvents; docs/PERF.md quotes both.
+func BenchmarkCompressedReplay(b *testing.B) {
+	const txns = 300
+	for _, mode := range []struct {
+		name string
+		raw  bool
+	}{{"compressed", false}, {"raw", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := workload.BuildTPCC(workload.DefaultTPCCDims())
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := engine.New(engine.SystemC, db.Catalog)
+			pipe := xeon.New(xeon.DefaultConfig())
+			rec := trace.NewRecorder(pipe, 0)
+			rec.SetRawArena(mode.raw)
+			buf := trace.NewBuffer(rec, 0)
+			if _, err := workload.RunTPCC(db, e, buf, txns); err != nil {
+				b.Fatal(err)
+			}
+			buf.Flush()
+			r := rec.Recording()
+			if r == nil {
+				b.Fatal("uncapped recorder overflowed")
+			}
+			defer r.Release()
+			b.SetBytes(int64(r.Len()) * trace.EventBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Drain(pipe)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(r.Bytes())/(1<<20), "arena_mb")
+			b.ReportMetric(float64(r.RawBytes())/(1<<20), "raw_mb")
+			b.ReportMetric(float64(r.RawBytes())/float64(r.Bytes()), "ratio")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(r.Len()), "ns/event")
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md section 5) --------------------------------

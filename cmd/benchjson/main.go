@@ -5,11 +5,17 @@
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -benchmem -run='^$' . | go run ./cmd/benchjson > BENCH.json
+//	go run ./cmd/benchjson -compare BENCH_PR6.json BENCH.json
+//
+// -compare reads two records and fails (exit 1) if the fresh run's
+// grid time regressed more than -threshold (default 10%) against the
+// committed record — the nightly CI regression gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -33,7 +39,98 @@ type Record struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// gateBenchmarks are the series the -compare gate checks: the grid
+// regenerating every figure is the product's wall-clock, serial and
+// replay-off (the two stable single-iteration series the record has
+// carried since PR3 — the parallel and gang variants ride the same
+// drain, and the micro series are too noisy at -benchtime=1x to gate
+// on).
+var gateBenchmarks = []string{
+	"BenchmarkGridSerial",
+	"BenchmarkGridSerialNoReplay",
+}
+
 func main() {
+	compare := flag.Bool("compare", false, "compare two BENCH json records (old new) instead of converting stdin")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional grid-time regression for -compare")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two record files (old new)")
+			os.Exit(2)
+		}
+		if err := compareRecords(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	convert()
+}
+
+// readRecord loads one committed or freshly written record.
+func readRecord(path string) (Record, error) {
+	var rec Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func (r Record) find(name string) (Result, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Result{}, false
+}
+
+// compareRecords fails if any gate benchmark present in both records
+// regressed past the threshold. A gate series missing from either
+// record is an error too — a silently vanished benchmark must not
+// read as a pass.
+func compareRecords(oldPath, newPath string, threshold float64) error {
+	oldRec, err := readRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := readRecord(newPath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for _, name := range gateBenchmarks {
+		oldB, okOld := oldRec.find(name)
+		newB, okNew := newRec.find(name)
+		if !okOld || !okNew {
+			return fmt.Errorf("gate benchmark %s missing from %s", name, map[bool]string{false: oldPath, true: newPath}[okOld])
+		}
+		if oldB.NsPerOp <= 0 {
+			return fmt.Errorf("gate benchmark %s has no timing in %s", name, oldPath)
+		}
+		change := newB.NsPerOp/oldB.NsPerOp - 1
+		status := "ok"
+		if change > threshold {
+			status = "REGRESSION"
+			failures = append(failures, name)
+		}
+		fmt.Printf("%-28s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, oldB.NsPerOp, newB.NsPerOp, change*100, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("grid time regressed >%0.f%% vs %s: %s",
+			threshold*100, oldPath, strings.Join(failures, ", "))
+	}
+	return nil
+}
+
+// convert is the original mode: bench text on stdin, JSON on stdout.
+func convert() {
 	rec := Record{Date: time.Now().UTC().Format(time.RFC3339)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

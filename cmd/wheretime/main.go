@@ -74,6 +74,8 @@ func main() {
 		gang        = flag.Bool("gang", true, "gang cells that differ only in platform config into one multi-config drain (off: drain each platform separately, for debugging; output is identical)")
 		parallel    = flag.Int("parallel", harness.DefaultParallelism(), "worker count for the experiment grid (1 = serial)")
 		maxrec      = flag.Int("maxrecorded", 0, "recording cap in events for the record-once/replay-many engine (0 = default, negative disables replay)")
+		compress    = flag.Bool("compress", true, "keep recorded traces in the columnar compressed arena (off: raw []Event chunks, ~8x the memory; output is identical)")
+		cachemb     = flag.Int("cachemb", 0, "per-worker trace-cache budget in MiB of retained (compressed) arena (0 = default)")
 	)
 	flag.Parse()
 
@@ -89,6 +91,8 @@ func main() {
 	opts.Selectivity = *selectivity
 	opts.RecordSize = *recsize
 	opts.MaxRecordedEvents = *maxrec
+	opts.UncompressedArena = !*compress
+	opts.TraceCacheBytes = *cachemb << 20
 	opts.Gang = *gang
 
 	l2s, err := parseIntList("l2kb", *l2kb, opts.Config.L2SizeKB)

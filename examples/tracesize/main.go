@@ -1,0 +1,180 @@
+// Trace size study: record each scenario's event stream once through
+// the columnar codec and report the raw-arena vs compressed-arena
+// footprint — the ratios docs/PERF.md quotes and the size trade
+// behind the raised replay ceiling (see BenchmarkCompressedReplay for
+// the time side).
+//
+//	go run ./examples/tracesize
+//
+// With -corpus it additionally writes the first events of the
+// recorded TPC-C stream in the fuzz wire format (32 LE bytes per
+// event: kind, taken, Size, Addr, Aux, A, B) to seed
+// internal/trace's FuzzCodecRoundTrip:
+//
+//	go run ./examples/tracesize -corpus internal/trace/testdata/tpcc-stream-seed.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+	"wheretime/internal/xeon"
+)
+
+// corpusEvents bounds the seed file: enough to exercise real TPC-C
+// redundancy without bloating the repo (32 B/event on the wire).
+const corpusEvents = 6000
+
+func main() {
+	corpus := flag.String("corpus", "", "write a fuzz seed corpus of the TPC-C stream to this file")
+	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = the paper's 1.2M-row R)")
+	txns := flag.Int("txns", 300, "TPC-C transactions to record")
+	flag.Parse()
+
+	dims := workload.PaperDims().Scaled(*scale)
+	nsm, err := workload.Build(dims, storage.NSM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nsm.BuildIndexes(); err != nil {
+		log.Fatal(err)
+	}
+	e := engine.New(engine.SystemD, nsm.Catalog)
+
+	fmt.Printf("%-8s %10s %10s %10s %7s\n", "stream", "events", "raw", "encoded", "ratio")
+	report := func(name string, rec *trace.Recorder) *trace.Recording {
+		r := rec.Recording()
+		if r == nil {
+			log.Fatalf("%s: recording overflowed", name)
+		}
+		fmt.Printf("%-8s %10d %9.2fM %9.2fM %6.1fx\n", name, r.Len(),
+			float64(r.RawBytes())/(1<<20), float64(r.Bytes())/(1<<20),
+			float64(r.RawBytes())/float64(r.Bytes()))
+		return r
+	}
+
+	record := func(name, query string) {
+		pipe := xeon.New(xeon.DefaultConfig())
+		rec := trace.NewRecorder(pipe, 0)
+		plan, err := sql.Prepare(nsm.Catalog, query, e.PlanOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.ResetState()
+		if _, err := e.Run(plan, rec); err != nil {
+			log.Fatal(err)
+		}
+		report(name, rec).Release()
+	}
+	record("SRS", dims.QuerySRS(0.10))
+	record("IRS", dims.QueryIRS(0.10))
+	record("SJ", dims.QuerySJ())
+
+	// TPC-D: one pass over the 17-query suite, like the harness cell.
+	{
+		pipe := xeon.New(xeon.DefaultConfig())
+		rec := trace.NewRecorder(pipe, 0)
+		e.ResetState()
+		for _, q := range dims.TPCDQueries() {
+			if _, err := e.Query(q, rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		report("TPC-D", rec).Release()
+	}
+
+	// TPC-C: the measured mix, emitted through a flush buffer the way
+	// the harness runs it.
+	tpcc, err := workload.BuildTPCC(workload.DefaultTPCCDims())
+	if err != nil {
+		log.Fatal(err)
+	}
+	te := engine.New(engine.SystemD, tpcc.Catalog)
+	pipe := xeon.New(xeon.DefaultConfig())
+	rec := trace.NewRecorder(pipe, 0)
+	var sink trace.Processor = rec
+	var wire *wireSink
+	if *corpus != "" {
+		wire = &wireSink{next: rec, max: corpusEvents}
+		sink = wire
+	}
+	buf := trace.NewBuffer(sink, 0)
+	if _, err := workload.RunTPCC(tpcc, te, buf, *txns); err != nil {
+		log.Fatal(err)
+	}
+	buf.Flush()
+	report("TPC-C", rec).Release()
+
+	if wire != nil {
+		if err := os.WriteFile(*corpus, wire.out, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d-event seed corpus (%d bytes) to %s\n",
+			len(wire.out)/32, len(wire.out), *corpus)
+	}
+}
+
+// wireSink tees the event stream into the fuzz wire format (32 LE
+// bytes per event, fields unused by the kind left zero — the same
+// canonical shape FuzzCodecRoundTrip decodes) while forwarding to the
+// recorder unchanged.
+type wireSink struct {
+	next trace.Processor
+	out  []byte
+	max  int
+}
+
+func (w *wireSink) emit(kind byte, taken bool, size uint32, addr, aux uint64, a, b uint32) {
+	if len(w.out)/32 >= w.max {
+		return
+	}
+	var rec [32]byte
+	rec[0] = kind
+	if taken {
+		rec[1] = 1
+	}
+	binary.LittleEndian.PutUint32(rec[2:6], size)
+	binary.LittleEndian.PutUint64(rec[6:14], addr)
+	binary.LittleEndian.PutUint64(rec[14:22], aux)
+	binary.LittleEndian.PutUint32(rec[22:26], a)
+	binary.LittleEndian.PutUint32(rec[26:30], b)
+	w.out = append(w.out, rec[:]...)
+}
+
+func (w *wireSink) FetchBlock(addr uint64, size, instrs, uops uint32) {
+	w.emit(byte(trace.EvFetchBlock), false, size, addr, 0, instrs, uops)
+	w.next.FetchBlock(addr, size, instrs, uops)
+}
+func (w *wireSink) Load(addr uint64, size uint32) {
+	w.emit(byte(trace.EvLoad), false, size, addr, 0, 0, 0)
+	w.next.Load(addr, size)
+}
+func (w *wireSink) Store(addr uint64, size uint32) {
+	w.emit(byte(trace.EvStore), false, size, addr, 0, 0, 0)
+	w.next.Store(addr, size)
+}
+func (w *wireSink) Branch(pc, target uint64, taken bool) {
+	w.emit(byte(trace.EvBranch), taken, 0, pc, target, 0, 0)
+	w.next.Branch(pc, target, taken)
+}
+func (w *wireSink) DataBurst(base uint64, bytes, loads, stores uint32) {
+	w.emit(byte(trace.EvDataBurst), false, bytes, base, 0, loads, stores)
+	w.next.DataBurst(base, bytes, loads, stores)
+}
+func (w *wireSink) ResourceStall(dep, fu, ild float64) {
+	ev := trace.ResourceStallEvent(dep, fu, ild)
+	w.emit(byte(trace.EvResourceStall), false, 0, ev.Addr, ev.Aux, ev.A, ev.B)
+	w.next.ResourceStall(dep, fu, ild)
+}
+func (w *wireSink) RecordProcessed() {
+	w.emit(byte(trace.EvRecordProcessed), false, 0, 0, 0, 0, 0)
+	w.next.RecordProcessed()
+}

@@ -212,11 +212,13 @@ type cellTrace struct {
 	stats  workload.TPCCStats
 }
 
-// events returns the capture's total retained event count.
-func (ct *cellTrace) events() int {
-	n := ct.stream.Len()
+// bytes returns the capture's retained arena footprint — compressed
+// bytes, the quantity the worker's cache budget is denominated in
+// (raw bytes under Options.UncompressedArena).
+func (ct *cellTrace) bytes() int {
+	n := ct.stream.Bytes()
 	if ct.warm != nil {
-		n += ct.warm.Len()
+		n += ct.warm.Bytes()
 	}
 	return n
 }
@@ -239,14 +241,15 @@ func (ct *cellTrace) release() {
 // one RunExperiments pass the cache mostly feeds the within-cell
 // warm-up replays; the cross-cell wins are direct Env revisits that
 // bypass the memo — repeated RunTPCC calls (which also skip the
-// database rebuild) and memo-cleared reruns. Retained events are
-// bounded by the worker's recording budget; insertion-order eviction
-// releases the oldest captures back to the chunk free list. Like
-// everything under an Env, a traceCache belongs to one worker
-// goroutine.
+// database rebuild) and memo-cleared reruns. The retained footprint
+// is budgeted in arena bytes — compressed bytes since the columnar
+// codec, so one budget holds ~8x the events it held raw — and
+// insertion-order eviction releases the oldest captures back to the
+// free lists. Like everything under an Env, a traceCache belongs to
+// one worker goroutine.
 type traceCache struct {
-	budget int
-	total  int
+	budget int // retained-arena budget, bytes
+	total  int // retained arena across entries, bytes
 	order  []CellSpec
 	cells  map[CellSpec]*cellTrace
 }
@@ -268,7 +271,7 @@ func (tc *traceCache) lookup(key CellSpec) (*cellTrace, bool) {
 }
 
 // store retains a capture, evicting the oldest entries when the
-// worker's event budget would overflow. A capture bigger than the
+// worker's byte budget would overflow. A capture bigger than the
 // whole budget is released immediately. Keys normalise through
 // emissionKey like lookup's.
 func (tc *traceCache) store(key CellSpec, ct *cellTrace) {
@@ -279,7 +282,7 @@ func (tc *traceCache) store(key CellSpec, ct *cellTrace) {
 	key = emissionKey(key)
 	if old, ok := tc.cells[key]; ok {
 		// Replacing an entry (same cell re-captured): drop the old one.
-		tc.total -= old.events()
+		tc.total -= old.bytes()
 		old.release()
 		delete(tc.cells, key)
 		for i, k := range tc.order {
@@ -289,7 +292,7 @@ func (tc *traceCache) store(key CellSpec, ct *cellTrace) {
 			}
 		}
 	}
-	n := ct.events()
+	n := ct.bytes()
 	if n > tc.budget {
 		ct.release()
 		return
@@ -298,7 +301,7 @@ func (tc *traceCache) store(key CellSpec, ct *cellTrace) {
 		oldest := tc.order[0]
 		tc.order = tc.order[1:]
 		if old, ok := tc.cells[oldest]; ok {
-			tc.total -= old.events()
+			tc.total -= old.bytes()
 			old.release()
 			delete(tc.cells, oldest)
 		}

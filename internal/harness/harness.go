@@ -95,30 +95,54 @@ type Options struct {
 	// are byte-identical either way, which the golden suite checks.
 	// DefaultOptions enables it.
 	Gang bool
-	// MaxRecordedEvents caps the event arena of the record-once /
-	// replay-many engine: a cell whose stream exceeds the cap falls
-	// back to re-executing every run (so huge OLTP mixes cannot blow
-	// the heap), and the per-worker trace cache retains at most this
-	// many events in total. Zero means DefaultMaxRecordedEvents;
+	// MaxRecordedEvents caps the event count of one record-once /
+	// replay-many capture: a cell whose stream exceeds the cap falls
+	// back to re-executing every run (so huge decision-support suites
+	// cannot blow the heap). Zero means DefaultMaxRecordedEvents;
 	// negative disables recording and replay entirely (the replay-smoke
 	// CI step measures both settings and diffs the outputs, which must
-	// be byte-identical).
+	// be byte-identical). The retained footprint across captures is
+	// bounded separately, in compressed bytes, by TraceCacheBytes.
 	MaxRecordedEvents int
+	// TraceCacheBytes budgets the per-worker trace cache in retained
+	// arena bytes — compressed bytes, since that is what the arenas
+	// occupy (raw bytes under UncompressedArena). Zero means
+	// DefaultTraceCacheBytes.
+	TraceCacheBytes int
+	// UncompressedArena keeps captures in the raw []Event chunk layout
+	// instead of the columnar compressed arena. The decoded stream is
+	// byte-identical either way — the compress-smoke CI step diffs the
+	// rendered goldens across both settings — so this exists for that
+	// diff and for measuring what the codec costs and saves
+	// (BenchmarkCompressedReplay), not for experiments.
+	UncompressedArena bool
 }
 
-// DefaultMaxRecordedEvents is the default recording cap: 2Mi events,
-// a 64 MiB arena of 32-byte events. The cap is deliberately sized to
-// what the host memory system carries for free: streams under it
-// (index selections, reduced-scale cells, test environments) replay
-// from a cache-warm arena, while the multi-hundred-megabyte
-// sequential-scan and TPC-D streams fall back to re-execution —
-// measured on the dev container, writing and re-reading those arenas
-// costs more in DRAM traffic and page-fault churn than regenerating
-// the events costs in compute, and even the capped copy attempt
-// before an overflow is detected is pure waste, so the cap also
-// bounds that. Raise it explicitly (with memory to spare) to cache
-// whole OLTP mixes; see BenchmarkReplayVsExecute for the trade.
-const DefaultMaxRecordedEvents = 2 << 20
+// DefaultMaxRecordedEvents is the default recording cap: 16Mi events.
+// PR3 set it to 2Mi because a capture was a raw 32-byte-per-event
+// arena and 2Mi (64 MiB) was the measured point where re-reading the
+// arena cost more DRAM traffic and page-fault churn than regenerating
+// the events cost in compute. The columnar codec moved that
+// crossover: real engine streams encode to ~3.5 bytes/event (8.5-8.9x
+// measured, docs/PERF.md), so 16Mi events is ~56 MiB compressed —
+// the same memory footprint the old cap allowed, holding 8x the
+// events. At the new cap the trade is measured at break-even on this
+// host: the fused decode replays the 12M-event TPC-C capture within
+// ~10% of full re-execution (BenchmarkCompressedReplay vs
+// BenchmarkReplayVsExecute), while the capture now fits the worker's
+// cache budget at all — so revisits skip the database rebuild and
+// engine execution outright, and gang drains decode once for all K
+// configurations. Streams past the cap — the sequential-scan sweeps
+// and TPC-D suites — still fall back to re-execution, and the capped
+// copy attempt before overflow detection stays bounded.
+const DefaultMaxRecordedEvents = 16 << 20
+
+// DefaultTraceCacheBytes is the default per-worker trace-cache
+// budget: 64 MiB of retained compressed arena, the DRAM footprint the
+// old 2Mi-raw-event cap allowed, now holding ~8x the events. Distinct
+// from the per-capture event cap: the cap bounds one stream, the
+// budget bounds what a worker retains across cells.
+const DefaultTraceCacheBytes = 64 << 20
 
 // maxRecorded resolves the recording cap: the explicit value, the
 // default when zero, and -1 (recording disabled) when negative or when
@@ -132,6 +156,14 @@ func (o Options) maxRecorded() int {
 	default:
 		return o.MaxRecordedEvents
 	}
+}
+
+// traceCacheBytes resolves the cache budget (zero means the default).
+func (o Options) traceCacheBytes() int {
+	if o.TraceCacheBytes == 0 {
+		return DefaultTraceCacheBytes
+	}
+	return o.TraceCacheBytes
 }
 
 // DefaultOptions returns the paper's experimental setup at a
@@ -223,8 +255,8 @@ func NewEnv(opts Options) (*Env, error) {
 	}
 	env := &Env{Opts: opts, Dims: dims, nsm: nsm, pax: pax,
 		memo: make(map[memoKey]Cell), subenvs: make(map[int]*Env)}
-	if cap := opts.maxRecorded(); cap >= 0 {
-		env.traces = newTraceCache(cap)
+	if opts.maxRecorded() >= 0 {
+		env.traces = newTraceCache(opts.traceCacheBytes())
 	}
 	for _, s := range engine.Systems() {
 		env.engines[s] = engine.New(s, env.database(s).Catalog)
@@ -334,12 +366,15 @@ func (env *Env) processor(p trace.Processor) trace.Processor {
 }
 
 // newRecorder returns a recorder capturing the sink's input into the
-// worker's trace arena, or nil when recording is disabled.
+// worker's trace arena — columnar-compressed unless the options keep
+// the raw layout — or nil when recording is disabled.
 func (env *Env) newRecorder(sink trace.Processor) *trace.Recorder {
 	if env.traces == nil {
 		return nil
 	}
-	return trace.NewRecorder(sink, env.traces.budget)
+	rec := trace.NewRecorder(sink, env.Opts.maxRecorded())
+	rec.SetRawArena(env.Opts.UncompressedArena)
+	return rec
 }
 
 // finishCell assembles and validates the measured breakdown.
@@ -595,9 +630,17 @@ func (env *Env) runOLTP(s engine.System, txns int, meas measureSink, key CellSpe
 		return stats, err
 	}
 	buf.Flush()
-	if warmRec != nil && !warmRec.Overflowed() && measRec != nil && !measRec.Overflowed() {
-		env.traces.store(key, &cellTrace{
-			warm: warmRec.Recording(), stream: measRec.Recording(), stats: stats})
+	if warmRec != nil && !warmRec.Overflowed() {
+		if measRec != nil && !measRec.Overflowed() {
+			env.traces.store(key, &cellTrace{
+				warm: warmRec.Recording(), stream: measRec.Recording(), stats: stats})
+		} else {
+			// The measured mix overflowed its cap, so no cache entry forms
+			// and the warm-slice capture is useless on its own: release its
+			// arena back to the free lists now instead of holding it until
+			// the env dies. (The overflowed recorder released its own.)
+			warmRec.Recording().Release()
+		}
 	}
 	return stats, nil
 }

@@ -231,10 +231,12 @@ func TestRecordingCapFallsBack(t *testing.T) {
 }
 
 // TestTraceCacheBudgetEvicts pins the cache's memory bound: retained
-// events never exceed the budget, and eviction releases the oldest
-// capture.
+// arena bytes never exceed the budget, and eviction releases the
+// oldest capture. Short streams stage raw in the recording's tail
+// (EventBytes per event), which makes the byte accounting exact here.
 func TestTraceCacheBudgetEvicts(t *testing.T) {
-	tc := newTraceCache(100)
+	const eb = trace.EventBytes
+	tc := newTraceCache(100 * eb)
 	mk := func(n int) *cellTrace {
 		ct := &cellTrace{stream: &trace.Recording{}}
 		evs := make([]trace.Event, n)
@@ -248,8 +250,8 @@ func TestTraceCacheBudgetEvicts(t *testing.T) {
 	k3 := CellSpec{Kind: CellMicro, System: engine.SystemC, Query: SRS}
 	tc.store(k1, mk(60))
 	tc.store(k2, mk(30))
-	if tc.total != 90 {
-		t.Fatalf("total %d, want 90", tc.total)
+	if tc.total != 90*eb {
+		t.Fatalf("total %d, want %d", tc.total, 90*eb)
 	}
 	tc.store(k3, mk(50)) // must evict k1 (oldest)
 	if _, ok := tc.lookup(k1); ok {
@@ -258,19 +260,36 @@ func TestTraceCacheBudgetEvicts(t *testing.T) {
 	if _, ok := tc.lookup(k2); !ok {
 		t.Error("newer entry evicted too eagerly")
 	}
-	if tc.total != 80 {
-		t.Errorf("total %d after eviction, want 80", tc.total)
+	if tc.total != 80*eb {
+		t.Errorf("total %d after eviction, want %d", tc.total, 80*eb)
 	}
 	tc.store(k1, mk(200)) // bigger than the whole budget: dropped
 	if _, ok := tc.lookup(k1); ok {
 		t.Error("over-budget capture must not be cached")
 	}
+
+	// A chunk-crossing capture is accounted at its compressed size: a
+	// budget far below its raw footprint still admits it.
+	big := mk(3 * trace.RecordChunkEvents)
+	wantBytes := big.bytes()
+	if wantBytes*4 > 3*trace.RecordChunkEvents*eb {
+		t.Fatalf("chunk-crossing capture barely compressed: %d bytes", wantBytes)
+	}
+	tc2 := newTraceCache(wantBytes)
+	tc2.store(k1, big)
+	if _, ok := tc2.lookup(k1); !ok {
+		t.Fatal("compressed capture should fit a compressed-byte budget")
+	}
+	if tc2.total != wantBytes {
+		t.Errorf("total %d, want the stored capture's %d bytes", tc2.total, wantBytes)
+	}
+
 	// Nil cache (recording disabled) is inert.
 	var nilCache *traceCache
-	if _, ok := nilCache.lookup(k1); ok {
+	if _, ok := nilCache.lookup(k2); ok {
 		t.Error("nil cache hit")
 	}
-	nilCache.store(k1, mk(10)) // must not panic
+	nilCache.store(k2, mk(10)) // must not panic
 }
 
 // TestReplayDisabledMatchesGoldens renders the full experiment grid
@@ -292,6 +311,31 @@ func TestReplayDisabledMatchesGoldens(t *testing.T) {
 			}
 			if got[e.Name] != string(want) {
 				t.Errorf("replay-disabled output differs from replay-enabled golden for %s", e.Name)
+			}
+		})
+	}
+}
+
+// TestCompressionDisabledMatchesGoldens renders the full experiment
+// grid with captures kept in the raw []Event arena layout and diffs
+// it against the goldens the compressed default produced: the
+// compress-smoke equivalence — the columnar codec must be invisible
+// to every figure.
+func TestCompressionDisabledMatchesGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment grid in -short mode")
+	}
+	opts := goldenOptions()
+	opts.UncompressedArena = true
+	got := renderGolden(t, opts)
+	for _, e := range Experiments() {
+		t.Run(e.Name, func(t *testing.T) {
+			want, err := os.ReadFile(goldenPath(e.Name))
+			if err != nil {
+				t.Fatalf("missing golden (run TestGoldenFiles with -update first): %v", err)
+			}
+			if got[e.Name] != string(want) {
+				t.Errorf("raw-arena output differs from compressed-arena golden for %s", e.Name)
 			}
 		})
 	}

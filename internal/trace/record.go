@@ -13,14 +13,24 @@ import "sync"
 // feeding the captured chunks straight back into ProcessBatch — zero
 // re-emission, zero per-event dispatch, zero copying.
 //
-// Recordings store events in fixed-size chunks drawn from a shared
-// free list, so a worker measuring cells one after another recycles
-// the same arena instead of growing and abandoning multi-hundred-
-// megabyte slices per cell.
+// Recordings store events in columnar compressed chunks (see
+// codec.go): a single raw staging chunk fills to RecordChunkEvents
+// events and is then encoded into a struct-of-arrays byte buffer —
+// delta/varint addresses, bit-packed kinds and outcomes — typically
+// 4-8x smaller than the raw 32-byte events, which is what lets large
+// OLTP mixes replay from a DRAM-friendly arena instead of falling
+// back to re-execution. Raw staging chunks and encoded buffers are
+// both drawn from shared free lists, so a worker measuring cells one
+// after another recycles the same arena instead of growing and
+// abandoning multi-hundred-megabyte slices per cell. SetRaw keeps the
+// PR3 uncompressed layout as a debugging/measurement reference; the
+// two representations drain identically (compress-smoke pins the
+// goldens across both).
 
 // RecordChunkEvents is the event capacity of one recording chunk:
-// 8192 events x 32 bytes = 256 KiB, big enough to amortise the drain
-// call and small enough that partial chunks waste little.
+// 8192 events x 32 bytes = 256 KiB of staging, big enough to amortise
+// the encode pass and the drain call, small enough to stay L2-hot
+// while the columns are built.
 const RecordChunkEvents = 8192
 
 // chunkFree is the shared free list of retired chunks. It is a plain
@@ -59,22 +69,86 @@ func putChunk(c []Event) {
 }
 
 // Recording is a captured event stream: an ordered sequence of events
-// held in fixed-size chunks. It is filled by a Recorder; once capture
-// is complete it is immutable and may be drained any number of times,
-// including concurrently read-only sharing within the goroutine that
-// owns it (drains mutate only the processor, never the recording).
+// held as columnar compressed chunks plus one raw staging tail (or,
+// with SetRaw, as the uncompressed fixed-size chunks of the PR3
+// arena). It is filled by a Recorder; once capture is complete it is
+// immutable and may be drained any number of times, including
+// concurrently read-only sharing within the goroutine that owns it
+// (drains mutate only the processor and a borrowed decode block,
+// never the recording).
 type Recording struct {
-	chunks [][]Event
+	raw    bool
+	enc    [][]byte  // encoded full chunks, RecordChunkEvents events each
+	tail   []Event   // staging chunk: the in-progress (or final partial) chunk
+	chunks [][]Event // raw-mode arena (SetRaw(true))
 	n      int
+}
+
+// SetRaw selects the uncompressed arena layout. It must be called
+// before the first event is appended; the switch exists so the
+// compressed and raw representations can be measured and diffed
+// against each other (compress-smoke, BenchmarkCompressedReplay).
+func (r *Recording) SetRaw(raw bool) {
+	if r.n > 0 {
+		panic("trace: SetRaw on a non-empty recording")
+	}
+	r.raw = raw
 }
 
 // Len returns how many events the recording holds.
 func (r *Recording) Len() int { return r.n }
 
-// append copies events into the arena, drawing chunks from the free
-// list as needed. Only the Recorder calls it; after capture the
-// recording never changes.
+// Bytes returns the recording's retained arena footprint: the encoded
+// chunk bytes plus the raw staging tail (or the whole raw arena in
+// uncompressed mode). This is the quantity the harness trace cache
+// budgets — compressed bytes, not event count.
+func (r *Recording) Bytes() int {
+	if r.raw {
+		return r.n * EventBytes
+	}
+	b := len(r.tail) * EventBytes
+	for _, c := range r.enc {
+		b += len(c)
+	}
+	return b
+}
+
+// RawBytes returns what the stream would occupy as raw 32-byte
+// events; Bytes/RawBytes is the compression ratio's inverse.
+func (r *Recording) RawBytes() int { return r.n * EventBytes }
+
+// encodeTail compresses the full staging chunk into a columnar buffer
+// and resets the staging chunk for reuse — the same 256 KiB of raw
+// staging serves the whole capture.
+func (r *Recording) encodeTail() {
+	r.enc = append(r.enc, encodeChunk(getEncBuf(), r.tail))
+	r.tail = r.tail[:0]
+}
+
+// append copies events into the arena, encoding each staging chunk as
+// it fills. Only the Recorder calls it; after capture the recording
+// never changes.
 func (r *Recording) append(events []Event) {
+	if r.raw {
+		r.appendRaw(events)
+		return
+	}
+	for len(events) > 0 {
+		if r.tail == nil {
+			r.tail = getChunk()
+		}
+		n := copy(r.tail[len(r.tail):cap(r.tail)], events)
+		r.tail = r.tail[:len(r.tail)+n]
+		events = events[n:]
+		r.n += n
+		if len(r.tail) == cap(r.tail) {
+			r.encodeTail()
+		}
+	}
+}
+
+// appendRaw is append for the uncompressed arena layout.
+func (r *Recording) appendRaw(events []Event) {
 	for len(events) > 0 {
 		if len(r.chunks) == 0 {
 			r.chunks = append(r.chunks, getChunk())
@@ -94,29 +168,86 @@ func (r *Recording) append(events []Event) {
 // appendOne records a single event (the per-event Processor path of a
 // Recorder whose sink does not batch).
 func (r *Recording) appendOne(ev Event) {
-	if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1]) == cap(r.chunks[len(r.chunks)-1]) {
-		r.chunks = append(r.chunks, getChunk())
+	if r.raw {
+		if len(r.chunks) == 0 || len(r.chunks[len(r.chunks)-1]) == cap(r.chunks[len(r.chunks)-1]) {
+			r.chunks = append(r.chunks, getChunk())
+		}
+		last := &r.chunks[len(r.chunks)-1]
+		*last = append(*last, ev)
+		r.n++
+		return
 	}
-	last := &r.chunks[len(r.chunks)-1]
-	*last = append(*last, ev)
+	if r.tail == nil {
+		r.tail = getChunk()
+	}
+	r.tail = append(r.tail, ev)
 	r.n++
+	if len(r.tail) == cap(r.tail) {
+		r.encodeTail()
+	}
 }
 
-// Drain feeds the recorded stream into p, whole chunks at a time, in
-// the exact order it was captured: the replay path of a warm-up or
-// measured run. No events are copied or re-emitted — the chunks go
-// straight into ProcessBatch.
+// Drain feeds the recorded stream into p in the exact order it was
+// captured: the replay path of a warm-up or measured run. Compressed
+// chunks decode one host-L1-resident block at a time straight into
+// ProcessBatch — the decode fuses into the single-pass drain, and the
+// raw event array is never materialized. The raw staging tail (and
+// the whole arena in uncompressed mode) goes straight in with zero
+// copying.
 func (r *Recording) Drain(p BatchProcessor) {
-	for _, c := range r.chunks {
-		p.ProcessBatch(c)
+	if r.raw {
+		for _, c := range r.chunks {
+			p.ProcessBatch(c)
+		}
+		return
+	}
+	if len(r.enc) > 0 {
+		block := getBlock()
+		var d chunkDecoder
+		for _, c := range r.enc {
+			d.init(c)
+			for {
+				k := d.next(block)
+				if k == 0 {
+					break
+				}
+				p.ProcessBatch(block[:k])
+			}
+		}
+		putBlock(block)
+	}
+	if len(r.tail) > 0 {
+		p.ProcessBatch(r.tail)
 	}
 }
 
 // Replay feeds the recorded stream into p one Processor call at a
-// time — the reference path, for sinks that do not batch.
+// time — the reference path, for sinks that do not batch. Compressed
+// chunks decode through the same fused block path as Drain.
 func (r *Recording) Replay(p Processor) {
-	for _, c := range r.chunks {
-		Replay(p, c)
+	if r.raw {
+		for _, c := range r.chunks {
+			Replay(p, c)
+		}
+		return
+	}
+	if len(r.enc) > 0 {
+		block := getBlock()
+		var d chunkDecoder
+		for _, c := range r.enc {
+			d.init(c)
+			for {
+				k := d.next(block)
+				if k == 0 {
+					break
+				}
+				Replay(p, block[:k])
+			}
+		}
+		putBlock(block)
+	}
+	if len(r.tail) > 0 {
+		Replay(p, r.tail)
 	}
 }
 
@@ -132,34 +263,49 @@ func (r *Recording) DrainMulti(ps ...BatchProcessor) {
 }
 
 // Equal reports whether two recordings hold the same event sequence,
-// independent of how the events landed in chunks.
+// independent of how the events landed in chunks and of whether
+// either side is compressed.
 func (r *Recording) Equal(o *Recording) bool {
 	if r.n != o.n {
 		return false
 	}
-	oc, oi := 0, 0
-	for _, c := range r.chunks {
-		for i := range c {
-			for oc < len(o.chunks) && oi == len(o.chunks[oc]) {
-				oc, oi = oc+1, 0
-			}
-			if oc == len(o.chunks) || c[i] != o.chunks[oc][oi] {
-				return false
-			}
-			oi++
+	rc, oc := newRecCursor(r), newRecCursor(o)
+	defer rc.close()
+	defer oc.close()
+	for {
+		a, okA := rc.next()
+		b, okB := oc.next()
+		if okA != okB {
+			return false
+		}
+		if !okA {
+			return true
+		}
+		if a != b {
+			return false
 		}
 	}
-	return true
 }
 
-// Release returns every chunk to the shared free list and empties the
-// recording. The recording must not be drained afterwards (it holds
-// no events), but it may be refilled by a new capture.
+// Release returns every staging chunk and encoded buffer to the
+// shared free lists and empties the recording. The recording must not
+// be drained afterwards (it holds no events), but it may be refilled
+// by a new capture. The Recorder calls it the moment a capture
+// overflows its cap, so an abandoned capture's chunks recycle
+// immediately instead of riding along until cache eviction.
 func (r *Recording) Release() {
 	for _, c := range r.chunks {
 		putChunk(c)
 	}
 	r.chunks = r.chunks[:0]
+	for _, b := range r.enc {
+		putEncBuf(b)
+	}
+	r.enc = r.enc[:0]
+	if r.tail != nil {
+		putChunk(r.tail)
+		r.tail = nil
+	}
 	r.n = 0
 }
 
@@ -183,12 +329,17 @@ type Recorder struct {
 var _ BatchProcessor = (*Recorder)(nil)
 
 // NewRecorder returns a recorder forwarding into sink, capturing at
-// most maxEvents events (unlimited when maxEvents <= 0).
+// most maxEvents events (unlimited when maxEvents <= 0) into a
+// columnar compressed recording.
 func NewRecorder(sink Processor, maxEvents int) *Recorder {
 	r := &Recorder{sink: sink, limit: maxEvents}
 	r.batch, _ = sink.(BatchProcessor)
 	return r
 }
+
+// SetRawArena switches the capture to the uncompressed arena layout
+// (see Recording.SetRaw). Call before any event flows past.
+func (r *Recorder) SetRawArena(raw bool) { r.rec.SetRaw(raw) }
 
 // Recording returns the captured stream, or nil if the cap was
 // exceeded and the capture abandoned. The recording is only complete

@@ -147,7 +147,9 @@ func TestRecorderOverflowFallsBack(t *testing.T) {
 	}
 }
 
-// TestRecordingEqual pins Equal across different chunkings.
+// TestRecordingEqual pins Equal across different fill paths (bulk
+// append vs per-event) and across the compressed and raw arena
+// layouts.
 func TestRecordingEqual(t *testing.T) {
 	events := synthEvents(RecordChunkEvents + 100)
 	var a, b Recording
@@ -158,32 +160,43 @@ func TestRecordingEqual(t *testing.T) {
 	if !a.Equal(&b) || !b.Equal(&a) {
 		t.Error("equal streams with different fill paths must compare equal")
 	}
+	var raw Recording
+	raw.SetRaw(true)
+	raw.append(events)
+	if !a.Equal(&raw) || !raw.Equal(&a) {
+		t.Error("compressed and raw layouts of one stream must compare equal")
+	}
 	b.appendOne(Event{Kind: EvRecordProcessed})
 	if a.Equal(&b) || b.Equal(&a) {
 		t.Error("length difference must compare unequal")
 	}
+	mutated := append([]Event(nil), events...)
+	mutated[0].Addr ^= 1
 	var c Recording
-	c.append(events)
-	c.chunks[0][0].Addr ^= 1
+	c.append(mutated)
 	if a.Equal(&c) {
 		t.Error("content difference must compare unequal")
 	}
 	a.Release()
 	b.Release()
 	c.Release()
+	raw.Release()
 	if a.Len() != 0 {
 		t.Error("Release must empty the recording")
 	}
 }
 
-// TestRecordingReleaseReuse checks the free list actually recycles
-// chunk capacity across captures.
+// TestRecordingReleaseReuse checks the free lists actually recycle
+// staging-chunk and encoded-buffer capacity across captures.
 func TestRecordingReleaseReuse(t *testing.T) {
 	events := synthEvents(2 * RecordChunkEvents)
 	var r Recording
 	r.append(events)
-	if len(r.chunks) != 2 {
-		t.Fatalf("2 chunks expected, got %d", len(r.chunks))
+	if len(r.enc) != 2 {
+		t.Fatalf("2 encoded chunks expected, got %d", len(r.enc))
+	}
+	if r.Bytes() >= r.RawBytes() {
+		t.Errorf("encoded chunks (%dB) should undercut the raw arena (%dB)", r.Bytes(), r.RawBytes())
 	}
 	r.Release()
 
@@ -192,9 +205,9 @@ func TestRecordingReleaseReuse(t *testing.T) {
 		r2.append(events)
 		r2.Release()
 	})
-	// The chunks themselves must come from the free list; only the
-	// small chunk-slice header bookkeeping may allocate.
+	// The staging chunk and encoded buffers must come from the free
+	// lists; only the small slice-header bookkeeping may allocate.
 	if allocs > 8 {
-		t.Errorf("recycled capture allocated %.0f objects per run; free list not reused", allocs)
+		t.Errorf("recycled capture allocated %.0f objects per run; free lists not reused", allocs)
 	}
 }

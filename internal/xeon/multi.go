@@ -35,6 +35,11 @@ var _ trace.BatchProcessor = (*MultiPipeline)(nil)
 // while all K configurations consume the block.
 const gangBlockEvents = 1024
 
+// Compile-time guard: a decoded block from the compressed drain must
+// fit inside one gang block, so the fused decode path above never
+// re-splits (negative array length if the relation breaks).
+var _ [gangBlockEvents - trace.DecodeBlockEvents]struct{}
+
 // NewMulti builds one pipeline per configuration. It panics on an
 // empty slice or an invalid configuration, like New.
 func NewMulti(cfgs []Config) *MultiPipeline {
@@ -66,10 +71,19 @@ func (m *MultiPipeline) ResetStats() {
 
 // ProcessBatch implements trace.BatchProcessor: block-wise over the
 // batch, all configurations per block. A single-config gang degrades
-// to the solo drain with no block splitting.
+// to the solo drain with no block splitting, and a batch already at
+// or under the block size — the compressed drain hands over decoded
+// blocks of trace.DecodeBlockEvents, half a gang block — skips the
+// split loop entirely.
 func (m *MultiPipeline) ProcessBatch(events []trace.Event) {
 	if len(m.pipes) == 1 {
 		m.pipes[0].ProcessBatch(events)
+		return
+	}
+	if len(events) <= gangBlockEvents {
+		for _, p := range m.pipes {
+			p.ProcessBatch(events)
+		}
 		return
 	}
 	for start := 0; start < len(events); start += gangBlockEvents {

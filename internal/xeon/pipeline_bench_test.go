@@ -57,3 +57,35 @@ func BenchmarkProcessBatch(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
 }
+
+// BenchmarkCompressedDrain measures the fused decode+simulate path
+// against draining the same stream from a raw arena: the columnar
+// codec's per-block decode rides in front of the same ProcessBatch
+// hot loop, so the delta is pure decode overhead. The compressed_mb
+// and raw_mb metrics record the arena footprints being traded.
+func BenchmarkCompressedDrain(b *testing.B) {
+	events := synthBatch(1 << 20)
+	for _, mode := range []struct {
+		name string
+		raw  bool
+	}{{"compressed", false}, {"raw", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rec := trace.NewRecorder(trace.Discard{}, 0)
+			rec.SetRawArena(mode.raw)
+			rec.ProcessBatch(events)
+			r := rec.Recording()
+			defer r.Release()
+			p := New(DefaultConfig())
+			r.Drain(p) // warm the simulated hierarchy
+			b.SetBytes(int64(len(events)) * 32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Drain(p)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(events)), "ns/event")
+			b.ReportMetric(float64(r.Bytes())/(1<<20), "arena_mb")
+		})
+	}
+}
