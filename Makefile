@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke docs-check cover lint fmt golden profile profile-gang bench-json bench-compare ci
+.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke docs-check cover lint fmt golden profile profile-gang bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,11 @@ short:
 # Race detector over the concurrent grid, with per-package coverage
 # published in the same pass. Runs the same short test set as `short`,
 # so CI only needs this one step (it subsumes the plain short pass and
-# the coverage run).
+# the coverage run). The explicit -timeout exists because the harness
+# short set under -race outgrew go test's 10m default once the grid
+# reached 29 cells; it is headroom, not a target.
 race:
-	$(GO) test -race -cover -shuffle=on -count=1 -short ./...
+	$(GO) test -race -cover -shuffle=on -count=1 -short -timeout=25m ./...
 
 # Per-package coverage over the short set without the race detector,
 # for a quick local read (CI gets coverage from `race`).
@@ -65,14 +67,25 @@ compress-smoke:
 	$(GO) test -count=1 -run 'TestCodec|FuzzCodecRoundTrip' ./internal/trace
 	$(GO) test -count=1 -run 'TestGoldenFiles|TestCompressionDisabledMatchesGoldens' ./internal/harness
 
-# The new-scenario smoke: the three scenario experiments (Grace hash
-# join, sort-based aggregation, B-tree range scan) rendered against
-# their goldens on their own small grid, plus the result cross-checks
-# against their reference operators. Cheap enough for every push; the
-# nightly full grid additionally diffs the scenario cells across the
-# unbatched / replay-off / gang-off paths.
+# The scenario smoke: the five scenario experiments (Grace hash join,
+# sort-based aggregation, B-tree range scan, join-sort-aggregate,
+# index-probe join) rendered against their goldens on their own small
+# grid, plus the result cross-checks against their reference
+# operators. Cheap enough for every push; the nightly full grid
+# additionally diffs the scenario cells across the unbatched /
+# replay-off / gang-off paths.
 scenario-smoke:
 	$(GO) test -count=1 -run 'TestScenarioGoldens|TestScenarioResultsConsistent|TestScenarioSystemASkipsBRS' ./internal/harness
+
+# The operator-DAG regression set: the op package alone under the race
+# detector (its operators are what every scenario now composes), the
+# pinned per-scenario stream digests, and the plan-tree equivalence
+# fuzz target over its committed seed corpus
+# (testdata/fuzz/FuzzPlanTreeEquivalence — seeds only, no -fuzz;
+# mirrors how compress-smoke runs FuzzCodecRoundTrip).
+op-smoke:
+	$(GO) test -race -count=1 ./internal/engine/op
+	$(GO) test -count=1 -run 'TestStreamDigestsPinned|FuzzPlanTreeEquivalence' ./internal/engine
 
 # The documentation contract: every relative link in docs/*.md and
 # README.md resolves (files and #anchors), and every internal/ package
@@ -113,7 +126,7 @@ bench-json:
 # fails if grid time in the fresh BENCH.json regressed >10% against
 # the committed PR record.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH.json
 
 # Regenerate the golden files after an intentional output change.
 # (The package path precedes -update: go test stops parsing at the
@@ -129,4 +142,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke docs-check
+ci: lint build race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke docs-check

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -benchmem -run='^$' . | go run ./cmd/benchjson > BENCH.json
-//	go run ./cmd/benchjson -compare BENCH_PR6.json BENCH.json
+//	go run ./cmd/benchjson -compare BENCH_PR7.json BENCH.json
 //
 // -compare reads two records and fails (exit 1) if the fresh run's
 // grid time regressed more than -threshold (default 10%) against the

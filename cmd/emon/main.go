@@ -28,7 +28,7 @@ func main() {
 		eventsFlag = flag.String("events", "INST_RETIRED,UOPS_RETIRED", "comma-separated event list")
 		all        = flag.Bool("all", false, "measure every supported event")
 		sysFlag    = flag.String("system", "C", "system variant: A, B, C or D")
-		queryFlag  = flag.String("query", "srs", "query: srs, irs, sj, ghj, sag or brs")
+		queryFlag  = flag.String("query", "srs", "query: srs, irs, sj, ghj, sag, brs, jsa or ixj")
 		scale      = flag.Float64("scale", 0.01, "dataset scale")
 		sel        = flag.Float64("selectivity", 0.10, "range selectivity")
 		parallel   = flag.Int("parallel", harness.DefaultParallelism(), "workers measuring counter pairs (1 = serial)")
@@ -58,6 +58,10 @@ func main() {
 	opts := harness.DefaultOptions()
 	opts.Scale = *scale
 	opts.Selectivity = *sel
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	dims := opts.Dims()
 
 	var query string
@@ -81,6 +85,13 @@ func main() {
 		query = dims.QueryBRS(*sel)
 		useIndex = true
 		hint = sql.HintIndexOnly
+	case "jsa":
+		query = dims.QueryJSA()
+		hint = sql.HintJoinSortAgg
+	case "ixj":
+		query = dims.QueryIXJ(*sel)
+		useIndex = true
+		hint = sql.HintIndexProbeJoin
 	default:
 		fmt.Fprintf(os.Stderr, "emon: unknown query %q\n", *queryFlag)
 		os.Exit(2)

@@ -7,7 +7,7 @@
 //	wheretime -list
 //	wheretime -experiment fig5.1 [-scale 0.02] [-selectivity 0.10] [-recsize 100]
 //	wheretime -experiment all [-parallel 8]
-//	wheretime -experiment ghj,sortagg,btree        # the scenario operators
+//	wheretime -experiment ghj,sortagg,btree,joinsort,idxjoin   # the scenario operators
 //	wheretime -experiment fig5.1 -l2kb 512,2048
 //
 // Scale 1.0 is the paper's 1.2M-record R; per-record behaviour
@@ -75,7 +75,7 @@ func main() {
 		parallel    = flag.Int("parallel", harness.DefaultParallelism(), "worker count for the experiment grid (1 = serial)")
 		maxrec      = flag.Int("maxrecorded", 0, "recording cap in events for the record-once/replay-many engine (0 = default, negative disables replay)")
 		compress    = flag.Bool("compress", true, "keep recorded traces in the columnar compressed arena (off: raw []Event chunks, ~8x the memory; output is identical)")
-		cachemb     = flag.Int("cachemb", 0, "per-worker trace-cache budget in MiB of retained (compressed) arena (0 = default)")
+		cachemb     = flag.Int("cachemb", 0, "per-worker trace-cache budget in MiB of retained (compressed) arena (0 = default, negative disables cross-cell retention)")
 	)
 	flag.Parse()
 
@@ -86,14 +86,40 @@ func main() {
 		return
 	}
 
+	// Flags that only steer the recording arena contradict a run with
+	// recording disabled: reject the combination instead of silently
+	// ignoring half of it.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *maxrec < 0 {
+		if set["compress"] && !*compress {
+			fmt.Fprintln(os.Stderr, "wheretime: -compress=false contradicts -maxrecorded < 0: recording is disabled, no trace arena exists")
+			os.Exit(2)
+		}
+		if set["cachemb"] && *cachemb > 0 {
+			fmt.Fprintln(os.Stderr, "wheretime: -cachemb > 0 contradicts -maxrecorded < 0: recording is disabled, nothing can be cached")
+			os.Exit(2)
+		}
+	}
+
 	opts := harness.DefaultOptions()
 	opts.Scale = *scale
 	opts.Selectivity = *selectivity
 	opts.RecordSize = *recsize
 	opts.MaxRecordedEvents = *maxrec
 	opts.UncompressedArena = !*compress
-	opts.TraceCacheBytes = *cachemb << 20
+	// A negative budget means "retain nothing"; scaling it by MiB would
+	// just produce a different negative number, so map it to -1 exactly.
+	if *cachemb < 0 {
+		opts.TraceCacheBytes = -1
+	} else {
+		opts.TraceCacheBytes = *cachemb << 20
+	}
 	opts.Gang = *gang
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	l2s, err := parseIntList("l2kb", *l2kb, opts.Config.L2SizeKB)
 	if err != nil {

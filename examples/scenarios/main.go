@@ -1,8 +1,9 @@
-// Scenarios: run the three scenario operators — Grace/hybrid hash
-// join, sort-based aggregation, B-tree range scan — through the full
-// experiment harness and print their paper-style breakdown tables,
-// then cross-check each operator's aggregate against its reference
-// access path.
+// Scenarios: run the five scenario operators — Grace/hybrid hash
+// join, sort-based aggregation, B-tree range scan, join-sort-
+// aggregate pipeline, index-probe join — through the full experiment
+// harness and print their paper-style breakdown tables, then
+// cross-check each operator's aggregate against its reference access
+// path.
 //
 //	go run ./examples/scenarios
 package main
@@ -22,7 +23,7 @@ func main() {
 	// The scenario experiments go through the same grid as every paper
 	// figure: cells dedupe, gang, record/replay and parallelise.
 	var exps []harness.Experiment
-	for _, name := range []string{"ghj", "sortagg", "btree"} {
+	for _, name := range []string{"ghj", "sortagg", "btree", "joinsort", "idxjoin"} {
 		e, err := harness.Find(name)
 		if err != nil {
 			log.Fatal(err)
@@ -61,4 +62,6 @@ func main() {
 	check(harness.GHJ, harness.SJ)
 	check(harness.SAG, harness.SRS)
 	check(harness.BRS, harness.IRS)
+	check(harness.JSA, harness.SJ)
+	check(harness.IXJ, harness.SJ)
 }

@@ -2,16 +2,12 @@ package engine
 
 import (
 	"fmt"
-	"math"
 
 	"wheretime/internal/catalog"
+	"wheretime/internal/engine/op"
 	"wheretime/internal/sql"
 	"wheretime/internal/trace"
 )
-
-// workspaceBase is where per-query scratch structures (hash tables,
-// sort runs) live in the simulated address space.
-const workspaceBase uint64 = 0x6000_0000
 
 // Engine executes plans for one system variant over one catalog,
 // narrating its hardware behaviour to a trace.Processor.
@@ -26,6 +22,8 @@ type Engine struct {
 	cat    *catalog.Catalog
 	layout *trace.Layout
 	rt     [numRoutineKinds]*trace.Routine
+	// ops exposes the routines to the streaming operators by name.
+	ops op.Routines
 
 	// buf is the engine's reusable event buffer: query and transaction
 	// runs fill it with direct method calls and the processor drains it
@@ -55,6 +53,22 @@ func New(s System, cat *catalog.Catalog) *Engine {
 func NewWithProfile(p Profile, cat *catalog.Catalog) *Engine {
 	e := &Engine{prof: p, cat: cat}
 	e.layout, e.rt = buildRoutines(p)
+	e.ops = op.Routines{
+		PageNext:    e.rt[rkPageNext],
+		ScanNext:    e.rt[rkScanNext],
+		QualEval:    e.rt[rkQualEval],
+		AggAccum:    e.rt[rkAggAccum],
+		IdxDescend:  e.rt[rkIdxDescend],
+		IdxLeafNext: e.rt[rkIdxLeafNext],
+		RidFetch:    e.rt[rkRidFetch],
+		HashBuild:   e.rt[rkHashBuild],
+		HashProbe:   e.rt[rkHashProbe],
+		JoinMatch:   e.rt[rkJoinMatch],
+		FieldIter:   e.rt[rkFieldIter],
+		Partition:   e.rt[rkPartition],
+		SortRun:     e.rt[rkSortRun],
+		SortMerge:   e.rt[rkSortMerge],
+	}
 	return e
 }
 
@@ -92,61 +106,6 @@ type Result struct {
 	Value float64
 	// Rows is the number of qualifying rows (join matches for joins).
 	Rows uint64
-}
-
-// aggState accumulates one aggregate.
-type aggState struct {
-	fn    sql.AggFunc
-	count uint64
-	sum   int64
-	min   int32
-	max   int32
-}
-
-func newAggState(fn sql.AggFunc) *aggState {
-	return &aggState{fn: fn, min: math.MaxInt32, max: math.MinInt32}
-}
-
-func (a *aggState) add(v int32) {
-	a.count++
-	a.sum += int64(v)
-	if v < a.min {
-		a.min = v
-	}
-	if v > a.max {
-		a.max = v
-	}
-}
-
-func (a *aggState) addCount() { a.count++ }
-
-func (a *aggState) result() Result {
-	r := Result{Rows: a.count}
-	switch a.fn {
-	case sql.AggCount:
-		r.Value = float64(a.count)
-	case sql.AggSum:
-		r.Value = float64(a.sum)
-	case sql.AggAvg:
-		if a.count == 0 {
-			r.Value = math.NaN()
-		} else {
-			r.Value = float64(a.sum) / float64(a.count)
-		}
-	case sql.AggMin:
-		if a.count == 0 {
-			r.Value = math.NaN()
-		} else {
-			r.Value = float64(a.min)
-		}
-	case sql.AggMax:
-		if a.count == 0 {
-			r.Value = math.NaN()
-		} else {
-			r.Value = float64(a.max)
-		}
-	}
-	return r
 }
 
 // emitter returns the event buffer a run should fill: the caller's
@@ -197,26 +156,25 @@ func (e *Engine) Run(p *sql.Plan, proc trace.Processor) (Result, error) {
 	return res, err
 }
 
-// dispatch routes a plan to its access path, emitting into buf. A
-// plan hint pins the operator; without one the default paths apply.
+// dispatch lowers the plan's physical tree (the hint is a tree
+// constructor — see sql.Plan.Tree) into a streaming-operator tree and
+// drives it, emitting into buf.
 func (e *Engine) dispatch(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 	e.rt[rkQueryStart].InvokeBuf(buf)
-	switch p.Hint {
-	case sql.HintGraceJoin:
-		return e.runGraceJoin(p, buf)
-	case sql.HintSortAgg:
-		return e.runSortAgg(p, buf)
-	case sql.HintIndexOnly:
-		return e.runBTreeRange(p, buf)
+	n, err := p.Tree()
+	if err != nil {
+		return Result{}, err
 	}
-	switch {
-	case p.IsJoin():
-		return e.runHashJoin(p, buf)
-	case p.Outer.UseIndex:
-		return e.runIndexScan(p, buf)
-	default:
-		return e.runSeqScan(p, buf)
+	sink, err := e.compile(n, p)
+	if err != nil {
+		return Result{}, err
 	}
+	x := &op.Exec{Buf: buf, Pool: e.cat.Pool(), Rt: &e.ops}
+	if err := sink.Run(x, nil); err != nil {
+		return Result{}, err
+	}
+	v, rows := sink.Result()
+	return Result{Value: v, Rows: rows}, nil
 }
 
 // Query prepares and runs a SQL string in one step.

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+
+	"wheretime/internal/engine/op"
+	"wheretime/internal/sql"
+)
+
+// The plan-tree compiler: sql.Plan.Tree() fixes the physical shape
+// (which operators, composed how), and compile lowers each node into
+// its streaming operator with the emission details the shape alone
+// does not carry — which columns each scan touches, which side of a
+// join the aggregate reads, whether the terminal aggregate charges a
+// distinct accumulation invocation. Adding an access-path combination
+// is now a new tree shape plus (at most) a lowering case — never a
+// new hand-fused engine routine.
+
+// compile lowers a physical plan tree into the operator tree,
+// returning the terminal sink.
+func (e *Engine) compile(n *sql.Node, p *sql.Plan) (op.Sink, error) {
+	switch n.Kind {
+	case sql.NodeAgg:
+		child, err := e.lower(n.Left, p)
+		if err != nil {
+			return nil, err
+		}
+		// Scans and sorts feed a distinct per-row accumulation call;
+		// join matches charge accumulation inside the match routine.
+		invoke := n.Left.Kind != sql.NodeHashJoin && n.Left.Kind != sql.NodeGraceJoin
+		return &op.Agg{Input: child, Fn: p.Agg, InvokeAccum: invoke}, nil
+	case sql.NodeHashAgg:
+		child, err := e.lower(n.Left, p)
+		if err != nil {
+			return nil, err
+		}
+		return &op.HashAgg{Input: child, Fn: p.Agg,
+			GroupHint: p.Outer.Table.Heap.NumRecords()}, nil
+	default:
+		return nil, fmt.Errorf("engine: plan tree root %s is not an aggregate", n.Kind)
+	}
+}
+
+// lower compiles one interior node. Scan configuration is
+// consumer-driven: the same NodeHeapScan lowers differently under an
+// aggregate (SRS: filter column touched, aggregate column carried)
+// than as a join input (join column + filter column touched, join key
+// carried) — the lowering context, not the node, owns those details.
+func (e *Engine) lower(n *sql.Node, p *sql.Plan) (op.Operator, error) {
+	switch n.Kind {
+	case sql.NodeHeapScan:
+		// Scan feeding an aggregate or sort directly.
+		acc := n.Acc
+		readsAgg := !p.CountAll && p.AggTable == acc.Table
+		hs := &op.HeapScan{Acc: acc, Cols: []int{acc.FilterCol}, KeyCol: -1, ValCol: -1, Count: true}
+		if acc.HasFilter {
+			hs.KeyCol = acc.FilterCol
+		}
+		if readsAgg {
+			hs.ValCol = p.AggCol
+		}
+		return hs, nil
+
+	case sql.NodeIndexScan:
+		acc := n.Acc
+		readsAgg := !p.CountAll && p.AggTable == acc.Table
+		is := &op.IndexScan{Acc: acc, Cols: []int{acc.FilterCol, p.AggCol}, ValCol: -1, Count: true}
+		if readsAgg {
+			is.ValCol = p.AggCol
+		}
+		return is, nil
+
+	case sql.NodeIndexOnlyScan:
+		return &op.IndexOnlyScan{Acc: n.Acc, CountOnly: p.CountAll, Count: true}, nil
+
+	case sql.NodeFilter:
+		child, err := e.lower(n.Left, p)
+		if err != nil {
+			return nil, err
+		}
+		return &op.Filter{Input: child, Lo: n.Lo, Hi: n.Hi}, nil
+
+	case sql.NodeSort:
+		child, err := e.lower(n.Left, p)
+		if err != nil {
+			return nil, err
+		}
+		return &op.Sort{Input: child, CarryVal: !p.CountAll}, nil
+
+	case sql.NodeHashJoin:
+		return e.lowerHashJoin(n, p)
+
+	case sql.NodeGraceJoin:
+		return e.lowerGraceJoin(n, p)
+
+	default:
+		return nil, fmt.Errorf("engine: cannot lower plan node %s", n.Kind)
+	}
+}
+
+// aggSide resolves which join input carries the aggregate column.
+func aggSide(p *sql.Plan, probe, build *sql.TableAccess) op.AggSide {
+	switch {
+	case !p.CountAll && p.AggTable == probe.Table:
+		return op.AggProbe
+	case !p.CountAll && p.AggTable == build.Table:
+		return op.AggBuild
+	default:
+		return op.AggNone
+	}
+}
+
+func (e *Engine) lowerHashJoin(n *sql.Node, p *sql.Plan) (op.Operator, error) {
+	if n.Right.Kind != sql.NodeHeapScan {
+		return nil, fmt.Errorf("engine: hash-join build input must be a heap scan, got %s", n.Right.Kind)
+	}
+	buildAcc := n.Right.Acc
+	build := &op.HeapScan{Acc: buildAcc, Cols: []int{n.RightCol, buildAcc.FilterCol},
+		KeyCol: n.RightCol, ValCol: -1, Count: false}
+
+	var probe op.Operator
+	var probeAcc *sql.TableAccess
+	switch n.Left.Kind {
+	case sql.NodeHeapScan:
+		probeAcc = n.Left.Acc
+		probe = &op.HeapScan{Acc: probeAcc, Cols: []int{n.LeftCol, probeAcc.FilterCol},
+			KeyCol: n.LeftCol, ValCol: -1, Count: true}
+	case sql.NodeIndexScan:
+		probeAcc = n.Left.Acc
+		if n.LeftCol != probeAcc.FilterCol {
+			return nil, fmt.Errorf("engine: index-probe join needs the probe index on the join column (index on %d, join on %d)",
+				probeAcc.FilterCol, n.LeftCol)
+		}
+		probe = &op.IndexScan{Acc: probeAcc, Cols: []int{probeAcc.FilterCol, p.AggCol},
+			ValCol: -1, Count: true}
+	default:
+		return nil, fmt.Errorf("engine: hash-join probe input must be a scan, got %s", n.Left.Kind)
+	}
+
+	return &op.HashJoin{
+		Build:     build,
+		Probe:     probe,
+		BuildCol:  n.RightCol,
+		BuildRows: buildAcc.Table.Heap.NumRecords(),
+		Side:      aggSide(p, probeAcc, buildAcc),
+		AggCol:    p.AggCol,
+	}, nil
+}
+
+func (e *Engine) lowerGraceJoin(n *sql.Node, p *sql.Plan) (op.Operator, error) {
+	if n.Left.Kind != sql.NodeHeapScan || n.Right.Kind != sql.NodeHeapScan {
+		return nil, fmt.Errorf("engine: grace-join inputs must be heap scans, got %s/%s",
+			n.Left.Kind, n.Right.Kind)
+	}
+	probeAcc, buildAcc := n.Left.Acc, n.Right.Acc
+	side := aggSide(p, probeAcc, buildAcc)
+
+	// A carried aggregate column travels in the partition entries, so
+	// the carrying side's scan touches and reads it (without owing a
+	// load — the join phase's partition-buffer reads move the bytes).
+	buildCols := []int{n.RightCol, buildAcc.FilterCol}
+	buildVal := -1
+	if side == op.AggBuild {
+		buildCols = append(buildCols, p.AggCol)
+		buildVal = p.AggCol
+	}
+	probeCols := []int{n.LeftCol, probeAcc.FilterCol}
+	probeVal := -1
+	if side == op.AggProbe {
+		probeCols = append(probeCols, p.AggCol)
+		probeVal = p.AggCol
+	}
+
+	return &op.GraceJoin{
+		Build: &op.HeapScan{Acc: buildAcc, Cols: buildCols, KeyCol: n.RightCol,
+			ValCol: buildVal, Count: false},
+		Probe: &op.HeapScan{Acc: probeAcc, Cols: probeCols, KeyCol: n.LeftCol,
+			ValCol: probeVal, Count: true},
+		BuildRows: buildAcc.Table.Heap.NumRecords(),
+		ProbeRows: probeAcc.Table.Heap.NumRecords(),
+		Side:      side,
+	}, nil
+}

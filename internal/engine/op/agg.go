@@ -1,0 +1,154 @@
+package op
+
+import (
+	"math"
+
+	"wheretime/internal/sql"
+)
+
+// aggState accumulates one aggregate.
+type aggState struct {
+	fn    sql.AggFunc
+	count uint64
+	sum   int64
+	min   int32
+	max   int32
+}
+
+func (a *aggState) reset(fn sql.AggFunc) {
+	*a = aggState{fn: fn, min: math.MaxInt32, max: math.MinInt32}
+}
+
+func (a *aggState) add(v int32) {
+	a.count++
+	a.sum += int64(v)
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+}
+
+func (a *aggState) addCount() { a.count++ }
+
+// result returns the aggregate value (NaN for avg/min/max over no
+// rows) and the number of contributing rows.
+func (a *aggState) result() (float64, uint64) {
+	var v float64
+	switch a.fn {
+	case sql.AggCount:
+		v = float64(a.count)
+	case sql.AggSum:
+		v = float64(a.sum)
+	case sql.AggAvg:
+		if a.count == 0 {
+			v = math.NaN()
+		} else {
+			v = float64(a.sum) / float64(a.count)
+		}
+	case sql.AggMin:
+		if a.count == 0 {
+			v = math.NaN()
+		} else {
+			v = float64(a.min)
+		}
+	case sql.AggMax:
+		if a.count == 0 {
+			v = math.NaN()
+		} else {
+			v = float64(a.max)
+		}
+	}
+	return v, a.count
+}
+
+// Agg is the terminal streaming aggregate. Per input row it emits the
+// AggAccum invocation when InvokeAccum is set (scans and sorts feed a
+// distinct accumulation call; join matches charge their accumulation
+// inside JoinMatch, so join-fed aggregates clear it), then the owed
+// value load (ValAddr contract), then accumulates Val — or just
+// counts when the row carries no value.
+type Agg struct {
+	Input Operator
+	Fn    sql.AggFunc
+	// InvokeAccum emits one AggAccum invocation per row.
+	InvokeAccum bool
+
+	st aggState
+}
+
+// Run implements Operator. push may be nil: Agg is terminal.
+func (o *Agg) Run(x *Exec, _ func(Row)) error {
+	o.st.reset(o.Fn)
+	return o.Input.Run(x, func(r Row) {
+		if o.InvokeAccum {
+			x.Rt.AggAccum.InvokeBuf(x.Buf)
+		}
+		if r.ValAddr != 0 {
+			x.Buf.Load(r.ValAddr, r.ValSize)
+		}
+		if r.HasVal {
+			o.st.add(r.Val)
+		} else {
+			o.st.addCount()
+		}
+	})
+}
+
+// Result implements Sink.
+func (o *Agg) Result() (float64, uint64) { return o.st.result() }
+
+// HashAgg is the hash-grouped terminal aggregate: rows group by Key
+// through a chained hash table at Base (the same bucket-array + entry
+// arena geometry the joins use), costing one AggAccum invocation, the
+// owed value load, a random bucket-head load and a group-entry store
+// per row. It reports the global aggregate over all rows — grouping
+// changes the access pattern, never the total — plus the group count.
+type HashAgg struct {
+	Input Operator
+	Fn    sql.AggFunc
+	// GroupHint sizes the bucket array: the expected distinct-key
+	// count (the table is sized before the input runs).
+	GroupHint uint64
+
+	st     aggState
+	groups int
+}
+
+// Run implements Operator. push may be nil: HashAgg is terminal.
+func (o *HashAgg) Run(x *Exec, _ func(Row)) error {
+	o.st.reset(o.Fn)
+	o.groups = 0
+	buf := x.Buf
+	nBuckets := nextPow2(o.GroupHint + 1)
+	bucketMask := nBuckets - 1
+	entriesBase := Base + nBuckets*hashBucketBytes
+	idx := make(map[int32]uint32, o.GroupHint)
+	return o.Input.Run(x, func(r Row) {
+		x.Rt.AggAccum.InvokeBuf(buf)
+		if r.ValAddr != 0 {
+			buf.Load(r.ValAddr, r.ValSize)
+		}
+		b := uint64(hash32(r.Key)) & bucketMask
+		buf.Load(Base+b*hashBucketBytes, hashBucketBytes)
+		gi, ok := idx[r.Key]
+		if !ok {
+			gi = uint32(len(idx))
+			idx[r.Key] = gi
+			o.groups++
+		}
+		buf.Store(entriesBase+uint64(gi)*hashEntryBytes, hashEntryBytes)
+		if r.HasVal {
+			o.st.add(r.Val)
+		} else {
+			o.st.addCount()
+		}
+	})
+}
+
+// Result implements Sink.
+func (o *HashAgg) Result() (float64, uint64) { return o.st.result() }
+
+// Groups returns the distinct-key count of the last Run.
+func (o *HashAgg) Groups() int { return o.groups }

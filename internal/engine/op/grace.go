@@ -1,22 +1,15 @@
-package engine
+package op
 
-import (
-	"fmt"
+import "wheretime/internal/storage"
 
-	"wheretime/internal/sql"
-	"wheretime/internal/storage"
-	"wheretime/internal/trace"
-)
-
-// The Grace/hybrid hash join (plan hint sql.HintGraceJoin) executes an
-// equijoin in two phases with partition-sized working sets, the
-// structure analysed in the robust dynamic hybrid hash join
-// literature:
+// The Grace/hybrid hash join executes an equijoin in two phases with
+// partition-sized working sets, the structure analysed in the robust
+// dynamic hybrid hash join literature:
 //
-//   - Partition: both inputs are scanned once and hash-partitioned on
-//     the join key into per-partition output buffers — sequential
-//     writes within a partition, the partition chosen by (different
-//     bits of) the same hash the in-partition table later uses.
+//   - Partition: both inputs stream once and hash-partition on the
+//     join key into per-partition output buffers — sequential writes
+//     within a partition, the partition chosen by (different bits of)
+//     the same hash the in-partition table later uses.
 //   - Join: partition pairs are processed one at a time. The build
 //     partition is read sequentially into an in-memory chained hash
 //     table whose bucket array is reused across partitions (the hot,
@@ -25,9 +18,8 @@ import (
 //     plus a chain walk per probe record — the hash-bucket
 //     random-access pattern, confined to a partition-sized region.
 //
-// Results are identical to the single-table in-memory join
-// (runHashJoin): partitioning only routes tuples, it never drops or
-// duplicates a match.
+// Results are identical to HashJoin's: partitioning only routes
+// tuples, it never drops or duplicates a match.
 
 // Simulated partition geometry.
 const (
@@ -50,7 +42,6 @@ const (
 type graceEntry struct {
 	key int32
 	val int32
-	rid storage.RID
 	seq uint32
 }
 
@@ -82,86 +73,65 @@ func partEntryAddr(base, p uint64, seq uint32) uint64 {
 	return base + p*gracePartStride + uint64(seq)*gracePartEntryBytes%gracePartStride
 }
 
-// partitionInput scans one side of the join and hash-partitions it:
-// the shared scan emission (page fix, record touch, deformat, optional
-// filter), then one rkPartition invocation and a sequential
-// partition-buffer write per surviving record. countRecords fires
-// RecordProcessed per scanned record — set on the probe side, whose
-// cardinality is the paper-style per-record denominator.
-func (e *Engine) partitionInput(buf *trace.Buffer, acc *sql.TableAccess, keyCol int,
-	aggCol int, carryAgg bool, base uint64, partMask uint64, countRecords bool) [][]graceEntry {
-
-	parts := make([][]graceEntry, partMask+1)
-	cols := []int{keyCol, acc.FilterCol}
-	if carryAgg {
-		cols = append(cols, aggCol)
-	}
-	e.scanEmit(buf, acc, cols, func(pg *storage.Page, slot uint16, matched bool) {
-		if !matched {
-			if countRecords {
-				buf.RecordProcessed()
-			}
-			return
-		}
-		key := pg.Field(slot, keyCol)
-		var val int32
-		if carryAgg {
-			val = pg.Field(slot, aggCol)
-		}
-		p := gracePart(key, partMask)
-		e.rt[rkPartition].InvokeBuf(buf)
-		seq := uint32(len(parts[p]))
-		buf.Store(partEntryAddr(base, p, seq), gracePartEntryBytes)
-		parts[p] = append(parts[p], graceEntry{
-			key: key, val: val, rid: storage.RID{Page: pg.ID(), Slot: slot}, seq: seq})
-		if countRecords {
-			buf.RecordProcessed()
-		}
-	})
-	return parts
+// GraceJoin is the Grace/hybrid-partition equijoin. Each input row
+// costs one Partition invocation and a sequential partition-buffer
+// store; the join phase then re-reads the partition buffers, so a
+// carried aggregate value travels in the partition entry (the input
+// scan reads the field without owing a load — the join-phase
+// partition-buffer read is where the bytes move). Matches push rows
+// whose ValAddr points into the partition buffer or entry arena,
+// never the heap.
+type GraceJoin struct {
+	Build, Probe Operator
+	// BuildRows and ProbeRows are the input cardinalities, fixing the
+	// partition fan-out before either input runs.
+	BuildRows, ProbeRows uint64
+	Side                 AggSide
 }
 
-// runGraceJoin executes an equijoin plan as a Grace/hybrid hash join.
-// The aggregate result is identical to runHashJoin's; only the access
-// structure differs.
-func (e *Engine) runGraceJoin(p *sql.Plan, buf *trace.Buffer) (Result, error) {
-	if !p.IsJoin() {
-		return Result{}, fmt.Errorf("engine: %s hint on a single-table plan", p.Hint)
-	}
-	build, probe := p.Inner, p.Outer
-	buildCol, probeCol := p.InnerCol, p.OuterCol
+// Run implements Operator.
+func (o *GraceJoin) Run(x *Exec, push func(Row)) error {
+	buf := x.Buf
 
-	agg := newAggState(p.Agg)
-	readsOuter := !p.CountAll && p.AggTable == probe.Table
-	readsInner := !p.CountAll && p.AggTable == build.Table
-	aggCol := p.AggCol
-
-	nBuild := build.Table.Heap.NumRecords()
-	nProbe := probe.Table.Heap.NumRecords()
-	parts := gracePartitions(nBuild)
+	parts := gracePartitions(o.BuildRows)
 	// Grow the fan-out (up to the cap) until both sides' partitions are
 	// expected to fit their stride regions; past the cap, partEntryAddr
 	// wraps within the partition rather than aliasing a neighbour.
-	for parts < graceMaxParts && (nBuild*gracePartEntryBytes/parts > gracePartStride ||
-		nProbe*gracePartEntryBytes/parts > gracePartStride) {
+	for parts < graceMaxParts && (o.BuildRows*gracePartEntryBytes/parts > gracePartStride ||
+		o.ProbeRows*gracePartEntryBytes/parts > gracePartStride) {
 		parts <<= 1
 	}
 	partMask := parts - 1
 
 	// Region layout in the per-query workspace: build partitions, then
 	// probe partitions, then the reusable in-memory table region.
-	buildBase := workspaceBase
+	buildBase := Base
 	probeBase := buildBase + (partMask+1)*gracePartStride
 	tableBase := probeBase + (partMask+1)*gracePartStride
 
 	// --- Partition phase --------------------------------------------
-	buildParts := e.partitionInput(buf, build, buildCol, aggCol, readsInner,
-		buildBase, partMask, false)
-	probeParts := e.partitionInput(buf, probe, probeCol, aggCol, readsOuter,
-		probeBase, partMask, true)
+	partition := func(in Operator, base uint64) ([][]graceEntry, error) {
+		ps := make([][]graceEntry, partMask+1)
+		err := in.Run(x, func(r Row) {
+			p := gracePart(r.Key, partMask)
+			x.Rt.Partition.InvokeBuf(buf)
+			seq := uint32(len(ps[p]))
+			buf.Store(partEntryAddr(base, p, seq), gracePartEntryBytes)
+			ps[p] = append(ps[p], graceEntry{key: r.Key, val: r.Val, seq: seq})
+		})
+		return ps, err
+	}
+	buildParts, err := partition(o.Build, buildBase)
+	if err != nil {
+		return err
+	}
+	probeParts, err := partition(o.Probe, probeBase)
+	if err != nil {
+		return err
+	}
 
 	// --- Join phase: one partition pair at a time --------------------
-	probeRt := e.rt[rkHashProbe]
+	probeRt := x.Rt.HashProbe
 	matchPC := probeRt.Addr + uint64(probeRt.CodeBytes) - 8
 
 	for pi := uint64(0); pi <= partMask; pi++ {
@@ -179,7 +149,7 @@ func (e *Engine) runGraceJoin(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 		for i, ent := range bp {
 			// Sequential read of the build partition buffer...
 			buf.Load(partEntryAddr(buildBase, pi, ent.seq), gracePartEntryBytes)
-			e.rt[rkHashBuild].InvokeBuf(buf)
+			x.Rt.HashBuild.InvokeBuf(buf)
 			// ...random bucket-head update and entry write.
 			b := uint64(hash32(ent.key)) & bucketMask
 			buf.Store(tableBase+b*hashBucketBytes, hashBucketBytes)
@@ -197,24 +167,29 @@ func (e *Engine) runGraceJoin(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 			for _, bent := range chain {
 				buf.Load(entriesBase+uint64(bent.seq)*hashEntryBytes, hashEntryBytes)
 				buf.Branch(matchPC, matchPC+64, true)
-				e.rt[rkJoinMatch].InvokeBuf(buf)
-				switch {
-				case readsOuter:
+				x.Rt.JoinMatch.InvokeBuf(buf)
+				out := Row{Key: ent.key}
+				switch o.Side {
+				case AggProbe:
 					// The aggregate column travelled with the probe
-					// tuple; read it back from the partition buffer.
-					buf.Load(partEntryAddr(probeBase, pi, ent.seq)+8, storage.FieldSize)
-					agg.add(ent.val)
-				case readsInner:
-					buf.Load(entriesBase+uint64(bent.seq)*hashEntryBytes+8, storage.FieldSize)
-					agg.add(bent.val)
-				default:
-					agg.addCount()
+					// tuple; the consumer reads it back from the
+					// partition buffer.
+					out.Val = ent.val
+					out.ValAddr = partEntryAddr(probeBase, pi, ent.seq) + 8
+					out.ValSize = storage.FieldSize
+					out.HasVal = true
+				case AggBuild:
+					out.Val = bent.val
+					out.ValAddr = entriesBase + uint64(bent.seq)*hashEntryBytes + 8
+					out.ValSize = storage.FieldSize
+					out.HasVal = true
 				}
+				push(out)
 			}
 			if len(chain) == 0 {
 				buf.Branch(matchPC, matchPC+64, false)
 			}
 		}
 	}
-	return agg.result(), nil
+	return nil
 }

@@ -1,0 +1,120 @@
+package op
+
+import (
+	"fmt"
+
+	"wheretime/internal/index"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+)
+
+// idxLeafEntryBytes is one leaf entry: 4-byte key + 8-byte RID.
+const idxLeafEntryBytes = 12
+
+// descentEmit returns the per-level visitor of a B+-tree descent: one
+// IdxDescend invocation per node, with the binary search touching
+// log2(keys) positions spread through the node page. Both index
+// operators share this one definition of the descent cost.
+func descentEmit(x *Exec) func(index.DescentStep) {
+	return func(step index.DescentStep) {
+		x.Rt.IdxDescend.InvokeBuf(x.Buf)
+		span := uint64(storage.PageSize)
+		for i := 0; i < step.KeysInspected; i++ {
+			span >>= 1
+			x.Buf.Load(step.Addr+span, storage.FieldSize)
+		}
+	}
+}
+
+// IndexScan selects a key range through a non-clustered B+-tree: one
+// descent to the start of the range, then a leaf-chain walk, with
+// each qualifying entry materialised through a RID fetch into the
+// heap (IdxLeafNext + leaf-entry load, RidFetch + page fix,
+// TouchRecord over Cols, deformat). Rows carry the index key as Key
+// and, when ValCol is set, the heap field as Val — with ValAddr zero,
+// because TouchRecord already materialised the record; no further
+// load is owed.
+type IndexScan struct {
+	Acc *sql.TableAccess
+	// Cols is the TouchRecord column order at the RID fetch.
+	Cols []int
+	// ValCol fills Row.Val from the fetched record; -1 carries none.
+	ValCol int
+	// Count fires RecordProcessed per selected entry.
+	Count bool
+}
+
+// Run implements Operator.
+func (o *IndexScan) Run(x *Exec, push func(Row)) error {
+	acc := o.Acc
+	tree := acc.Table.Indexes[acc.FilterCol]
+	if tree == nil {
+		return fmt.Errorf("op: plan wants an index on %s column %d but none exists",
+			acc.Table.Name, acc.FilterCol)
+	}
+	buf := x.Buf
+	tree.RangeTrace(acc.Lo, acc.Hi,
+		descentEmit(x),
+		func(key int32, rid storage.RID, pos index.LeafPos) bool {
+			x.Rt.IdxLeafNext.InvokeBuf(buf)
+			buf.Load(pos.Addr+32+uint64(pos.Index)*idxLeafEntryBytes, idxLeafEntryBytes)
+
+			// Materialise the record: buffer-pool lookup, page fix,
+			// slot dereference — a random page access for a
+			// non-clustered index.
+			x.Rt.RidFetch.InvokeBuf(buf)
+			pg := x.Pool.Get(rid.Page)
+			buf.Load(pg.HeaderAddr(), 16)
+			pg.TouchRecord(buf, rid.Slot, o.Cols...)
+			deformat(x, pg, 2)
+			r := Row{Key: key, Pg: pg, Slot: rid.Slot}
+			if o.ValCol >= 0 {
+				r.Val = pg.Field(rid.Slot, o.ValCol)
+				r.HasVal = true
+			}
+			push(r)
+			if o.Count {
+				buf.RecordProcessed()
+			}
+			return true
+		})
+	return nil
+}
+
+// IndexOnlyScan answers a key range from the B+-tree alone: one
+// descent, then a walk along the leaf chain — a handful of random
+// node jumps followed by strictly sequential leaf reads, with no heap
+// page fetched at any point. Rows carry the index key as both Key and
+// Val (HasVal false under CountOnly), with ValAddr zero: the leaf
+// entry load already covered the key bytes.
+type IndexOnlyScan struct {
+	Acc *sql.TableAccess
+	// CountOnly marks a COUNT(*): rows are counted, not accumulated.
+	CountOnly bool
+	// Count fires RecordProcessed per selected entry.
+	Count bool
+}
+
+// Run implements Operator.
+func (o *IndexOnlyScan) Run(x *Exec, push func(Row)) error {
+	acc := o.Acc
+	tree := acc.Table.Indexes[acc.FilterCol]
+	if tree == nil {
+		return fmt.Errorf("op: plan wants an index on %s column %d but none exists",
+			acc.Table.Name, acc.FilterCol)
+	}
+	buf := x.Buf
+	leaf := x.Rt.IdxLeafNext
+	tree.RangeTrace(acc.Lo, acc.Hi,
+		descentEmit(x),
+		func(key int32, rid storage.RID, pos index.LeafPos) bool {
+			leaf.InvokeBuf(buf)
+			buf.Load(pos.Addr+32+uint64(pos.Index)*idxLeafEntryBytes, idxLeafEntryBytes)
+			push(Row{Key: key, Val: key, HasVal: !o.CountOnly})
+			if o.Count {
+				buf.RecordProcessed()
+			}
+			return true
+		})
+	return nil
+}

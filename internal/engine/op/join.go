@@ -1,0 +1,124 @@
+package op
+
+import "wheretime/internal/storage"
+
+// AggSide names which join input carries the aggregate column, fixing
+// which side's field the match resolves Row.Val (and its owed load)
+// from.
+type AggSide int
+
+const (
+	// AggNone: the aggregate is COUNT(*) (or over neither input);
+	// matches push valueless rows.
+	AggNone AggSide = iota
+	// AggProbe: the aggregate column lives on the probe input.
+	AggProbe
+	// AggBuild: the aggregate column lives on the build input.
+	AggBuild
+)
+
+// hashEntry is one build-side tuple in the join hash table.
+type hashEntry struct {
+	key int32
+	rid storage.RID
+	// idx is the entry's allocation index: its simulated address is
+	// entriesBase + idx*hashEntryBytes.
+	idx uint32
+}
+
+// Simulated hash-table geometry: a bucket-head array followed by an
+// entry arena, the classic chained table. Entry size covers key, RID,
+// chain pointer and padding.
+const (
+	hashBucketBytes = 8
+	hashEntryBytes  = 24
+)
+
+// HashJoin is the in-memory chained-hash equijoin: the build input is
+// drained into a bucket array + entry arena at Base (one HashBuild
+// invocation, bucket-head store and entry store per build row), then
+// the probe input streams through it (HashProbe invocation and bucket
+// load per probe row; per chain entry an entry load, a data-dependent
+// key-compare branch, a JoinMatch invocation and the build record's
+// touch). Each match pushes a row whose Val resolves from Side's
+// field — the consumer owes its load via ValAddr.
+//
+// Build rows must carry Key and Pg/Slot; probe rows Key and (when
+// Side is AggProbe) Pg/Slot for the aggregate field.
+type HashJoin struct {
+	Build, Probe Operator
+	// BuildCol is the build-side join column, re-touched to verify
+	// each match against the build record.
+	BuildCol int
+	// BuildRows sizes the bucket array: the build relation's
+	// cardinality (the table is sized before the build input runs).
+	BuildRows uint64
+	Side      AggSide
+	// AggCol is the aggregate column on Side's table.
+	AggCol int
+}
+
+// Run implements Operator.
+func (o *HashJoin) Run(x *Exec, push func(Row)) error {
+	buf := x.Buf
+
+	// --- Build phase -------------------------------------------------
+	nBuckets := nextPow2(o.BuildRows + 1)
+	bucketMask := nBuckets - 1
+	entriesBase := Base + nBuckets*hashBucketBytes
+
+	table := make(map[int32][]hashEntry, o.BuildRows)
+	var entryIdx uint32
+
+	if err := o.Build.Run(x, func(r Row) {
+		x.Rt.HashBuild.InvokeBuf(buf)
+		// Bucket-head update and entry write.
+		b := uint64(hash32(r.Key)) & bucketMask
+		buf.Store(Base+b*hashBucketBytes, hashBucketBytes)
+		buf.Store(entriesBase+uint64(entryIdx)*hashEntryBytes, hashEntryBytes)
+		table[r.Key] = append(table[r.Key],
+			hashEntry{key: r.Key, rid: storage.RID{Page: r.Pg.ID(), Slot: r.Slot}, idx: entryIdx})
+		entryIdx++
+	}); err != nil {
+		return err
+	}
+
+	// --- Probe phase -------------------------------------------------
+	probeRt := x.Rt.HashProbe
+	matchPC := probeRt.Addr + uint64(probeRt.CodeBytes) - 8
+	return o.Probe.Run(x, func(r Row) {
+		probeRt.InvokeBuf(buf)
+		b := uint64(hash32(r.Key)) & bucketMask
+		buf.Load(Base+b*hashBucketBytes, hashBucketBytes)
+		chain := table[r.Key]
+		// Walk the chain entries; the key-compare branch outcome
+		// depends on data, so it retires as an architectural
+		// branch per entry.
+		for _, ent := range chain {
+			buf.Load(entriesBase+uint64(ent.idx)*hashEntryBytes, hashEntryBytes)
+			buf.Branch(matchPC, matchPC+64, true)
+			x.Rt.JoinMatch.InvokeBuf(buf)
+			// Verify against the build-side record (random access
+			// into the build heap).
+			bpg := x.Pool.Get(ent.rid.Page)
+			bpg.TouchRecord(buf, ent.rid.Slot, o.BuildCol)
+			out := Row{Key: r.Key, Pg: r.Pg, Slot: r.Slot}
+			switch o.Side {
+			case AggProbe:
+				out.Val = r.Pg.Field(r.Slot, o.AggCol)
+				out.ValAddr = r.Pg.FieldAddr(r.Slot, o.AggCol)
+				out.ValSize = storage.FieldSize
+				out.HasVal = true
+			case AggBuild:
+				out.Val = bpg.Field(ent.rid.Slot, o.AggCol)
+				out.ValAddr = bpg.FieldAddr(ent.rid.Slot, o.AggCol)
+				out.ValSize = storage.FieldSize
+				out.HasVal = true
+			}
+			push(out)
+		}
+		if len(chain) == 0 {
+			buf.Branch(matchPC, matchPC+64, false)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Package op implements the engine's composable streaming operators:
+// heap and index scans, filters, in-memory and Grace-partition hash
+// joins, external sort, and sort- or hash-based aggregation. Operators
+// assemble into trees (any plan shape, not just the canned
+// scenarios) and emit their hardware narration through the same
+// trace.Buffer protocol the monolithic access paths used, preserving
+// the event-order invariant of docs/ARCHITECTURE.md: an operator tree
+// emits a deterministic event sequence that is a pure function of the
+// plan and the data, never of buffering, batching or replay.
+//
+// # Execution model
+//
+// Execution is push-based: Run drives an operator's own work and
+// delivers each output row to the parent's push callback, so the
+// nesting of callbacks is exactly the nesting of the emitted event
+// stream — a row's downstream costs (sort insertion, aggregate
+// accumulation) appear at the point the row is produced, which is
+// what keeps the composed streams byte-identical to the hand-fused
+// routines they replaced.
+//
+// # Emission contracts
+//
+// Producers and consumers split a row's event costs along a strict
+// seam:
+//
+//   - A producer emits everything needed to *surface* the row: page
+//     fixes, record touches, deformatting, predicate branches, index
+//     descents, join-match chains.
+//   - Row.ValAddr publishes where the row's carried value lives in
+//     the simulated address space. The consumer that uses the value
+//     emits exactly one Load(ValAddr, ValSize) at its use point;
+//     ValAddr zero means no load is owed (e.g. an index scan already
+//     materialised the field via TouchRecord).
+//   - Row.HasVal false means the row carries no aggregate input and
+//     terminal operators count it instead of accumulating it.
+//   - A scan with Count set fires RecordProcessed once per *scanned*
+//     record, after the row's entire downstream work — that is the
+//     paper's per-record denominator, and it is why Count belongs to
+//     the driving scan, never to an interior operator.
+package op
+
+import (
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+)
+
+// Base is where per-query scratch structures (hash tables, partition
+// buffers, sort runs) live in the simulated address space.
+const Base uint64 = 0x6000_0000
+
+// baselineFields is the field count of the paper's default 100-byte
+// record; the field-iteration routine's per-invocation cost is
+// calibrated to it.
+const baselineFields = 25
+
+// Row is one tuple flowing between operators. Key carries the join,
+// sort or group key; Val the aggregate input (valid when HasVal);
+// ValAddr/ValSize where a consumer must load it from (zero: no load
+// owed). Pg and Slot identify the backing record for operators that
+// re-touch it (join match verification).
+type Row struct {
+	Key     int32
+	Val     int32
+	ValAddr uint64
+	ValSize uint32
+	HasVal  bool
+	Pg      *storage.Page
+	Slot    uint16
+}
+
+// Routines is the set of named trace routines operators invoke. The
+// engine builds it from its per-system routine table; op never
+// allocates routines, so composing operators can never move an
+// existing routine's address.
+type Routines struct {
+	PageNext    *trace.Routine
+	ScanNext    *trace.Routine
+	QualEval    *trace.Routine
+	AggAccum    *trace.Routine
+	IdxDescend  *trace.Routine
+	IdxLeafNext *trace.Routine
+	RidFetch    *trace.Routine
+	HashBuild   *trace.Routine
+	HashProbe   *trace.Routine
+	JoinMatch   *trace.Routine
+	FieldIter   *trace.Routine
+	Partition   *trace.Routine
+	SortRun     *trace.Routine
+	SortMerge   *trace.Routine
+}
+
+// Exec is the per-run execution context: the event buffer the tree
+// emits into, the buffer pool pages come from, and the routine set.
+type Exec struct {
+	Buf  *trace.Buffer
+	Pool *storage.BufferPool
+	Rt   *Routines
+}
+
+// Operator is one node of a streaming plan tree. Run executes the
+// operator — driving its children recursively — and delivers each
+// output row to push in stream order. Terminal operators (Agg,
+// HashAgg) accept a nil push.
+type Operator interface {
+	Run(x *Exec, push func(Row)) error
+}
+
+// Sink is a terminal operator holding an aggregate result.
+type Sink interface {
+	Operator
+	Result() (value float64, rows uint64)
+}
+
+// hash32 is a Fibonacci-style integer hash.
+func hash32(v int32) uint32 {
+	x := uint32(v)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+func nextPow2(v uint64) uint64 {
+	n := uint64(1)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package op
+
+import (
+	"math"
+	"testing"
+
+	"wheretime/internal/sql"
+	"wheretime/internal/trace"
+)
+
+// The operator tests exercise the composable pieces without an engine
+// or a catalog: a stub source pushes synthetic rows and the operators
+// above it must aggregate correctly and emit deterministic streams.
+
+// testRoutines places one minimal routine per Routines field.
+func testRoutines() *Routines {
+	l := trace.NewLayout()
+	mk := func(name string) *trace.Routine {
+		return l.Place(&trace.Routine{Name: name, CodeBytes: 256, ExecBytes: 64, Instrs: 16, Uops: 24})
+	}
+	return &Routines{
+		PageNext: mk("page"), ScanNext: mk("scan"), QualEval: mk("qual"),
+		AggAccum: mk("agg"), IdxDescend: mk("descend"), IdxLeafNext: mk("leaf"),
+		RidFetch: mk("rid"), HashBuild: mk("build"), HashProbe: mk("probe"),
+		JoinMatch: mk("match"), FieldIter: mk("field"), Partition: mk("part"),
+		SortRun: mk("sortrun"), SortMerge: mk("sortmerge"),
+	}
+}
+
+// rowSource pushes a fixed row slice.
+type rowSource struct{ rows []Row }
+
+func (s *rowSource) Run(_ *Exec, push func(Row)) error {
+	for _, r := range s.rows {
+		push(r)
+	}
+	return nil
+}
+
+func newExec(c *trace.Counting) *Exec {
+	return &Exec{Buf: trace.NewBuffer(c, 0), Rt: testRoutines()}
+}
+
+func keyedRows(keys []int32) []Row {
+	rows := make([]Row, len(keys))
+	for i, k := range keys {
+		rows[i] = Row{Key: k, Val: k * 10, HasVal: true}
+	}
+	return rows
+}
+
+func TestFilterBounds(t *testing.T) {
+	var c trace.Counting
+	x := newExec(&c)
+	f := &Filter{Input: &rowSource{rows: keyedRows([]int32{1, 5, 9, 10, 3})}, Lo: 3, Hi: 10}
+	var got []int32
+	if err := f.Run(x, func(r Row) { got = append(got, r.Key) }); err != nil {
+		t.Fatal(err)
+	}
+	x.Buf.Flush()
+	want := []int32{5, 9, 3}
+	if len(got) != len(want) {
+		t.Fatalf("filter passed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("filter passed %v, want %v", got, want)
+		}
+	}
+	// One qual invocation and one predicate branch per input row.
+	if c.Branches < 5 {
+		t.Errorf("filter emitted %d branches for 5 rows", c.Branches)
+	}
+}
+
+func TestAggFunctions(t *testing.T) {
+	rows := keyedRows([]int32{4, 1, 3}) // vals 40, 10, 30
+	cases := []struct {
+		fn   sql.AggFunc
+		want float64
+	}{
+		{sql.AggSum, 80}, {sql.AggAvg, 80.0 / 3}, {sql.AggMin, 10},
+		{sql.AggMax, 40}, {sql.AggCount, 3},
+	}
+	for _, tc := range cases {
+		var c trace.Counting
+		a := &Agg{Input: &rowSource{rows: rows}, Fn: tc.fn, InvokeAccum: true}
+		if err := a.Run(newExec(&c), nil); err != nil {
+			t.Fatal(err)
+		}
+		v, n := a.Result()
+		if n != 3 || math.Abs(v-tc.want) > 1e-12 {
+			t.Errorf("fn %v: got (%v, %d), want (%v, 3)", tc.fn, v, n, tc.want)
+		}
+	}
+	// Empty input: avg/min/max are NaN, count of rows is zero.
+	for _, fn := range []sql.AggFunc{sql.AggAvg, sql.AggMin, sql.AggMax} {
+		var c trace.Counting
+		a := &Agg{Input: &rowSource{}, Fn: fn}
+		if err := a.Run(newExec(&c), nil); err != nil {
+			t.Fatal(err)
+		}
+		if v, n := a.Result(); n != 0 || !math.IsNaN(v) {
+			t.Errorf("empty fn %v: got (%v, %d), want (NaN, 0)", fn, v, n)
+		}
+	}
+}
+
+func TestSortPreservesAggregate(t *testing.T) {
+	// Enough rows to close several runs and force a merge pass.
+	n := sortRunCap*2 + 17
+	keys := make([]int32, n)
+	var wantSum int64
+	for i := range keys {
+		keys[i] = int32((i * 2654435761) % 10007)
+		wantSum += int64(keys[i] * 10)
+	}
+	var c trace.Counting
+	x := newExec(&c)
+	s := &Sort{Input: &rowSource{rows: keyedRows(keys)}, CarryVal: true}
+	var sum int64
+	last := int32(math.MinInt32)
+	rows := 0
+	if err := s.Run(x, func(r Row) {
+		if r.Key < last {
+			t.Fatalf("output not sorted: %d after %d", r.Key, last)
+		}
+		last = r.Key
+		sum += int64(r.Val)
+		rows++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	x.Buf.Flush()
+	if rows != n || sum != wantSum {
+		t.Fatalf("sorted stream carried (%d rows, sum %d), want (%d, %d)", rows, sum, n, wantSum)
+	}
+	if c.Stores == 0 || c.Loads == 0 {
+		t.Error("sort emitted no run-buffer traffic")
+	}
+}
+
+func TestHashAggGroups(t *testing.T) {
+	var c trace.Counting
+	h := &HashAgg{Input: &rowSource{rows: keyedRows([]int32{7, 7, 2, 9, 2, 7})},
+		Fn: sql.AggCount, GroupHint: 8}
+	if err := h.Run(newExec(&c), nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, n := h.Result(); n != 6 || v != 6 {
+		t.Errorf("hash agg counted (%v, %d), want (6, 6)", v, n)
+	}
+	if h.Groups() != 3 {
+		t.Errorf("hash agg saw %d groups, want 3", h.Groups())
+	}
+}
+
+// TestOperatorStreamsDeterministic pins the emission contract at the
+// operator level: the same tree over the same rows, run from freshly
+// placed routines, emits identical event tallies.
+func TestOperatorStreamsDeterministic(t *testing.T) {
+	run := func() trace.Counting {
+		var c trace.Counting
+		x := newExec(&c)
+		a := &Agg{
+			Input: &Sort{
+				Input:    &Filter{Input: &rowSource{rows: keyedRows([]int32{9, 2, 5, 8, 2, 7, 1})}, Lo: 2, Hi: 9},
+				CarryVal: true,
+			},
+			Fn: sql.AggAvg, InvokeAccum: true,
+		}
+		if err := a.Run(x, nil); err != nil {
+			t.Fatal(err)
+		}
+		x.Buf.Flush()
+		return c
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two runs emitted different streams:\n first %+v\nsecond %+v", a, b)
+	}
+	if a.Loads == 0 || a.Branches == 0 {
+		t.Errorf("stream looks empty: %+v", a)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	for _, tc := range []struct{ in, want uint64 }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {1024, 1024}, {1025, 2048},
+	} {
+		if got := nextPow2(tc.in); got != tc.want {
+			t.Errorf("nextPow2(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {4096, 12},
+	} {
+		if got := log2int(tc.n); got != tc.want {
+			t.Errorf("log2int(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	seen := map[uint32]bool{}
+	for v := int32(0); v < 1000; v++ {
+		seen[hash32(v)] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("hash32 collided on small ints: %d distinct of 1000", len(seen))
+	}
+}

@@ -1,0 +1,111 @@
+package op
+
+import (
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+)
+
+// deformat emits the tuple-deformatting work of materialising a
+// record: row stores walk every attribute descriptor of the record,
+// so the cost scales with record width; PAX engines deformat only the
+// columns the query touches.
+func deformat(x *Exec, pg *storage.Page, cols int) {
+	n := pg.Fields()
+	if pg.Layout() == storage.PAX {
+		n = cols
+	}
+	x.Rt.FieldIter.InvokeFracBuf(x.Buf, uint32(n), baselineFields)
+}
+
+// HeapScan walks a table's heap emitting the shared scan protocol
+// every scanning plan rides: per page, the buffer-pool fix (PageNext)
+// and header load; per record, the slot advance (ScanNext), the
+// record materialisation (TouchRecord over Cols, in order — order
+// matters for PAX emission), deformatting, and — when the access
+// carries a filter — the predicate evaluation (QualEval) with its
+// data-dependent retired branch. Qualifying records are pushed with
+// Key from KeyCol and a carried value from ValCol (whose load the
+// consumer owes, per the ValAddr contract).
+type HeapScan struct {
+	Acc *sql.TableAccess
+	// Cols is the TouchRecord column order.
+	Cols []int
+	// KeyCol fills Row.Key; -1 leaves it zero.
+	KeyCol int
+	// ValCol fills Row.Val/ValAddr/ValSize; -1 carries no value.
+	ValCol int
+	// Count fires RecordProcessed per scanned record, after the
+	// pushed row's downstream work.
+	Count bool
+}
+
+// Run implements Operator.
+func (o *HeapScan) Run(x *Exec, push func(Row)) error {
+	buf := x.Buf
+	acc := o.Acc
+	qual := x.Rt.QualEval
+	qualPC := qual.Addr + uint64(qual.CodeBytes) - 8
+	for _, pid := range acc.Table.Heap.PageIDs() {
+		pg := x.Pool.Get(pid)
+		x.Rt.PageNext.InvokeBuf(buf)
+		buf.Load(pg.HeaderAddr(), 16)
+		n := pg.NumRecords()
+		for s := 0; s < n; s++ {
+			slot := uint16(s)
+			x.Rt.ScanNext.InvokeBuf(buf)
+			pg.TouchRecord(buf, slot, o.Cols...)
+			deformat(x, pg, 2)
+			matched := true
+			if acc.HasFilter {
+				qual.InvokeBuf(buf)
+				v := pg.Field(slot, acc.FilterCol)
+				matched = v >= acc.Lo && v < acc.Hi
+				// Taken means "record rejected, skip the per-record work".
+				buf.Branch(qualPC, qualPC+96, !matched)
+			}
+			if matched {
+				r := Row{Pg: pg, Slot: slot}
+				if o.KeyCol >= 0 {
+					r.Key = pg.Field(slot, o.KeyCol)
+				}
+				if o.ValCol >= 0 {
+					r.Val = pg.Field(slot, o.ValCol)
+					r.ValAddr = pg.FieldAddr(slot, o.ValCol)
+					r.ValSize = storage.FieldSize
+					r.HasVal = true
+				}
+				push(r)
+			}
+			if o.Count {
+				buf.RecordProcessed()
+			}
+		}
+	}
+	return nil
+}
+
+// Filter applies a half-open range predicate [Lo, Hi) over Row.Key to
+// an interior stream, emitting the same per-row QualEval invocation
+// and data-dependent branch a scan-level filter emits. Scans fold
+// their base-table predicate into the scan itself (the access path
+// evaluates it during the slot walk); Filter exists for predicates on
+// *derived* streams — post-join residuals, having-style cuts — that
+// no base access path can absorb.
+type Filter struct {
+	Input  Operator
+	Lo, Hi int32
+}
+
+// Run implements Operator.
+func (o *Filter) Run(x *Exec, push func(Row)) error {
+	qual := x.Rt.QualEval
+	qualPC := qual.Addr + uint64(qual.CodeBytes) - 8
+	return o.Input.Run(x, func(r Row) {
+		qual.InvokeBuf(x.Buf)
+		matched := r.Key >= o.Lo && r.Key < o.Hi
+		x.Buf.Branch(qualPC, qualPC+96, !matched)
+		if matched {
+			push(r)
+		}
+	})
+}

@@ -1,24 +1,16 @@
-package engine
+package op
 
-import (
-	"fmt"
-	"sort"
+import "sort"
 
-	"wheretime/internal/sql"
-	"wheretime/internal/storage"
-	"wheretime/internal/trace"
-)
-
-// The sort-based aggregation (plan hint sql.HintSortAgg) executes a
-// single-table aggregate the way a sort-group engine would: qualifying
-// records are formatted into fixed-size (key, value) entries and
-// written sequentially into working-set-sized runs; full runs are
-// sorted in place; the runs then merge in multi-way passes — the
-// characteristic sequential-with-strided-merge access pattern, reading
-// round-robin across the merge fan-in while writing one sequential
-// output — and the final pass feeds the aggregate. The result is
-// identical to the sequential scan's: ordering never changes an
-// avg/sum/count/min/max.
+// Sort is the external-sort operator: input rows are formatted into
+// fixed-size (key, value) entries and written sequentially into
+// working-set-sized runs; full runs are sorted in place; the runs
+// then merge in multi-way passes — the characteristic
+// sequential-with-strided-merge access pattern, reading round-robin
+// across the merge fan-in while writing one sequential output — and
+// the final sorted run streams to the parent. Ordering never changes
+// an avg/sum/count/min/max, so an aggregate over Sort equals one over
+// its input.
 
 // Simulated sort geometry.
 const (
@@ -55,7 +47,7 @@ type sortRun struct {
 // addr returns the simulated address of entry i of the run in region
 // side (0 or 1).
 func (r *sortRun) addr(side, i uint64) uint64 {
-	return workspaceBase + side*sortRegionStride + (r.base+i)*sortEntryBytes
+	return Base + side*sortRegionStride + (r.base+i)*sortEntryBytes
 }
 
 // log2int returns ceil(log2(n)) for n >= 1, at least 1.
@@ -68,19 +60,20 @@ func log2int(n int) int {
 }
 
 // closeRun sorts a filled run in place, emitting the in-memory sort's
-// hardware behaviour: log2(n) invocation-equivalents of rkSortRun
+// hardware behaviour: log2(n) invocation-equivalents of SortRun
 // instruction work (one per quicksort level — the bulk of the
 // per-comparison cost was already charged at insertion, which
-// rkSortRun's per-entry invocation models), and one read-compare-write
+// SortRun's per-entry invocation models), and one read-compare-write
 // pass of address traffic over the run. Deeper levels' repeated
 // traffic is deliberately elided: the run is sized to fit the L2, so
 // re-touches past the first pass hit by construction.
-func (e *Engine) closeRun(buf *trace.Buffer, r *sortRun) {
+func closeRun(x *Exec, r *sortRun) {
 	n := len(r.ents)
 	if n <= 1 {
 		return
 	}
-	srt := e.rt[rkSortRun]
+	buf := x.Buf
+	srt := x.Rt.SortRun
 	cmpPC := srt.Addr + uint64(srt.CodeBytes) - 8
 	srt.InvokeFracBuf(buf, uint32(log2int(n)), 1)
 	for i := 0; i < n; i++ {
@@ -103,12 +96,13 @@ func (e *Engine) closeRun(buf *trace.Buffer, r *sortRun) {
 
 // mergeRuns merges up to sortMergeFanIn source runs from region side
 // into one output run based at outBase in the other region, emitting
-// the strided merge pattern: each output entry costs one rkSortMerge
+// the strided merge pattern: each output entry costs one SortMerge
 // invocation, one load from the winning source run (reads stride
 // across the fan-in's run buffers in key order), one data-dependent
 // winner-change branch, and one sequential output store.
-func (e *Engine) mergeRuns(buf *trace.Buffer, runs []*sortRun, side, outBase uint64) *sortRun {
-	mrt := e.rt[rkSortMerge]
+func mergeRuns(x *Exec, runs []*sortRun, side, outBase uint64) *sortRun {
+	buf := x.Buf
+	mrt := x.Rt.SortMerge
 	winPC := mrt.Addr + uint64(mrt.CodeBytes) - 8
 	cursors := make([]int, len(runs))
 	out := &sortRun{base: outBase}
@@ -141,51 +135,50 @@ func (e *Engine) mergeRuns(buf *trace.Buffer, runs []*sortRun, side, outBase uin
 	}
 }
 
-// runSortAgg executes a single-table aggregate plan by external sort.
-func (e *Engine) runSortAgg(p *sql.Plan, buf *trace.Buffer) (Result, error) {
-	if p.IsJoin() {
-		return Result{}, fmt.Errorf("engine: %s hint on a join plan", p.Hint)
-	}
-	acc := p.Outer
-	t := acc.Table
-	agg := newAggState(p.Agg)
-	aggCol := p.AggCol
-	readsAggCol := !p.CountAll && p.AggTable == t
+// Sort consumes its input into sorted runs and streams the fully
+// merged result to the parent. Per input row: one SortRun invocation,
+// the owed value load (ValAddr contract), and a sequential run-buffer
+// store. Final rows carry ValAddr pointing at their entry in the
+// merged run — the consumer's load reads the sorted run, exactly as a
+// sort-group engine's aggregation pass would.
+type Sort struct {
+	Input Operator
+	// CarryVal marks whether input rows carry aggregate values; final
+	// rows then push them back out with HasVal set.
+	CarryVal bool
+}
 
-	srt := e.rt[rkSortRun]
+// Run implements Operator.
+func (o *Sort) Run(x *Exec, push func(Row)) error {
+	buf := x.Buf
+	srt := x.Rt.SortRun
 
 	// --- Run generation ----------------------------------------------
-	// The scan emission is the shared protocol (scanEmit — identical to
-	// the sequential scan's); qualifying records additionally format a
-	// sort entry and append it to the current run, a sequential write
-	// into region 0.
 	var runs []*sortRun
 	run := &sortRun{ents: make([]sortEntry, 0, sortRunCap)}
 	var seq uint32
-	e.scanEmit(buf, acc, []int{acc.FilterCol}, func(pg *storage.Page, slot uint16, matched bool) {
-		if matched {
-			srt.InvokeBuf(buf)
-			ent := sortEntry{seq: seq}
-			if acc.HasFilter {
-				ent.key = pg.Field(slot, acc.FilterCol)
-			}
-			if readsAggCol {
-				buf.Load(pg.FieldAddr(slot, aggCol), storage.FieldSize)
-				ent.val = pg.Field(slot, aggCol)
-			}
-			seq++
-			buf.Store(run.addr(0, uint64(len(run.ents))), sortEntryBytes)
-			run.ents = append(run.ents, ent)
-			if len(run.ents) == sortRunCap {
-				e.closeRun(buf, run)
-				runs = append(runs, run)
-				run = &sortRun{ents: make([]sortEntry, 0, sortRunCap), base: uint64(seq)}
-			}
+	if err := o.Input.Run(x, func(r Row) {
+		srt.InvokeBuf(buf)
+		ent := sortEntry{seq: seq, key: r.Key}
+		if r.ValAddr != 0 {
+			buf.Load(r.ValAddr, r.ValSize)
 		}
-		buf.RecordProcessed()
-	})
+		if r.HasVal {
+			ent.val = r.Val
+		}
+		seq++
+		buf.Store(run.addr(0, uint64(len(run.ents))), sortEntryBytes)
+		run.ents = append(run.ents, ent)
+		if len(run.ents) == sortRunCap {
+			closeRun(x, run)
+			runs = append(runs, run)
+			run = &sortRun{ents: make([]sortEntry, 0, sortRunCap), base: uint64(seq)}
+		}
+	}); err != nil {
+		return err
+	}
 	if len(run.ents) > 0 {
-		e.closeRun(buf, run)
+		closeRun(x, run)
 		runs = append(runs, run)
 	}
 
@@ -199,7 +192,7 @@ func (e *Engine) runSortAgg(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 			if end > len(runs) {
 				end = len(runs)
 			}
-			merged := e.mergeRuns(buf, runs[g:end], side, outBase)
+			merged := mergeRuns(x, runs[g:end], side, outBase)
 			outBase += uint64(len(merged.ents))
 			next = append(next, merged)
 		}
@@ -207,19 +200,18 @@ func (e *Engine) runSortAgg(p *sql.Plan, buf *trace.Buffer) (Result, error) {
 		side = 1 - side
 	}
 
-	// --- Aggregation over the sorted run -----------------------------
-	art := e.rt[rkAggAccum]
+	// --- Stream the sorted run ---------------------------------------
 	if len(runs) == 1 {
 		final := runs[0]
 		for i, ent := range final.ents {
-			art.InvokeBuf(buf)
-			buf.Load(final.addr(side, uint64(i)), sortEntryBytes)
-			if readsAggCol {
-				agg.add(ent.val)
-			} else {
-				agg.addCount()
-			}
+			push(Row{
+				Key:     ent.key,
+				Val:     ent.val,
+				ValAddr: final.addr(side, uint64(i)),
+				ValSize: sortEntryBytes,
+				HasVal:  o.CarryVal,
+			})
 		}
 	}
-	return agg.result(), nil
+	return nil
 }

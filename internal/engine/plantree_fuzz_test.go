@@ -1,0 +1,170 @@
+package engine_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/storage"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+)
+
+// FuzzPlanTreeEquivalence drives random small plan trees through the
+// compiler and checks the record/replay contract the harness depends
+// on: for any compilable tree, the batched capture path and the
+// event-at-a-time trace.Replay path must tally the identical stream,
+// and re-draining a recording must reproduce it again. A tree that
+// fails to plan or compile is fine (the fuzzer explores invalid hint
+// shapes too); a tree that runs once and then errors is not.
+
+// fuzzDB lazily builds one small shared database per layout. The fuzz
+// worker processes share nothing, so a plain once-guarded global is
+// enough.
+var fuzzDB struct {
+	sync.Once
+	nsm, pax *workload.Database
+	err      error
+}
+
+func fuzzDatabases() (*workload.Database, *workload.Database, error) {
+	fuzzDB.Do(func() {
+		dims := workload.Dims{RRecords: 600, SRecords: 20, RecordSize: 40, Seed: 7}
+		for _, l := range []storage.Layout{storage.NSM, storage.PAX} {
+			db, err := workload.Build(dims, l)
+			if err == nil {
+				err = db.BuildIndexes()
+			}
+			if err != nil {
+				fuzzDB.err = err
+				return
+			}
+			if l == storage.NSM {
+				fuzzDB.nsm = db
+			} else {
+				fuzzDB.pax = db
+			}
+		}
+	})
+	return fuzzDB.nsm, fuzzDB.pax, fuzzDB.err
+}
+
+// replaySink adapts a plain Processor to the BatchProcessor a
+// Recording drain requires, forcing the reference event-at-a-time
+// path.
+type replaySink struct{ trace.Processor }
+
+func (r replaySink) ProcessBatch(events []trace.Event) { trace.Replay(r.Processor, events) }
+
+// fuzzShape maps the first input byte to a (query, hint, index) shape.
+func fuzzShape(shape, selByte byte, dims workload.Dims) (query string, hint sql.Hint, useIndex bool) {
+	sel := 0.02 + float64(selByte%32)*0.03 // 2% .. 95%
+	switch shape % 8 {
+	case 0:
+		return dims.QuerySRS(sel), sql.HintNone, false
+	case 1:
+		return dims.QueryIRS(sel), sql.HintNone, true
+	case 2:
+		return dims.QueryBRS(sel), sql.HintIndexOnly, true
+	case 3:
+		return dims.QuerySJ(), sql.HintNone, false
+	case 4:
+		return dims.QueryGHJ(), sql.HintGraceJoin, false
+	case 5:
+		return dims.QuerySAG(sel), sql.HintSortAgg, false
+	case 6:
+		return dims.QueryJSA(), sql.HintJoinSortAgg, false
+	default:
+		return dims.QueryIXJ(sel), sql.HintIndexProbeJoin, true
+	}
+}
+
+func sameResult(a, b engine.Result) bool {
+	if a.Rows != b.Rows {
+		return false
+	}
+	if math.IsNaN(a.Value) || math.IsNaN(b.Value) {
+		return math.IsNaN(a.Value) && math.IsNaN(b.Value)
+	}
+	return a.Value == b.Value
+}
+
+func FuzzPlanTreeEquivalence(f *testing.F) {
+	for shape := byte(0); shape < 8; shape++ {
+		f.Add(shape, byte(3), byte(0))
+		f.Add(shape, byte(17), byte(1))
+	}
+	f.Fuzz(func(t *testing.T, shape, selByte, sysByte byte) {
+		nsm, pax, err := fuzzDatabases()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := engine.System(sysByte % 4)
+		db := nsm
+		if engine.DefaultProfile(sys).DataLayout == storage.PAX {
+			db = pax
+		}
+		query, hint, useIndex := fuzzShape(shape, selByte, workload.Dims{
+			RRecords: 600, SRecords: 20, RecordSize: 40, Seed: 7})
+		if useIndex && !engine.DefaultProfile(sys).UseIndex {
+			return // grid validity rule: no index on this system
+		}
+
+		e := engine.New(sys, db.Catalog)
+		plan, err := sql.Prepare(db.Catalog, query, sql.PlanOptions{UseIndex: useIndex})
+		if err != nil {
+			return // unplannable shape: acceptable
+		}
+		plan.Hint = hint
+
+		// Reference: event-at-a-time through trace.Replay (Counting has
+		// no ProcessBatch, so Buffer falls back to replaying each flush).
+		var ref trace.Counting
+		e.ResetState()
+		refRes, err := e.Run(plan, &ref)
+		if err != nil {
+			return // tree rejected by the compiler: acceptable
+		}
+
+		// Batched capture: a Recorder forwards to the sink and records.
+		var live trace.Counting
+		rec := trace.NewRecorder(&live, 0)
+		e.ResetState()
+		liveRes, err := e.Run(plan, rec)
+		if err != nil {
+			t.Fatalf("plan ran once then failed under recording: %v", err)
+		}
+		if live != ref {
+			t.Errorf("batched capture tallied %+v, replay reference %+v", live, ref)
+		}
+		if !sameResult(liveRes, refRes) {
+			t.Errorf("recorded run result %+v != reference %+v", liveRes, refRes)
+		}
+
+		// Re-drain the recording through the event-at-a-time adapter:
+		// the captured stream must replay to the same tallies.
+		recording := rec.Recording()
+		if recording == nil {
+			t.Fatal("capture overflowed on a tiny database")
+		}
+		var drained trace.Counting
+		recording.Drain(replaySink{&drained})
+		if drained != ref {
+			t.Errorf("drained recording tallied %+v, reference %+v", drained, ref)
+		}
+
+		// Determinism across repeated runs of the same plan.
+		var again trace.Counting
+		e.ResetState()
+		if _, err := e.Run(plan, &again); err != nil {
+			t.Fatalf("plan ran once then failed on re-run: %v", err)
+		}
+		if again != ref {
+			t.Errorf("re-run tallied %+v, first run %+v", again, ref)
+		}
+		_ = fmt.Sprintf("%v", plan) // exercise Plan.String on fuzzed trees
+	})
+}

@@ -158,6 +158,8 @@ func TestScenarioStreamsDeterministic(t *testing.T) {
 		{"grace", prepareHinted(t, db, db.Dims.QueryGHJ(), sql.HintGraceJoin, true)},
 		{"sortagg", prepareHinted(t, db, db.Dims.QuerySAG(0.10), sql.HintSortAgg, false)},
 		{"btree", prepareHinted(t, db, db.Dims.QueryBRS(0.10), sql.HintIndexOnly, true)},
+		{"joinsort", prepareHinted(t, db, db.Dims.QueryJSA(), sql.HintJoinSortAgg, false)},
+		{"idxjoin", prepareHinted(t, db, db.Dims.QueryIXJ(0.10), sql.HintIndexProbeJoin, true)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -193,5 +195,60 @@ func TestHintValidation(t *testing.T) {
 	}
 	if _, err := e.Run(prepareHinted(t, db, db.Dims.QuerySRS(0.10), sql.HintIndexOnly, false), trace.Discard{}); err == nil {
 		t.Error("index-only hint on a non-indexed aggregate (avg over a3) should fail")
+	}
+	if _, err := e.Run(prepareHinted(t, db, db.Dims.QuerySRS(0.10), sql.HintJoinSortAgg, false), trace.Discard{}); err == nil {
+		t.Error("join-sort-agg hint on a single-table plan should fail")
+	}
+	if _, err := e.Run(prepareHinted(t, db, db.Dims.QuerySJ(), sql.HintIndexProbeJoin, true), trace.Discard{}); err == nil {
+		t.Error("index-probe hint on an unfiltered join (no index bounds) should fail")
+	}
+}
+
+// TestJoinSortAggMatchesHashJoin pins the new composed pipeline: the
+// Agg(Sort(HashJoin)) tree must produce exactly the in-memory join's
+// aggregate — sorting the matches cannot change the answer.
+func TestJoinSortAggMatchesHashJoin(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	base, err := e.Query(db.Dims.QuerySJ(), trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetState()
+	jsa, err := e.Run(prepareHinted(t, db, db.Dims.QueryJSA(), sql.HintJoinSortAgg, false), trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsa.Rows != base.Rows || math.Abs(jsa.Value-base.Value) > 1e-9 {
+		t.Errorf("join-sort-agg (%v, %d rows) != hash join (%v, %d rows)",
+			jsa.Value, jsa.Rows, base.Value, base.Rows)
+	}
+	if base.Rows == 0 {
+		t.Fatal("join should produce matches")
+	}
+}
+
+// TestIndexProbeJoinMatchesHeapJoin checks the index-probe join
+// against the same filtered-join SQL through the default heap-scan
+// build/probe plan.
+func TestIndexProbeJoinMatchesHeapJoin(t *testing.T) {
+	db := testDB(t, storage.NSM)
+	e := engine.New(engine.SystemD, db.Catalog)
+	q := db.Dims.QueryIXJ(0.20)
+	base, err := e.Query(q, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ResetState()
+	ixj, err := e.Run(prepareHinted(t, db, q, sql.HintIndexProbeJoin, true), trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixj.Rows != base.Rows || math.Abs(ixj.Value-base.Value) > 1e-9 {
+		t.Errorf("index-probe join (%v, %d rows) != heap-scan join (%v, %d rows)",
+			ixj.Value, ixj.Rows, base.Value, base.Rows)
+	}
+	if base.Rows == 0 {
+		t.Fatal("filtered join should produce matches")
 	}
 }

@@ -1,0 +1,185 @@
+package engine_test
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"wheretime/internal/engine"
+	"wheretime/internal/sql"
+	"wheretime/internal/trace"
+	"wheretime/internal/workload"
+)
+
+// The stream-equivalence pin: every scenario's emitted event stream,
+// hashed field-by-field in order, against committed digests captured
+// from the pre-plan-tree bespoke routines. The operator-DAG refactor
+// must reproduce each stream byte-identically — these digests are the
+// proof, one level below the harness golden matrix (which only sees
+// aggregated counters).
+
+var updateDigests = flag.Bool("update-digests", false, "rewrite testdata/stream_digests.txt from the current engine")
+
+// streamHasher hashes every event field in stream order. It receives
+// whole flushed batches, so the digest covers the exact event
+// sequence the simulator would see.
+type streamHasher struct {
+	trace.Discard
+	sum [32]byte
+	h   []byte
+}
+
+func (s *streamHasher) ProcessBatch(events []trace.Event) {
+	var w [27]byte
+	for i := range events {
+		ev := &events[i]
+		w[0] = byte(ev.Kind)
+		if ev.Taken {
+			w[1] = 1
+		} else {
+			w[1] = 0
+		}
+		binary.LittleEndian.PutUint32(w[2:], ev.Size)
+		binary.LittleEndian.PutUint64(w[6:], ev.Addr)
+		binary.LittleEndian.PutUint64(w[14:], ev.Aux)
+		binary.LittleEndian.PutUint32(w[19:], ev.A)
+		binary.LittleEndian.PutUint32(w[23:], ev.B)
+		s.h = append(s.h, w[:]...)
+		if len(s.h) >= 1<<16 {
+			s.fold()
+		}
+	}
+}
+
+func (s *streamHasher) fold() {
+	mix := sha256.New()
+	mix.Write(s.sum[:])
+	mix.Write(s.h)
+	mix.Sum(s.sum[:0])
+	s.h = s.h[:0]
+}
+
+func (s *streamHasher) digest() string {
+	s.fold()
+	return hex.EncodeToString(s.sum[:])
+}
+
+// pinCase mirrors harness planFor: the same SQL, hint and planner
+// options each QueryKind resolves to, so the digests cover exactly
+// the streams the experiment grid emits.
+type pinCase struct {
+	name     string
+	needsIdx bool
+	plan     func(t *testing.T, db *workload.Database) *sql.Plan
+}
+
+func pinCases() []pinCase {
+	return []pinCase{
+		{"srs", false, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QuerySRS(0.10), sql.HintNone, false)
+		}},
+		{"irs", true, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QueryIRS(0.10), sql.HintNone, true)
+		}},
+		{"sj", false, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QuerySJ(), sql.HintNone, false)
+		}},
+		{"ghj", false, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QueryGHJ(), sql.HintGraceJoin, false)
+		}},
+		{"sag", false, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QuerySAG(0.10), sql.HintSortAgg, false)
+		}},
+		{"brs", true, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QueryBRS(0.10), sql.HintIndexOnly, true)
+		}},
+		{"jsa", false, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QueryJSA(), sql.HintJoinSortAgg, false)
+		}},
+		{"ixj", true, func(t *testing.T, db *workload.Database) *sql.Plan {
+			return prepareHinted(t, db, db.Dims.QueryIXJ(0.10), sql.HintIndexProbeJoin, true)
+		}},
+	}
+}
+
+func digestPath() string { return filepath.Join("testdata", "stream_digests.txt") }
+
+func loadDigests(t *testing.T) map[string]string {
+	t.Helper()
+	f, err := os.Open(digestPath())
+	if err != nil {
+		t.Fatalf("missing stream digest fixture (run with -update-digests first): %v", err)
+	}
+	defer f.Close()
+	m := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 {
+			m[fields[0]] = fields[1]
+		}
+	}
+	return m
+}
+
+// TestStreamDigestsPinned executes every (system, scenario) cell the
+// harness microbenchmark grid runs and compares the emitted stream's
+// digest against the committed fixture. Any reordering, insertion or
+// removal of a single event in any scenario fails here with the exact
+// cell named.
+func TestStreamDigestsPinned(t *testing.T) {
+	got := map[string]string{}
+	for _, s := range engine.Systems() {
+		prof := engine.DefaultProfile(s)
+		db := testDB(t, prof.DataLayout)
+		e := engine.New(s, db.Catalog)
+		for _, c := range pinCases() {
+			if c.needsIdx && !prof.UseIndex {
+				continue
+			}
+			key := fmt.Sprintf("%s/%s", s, c.name)
+			h := &streamHasher{}
+			e.ResetState()
+			if _, err := e.Run(c.plan(t, db), h); err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			got[key] = h.digest()
+		}
+	}
+
+	if *updateDigests {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %s\n", k, got[k])
+		}
+		if err := os.WriteFile(digestPath(), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	want := loadDigests(t)
+	if len(want) != len(got) {
+		t.Errorf("fixture has %d digests, run produced %d", len(want), len(got))
+	}
+	for k, g := range got {
+		if w, ok := want[k]; !ok {
+			t.Errorf("%s: no pinned digest (run with -update-digests if this cell is new)", k)
+		} else if g != w {
+			t.Errorf("%s: stream digest %s != pinned %s — the emitted event stream changed", k, g[:16], w[:16])
+		}
+	}
+}

@@ -52,6 +52,8 @@ func Experiments() []Experiment {
 		{Name: "ghj", Paper: "Scenario: Grace/hybrid hash join breakdown", Cells: scenarioCells(GHJ), Render: scenarioRender(GHJ)},
 		{Name: "sortagg", Paper: "Scenario: sort-based aggregation breakdown", Cells: scenarioCells(SAG), Render: scenarioRender(SAG)},
 		{Name: "btree", Paper: "Scenario: B-tree range scan breakdown", Cells: scenarioCells(BRS), Render: scenarioRender(BRS)},
+		{Name: "joinsort", Paper: "Scenario: join-sort-aggregate pipeline breakdown", Cells: scenarioCells(JSA), Render: scenarioRender(JSA)},
+		{Name: "idxjoin", Paper: "Scenario: index-probe join breakdown", Cells: scenarioCells(IXJ), Render: scenarioRender(IXJ)},
 		{Name: "claims", Paper: "Section 1/5: headline claims check", Cells: claimsCells, Render: claimsRender},
 	}
 }
@@ -77,13 +79,13 @@ var allQueries = []QueryKind{SRS, IRS, SJ}
 
 // scenarioQueries lists the scenario kinds added on top of the paper's
 // set, in registry order.
-var scenarioQueries = []QueryKind{GHJ, SAG, BRS}
+var scenarioQueries = []QueryKind{GHJ, SAG, BRS, JSA, IXJ}
 
 // validMicro reports whether (s, q) is a measurable combination:
-// System A skips the index-based kinds (IRS, BRS) because it does not
-// use the index (Section 5.1).
+// System A skips the index-based kinds (IRS, BRS, IXJ) because it does
+// not use the index (Section 5.1).
 func validMicro(s engine.System, q QueryKind) bool {
-	if q == IRS || q == BRS {
+	if q == IRS || q == BRS || q == IXJ {
 		return engine.DefaultProfile(s).UseIndex
 	}
 	return true
@@ -164,6 +166,10 @@ func scenarioLongName(q QueryKind) string {
 		return "sort-based aggregation"
 	case BRS:
 		return "B-tree range scan"
+	case JSA:
+		return "join-sort-aggregate pipeline"
+	case IXJ:
+		return "index-probe join"
 	default:
 		return q.String()
 	}
@@ -206,6 +212,10 @@ func scenarioRender(q QueryKind) func(opts Options, res *Results) ([]Table, erro
 			exec.Note = "Per record of R; run generation, merge passes and final aggregation included."
 		case BRS:
 			exec.Note = "Per selected entry; index-only — no heap page is touched. System A omitted (no index, Section 5.1)."
+		case JSA:
+			exec.Note = "Per record of R; join matches routed through an external sort before aggregation."
+		case IXJ:
+			exec.Note = "Per selected entry of R; probe side driven from the a2 index. System A omitted (no index, Section 5.1)."
 		}
 		for _, s := range engine.Systems() {
 			if !validMicro(s, q) {

@@ -44,6 +44,16 @@ const (
 	// leaf-chain walk answering a COUNT(*) from the index alone — no
 	// heap record is ever fetched.
 	BRS
+	// JSA is the join-sort-aggregate pipeline: the sequential join's
+	// matches routed through an external sort before aggregation — two
+	// composed operators (hash join feeding sort) no bespoke access
+	// path ever covered; its result must equal SJ's.
+	JSA
+	// IXJ is the index-probe join: the equijoin restricted by a range
+	// predicate on the join column, its probe side driven from the a2
+	// index (descent plus leaf walk plus RID fetches) instead of a full
+	// heap scan.
+	IXJ
 )
 
 // String returns the query's abbreviation.
@@ -61,6 +71,10 @@ func (q QueryKind) String() string {
 		return "SAG"
 	case BRS:
 		return "BRS"
+	case JSA:
+		return "JSA"
+	case IXJ:
+		return "IXJ"
 	default:
 		return fmt.Sprintf("QueryKind(%d)", int(q))
 	}
@@ -107,7 +121,9 @@ type Options struct {
 	// TraceCacheBytes budgets the per-worker trace cache in retained
 	// arena bytes — compressed bytes, since that is what the arenas
 	// occupy (raw bytes under UncompressedArena). Zero means
-	// DefaultTraceCacheBytes.
+	// DefaultTraceCacheBytes; negative disables cross-cell retention
+	// entirely (within-cell record/replay still works — captures just
+	// release as soon as their cell finishes).
 	TraceCacheBytes int
 	// UncompressedArena keeps captures in the raw []Event chunk layout
 	// instead of the columnar compressed arena. The decoded stream is
@@ -158,12 +174,37 @@ func (o Options) maxRecorded() int {
 	}
 }
 
-// traceCacheBytes resolves the cache budget (zero means the default).
+// traceCacheBytes resolves the cache budget: the explicit value, the
+// default when zero, and 0 (retain nothing) when negative. A negative
+// budget used to fall through as-is and underflow the cache's byte
+// accounting; it now means "caching off", mirroring how a negative
+// MaxRecordedEvents means "recording off".
 func (o Options) traceCacheBytes() int {
-	if o.TraceCacheBytes == 0 {
+	switch {
+	case o.TraceCacheBytes < 0:
+		return 0
+	case o.TraceCacheBytes == 0:
 		return DefaultTraceCacheBytes
+	default:
+		return o.TraceCacheBytes
 	}
-	return o.TraceCacheBytes
+}
+
+// Validate rejects option values the environment builders would panic
+// on or silently misbehave with, so CLIs can fail with a usage error
+// instead: scale outside (0, 1], selectivity outside [0, 1], a record
+// size below the storage minimum.
+func (o Options) Validate() error {
+	if o.Scale <= 0 || o.Scale > 1 {
+		return fmt.Errorf("harness: scale %v out of (0, 1]", o.Scale)
+	}
+	if o.Selectivity < 0 || o.Selectivity > 1 {
+		return fmt.Errorf("harness: selectivity %v out of [0, 1]", o.Selectivity)
+	}
+	if o.RecordSize < storage.MinRecordSize {
+		return fmt.Errorf("harness: record size %d below minimum %d", o.RecordSize, storage.MinRecordSize)
+	}
+	return nil
 }
 
 // DefaultOptions returns the paper's experimental setup at a
@@ -298,6 +339,13 @@ func (env *Env) queryFor(s engine.System, q QueryKind) (string, bool) {
 			return "", false
 		}
 		return env.Dims.QueryBRS(env.Opts.Selectivity), true
+	case JSA:
+		return env.Dims.QueryJSA(), true
+	case IXJ:
+		if !engine.DefaultProfile(s).UseIndex {
+			return "", false
+		}
+		return env.Dims.QueryIXJ(env.Opts.Selectivity), true
 	default:
 		return "", false
 	}
@@ -313,7 +361,7 @@ func (env *Env) planFor(s engine.System, q QueryKind, query string) (*sql.Plan, 
 	switch q {
 	case SRS, SAG:
 		opts.UseIndex = false
-	case BRS:
+	case BRS, IXJ:
 		opts.UseIndex = true
 	}
 	plan, err := sql.Prepare(env.database(s).Catalog, query, opts)
@@ -327,6 +375,10 @@ func (env *Env) planFor(s engine.System, q QueryKind, query string) (*sql.Plan, 
 		plan.Hint = sql.HintSortAgg
 	case BRS:
 		plan.Hint = sql.HintIndexOnly
+	case JSA:
+		plan.Hint = sql.HintJoinSortAgg
+	case IXJ:
+		plan.Hint = sql.HintIndexProbeJoin
 	}
 	return plan, nil
 }

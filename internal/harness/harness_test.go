@@ -56,9 +56,9 @@ func TestRunProducesValidBreakdowns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 systems x (SRS, SJ, GHJ, SAG) + 3 x (IRS, BRS) = 22 cells.
-	if len(cells) != 22 {
-		t.Fatalf("got %d cells, want 22", len(cells))
+	// 4 systems x (SRS, SJ, GHJ, SAG, JSA) + 3 x (IRS, BRS, IXJ) = 29 cells.
+	if len(cells) != 29 {
+		t.Fatalf("got %d cells, want 29", len(cells))
 	}
 	for _, c := range cells {
 		if err := c.Breakdown.Validate(); err != nil {
@@ -123,7 +123,7 @@ func TestQueryResultsAgreeAcrossSystems(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
+	if len(exps) != 16 {
 		t.Errorf("registry has %d experiments", len(exps))
 	}
 	seen := map[string]bool{}

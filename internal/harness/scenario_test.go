@@ -8,10 +8,12 @@ import (
 	"testing"
 
 	"wheretime/internal/engine"
+	"wheretime/internal/trace"
 )
 
-// Scenario coverage: the three scenario experiments (ghj, sortagg,
-// btree) ride the same golden matrix as every other experiment —
+// Scenario coverage: the scenario experiments (ghj, sortagg, btree,
+// joinsort, idxjoin) ride the same golden matrix as every other
+// experiment —
 // TestGoldenFiles, TestUnbatchedMatchesGoldens,
 // TestReplayDisabledMatchesGoldens and TestGangDisabledMatchesGoldens
 // all iterate the registry, so the new cells are diffed against the
@@ -24,7 +26,7 @@ import (
 func scenarioExperiments(t *testing.T) []Experiment {
 	t.Helper()
 	var exps []Experiment
-	for _, name := range []string{"ghj", "sortagg", "btree"} {
+	for _, name := range []string{"ghj", "sortagg", "btree", "joinsort", "idxjoin"} {
 		e, err := Find(name)
 		if err != nil {
 			t.Fatalf("scenario experiment not registered: %v", err)
@@ -98,7 +100,26 @@ func TestScenarioResultsConsistent(t *testing.T) {
 	if irs.Result.Rows != brs.Result.Rows {
 		t.Errorf("BRS selected %d rows, IRS %d", brs.Result.Rows, irs.Result.Rows)
 	}
-	if sj.Result.Rows == 0 || srs.Result.Rows == 0 || irs.Result.Rows == 0 {
+	jsa := get(JSA)
+	if sj.Result.Rows != jsa.Result.Rows || math.Abs(sj.Result.Value-jsa.Result.Value) > 1e-9 {
+		t.Errorf("JSA result %+v != SJ result %+v (sorting must not change the aggregate)", jsa.Result, sj.Result)
+	}
+	// IXJ's reference is the same filtered-join SQL through the default
+	// heap-scan join.
+	ixj := get(IXJ)
+	e := env.Engine(engine.SystemD)
+	refPlan, err := e.Prepare(env.Dims.QueryIXJ(opts.Selectivity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := e.Run(refPlan, trace.Discard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Rows != ixj.Result.Rows || math.Abs(ref.Value-ixj.Result.Value) > 1e-9 {
+		t.Errorf("IXJ result %+v != default-join reference %+v", ixj.Result, ref)
+	}
+	if sj.Result.Rows == 0 || srs.Result.Rows == 0 || irs.Result.Rows == 0 || ixj.Result.Rows == 0 {
 		t.Fatal("reference cells selected nothing")
 	}
 	// The scenarios must also be distinct access patterns, not relabels:
@@ -112,6 +133,12 @@ func TestScenarioResultsConsistent(t *testing.T) {
 	if brs.Breakdown.InstructionsPerRecord() == irs.Breakdown.InstructionsPerRecord() {
 		t.Error("BRS emitted exactly IRS's instruction stream")
 	}
+	if jsa.Breakdown.InstructionsPerRecord() == sj.Breakdown.InstructionsPerRecord() {
+		t.Error("JSA emitted exactly SJ's instruction stream")
+	}
+	if ixj.Breakdown.InstructionsPerRecord() == sj.Breakdown.InstructionsPerRecord() {
+		t.Error("IXJ emitted exactly SJ's instruction stream")
+	}
 }
 
 // TestScenarioSystemASkipsBRS mirrors the IRS rule: System A has no
@@ -123,16 +150,18 @@ func TestScenarioSystemASkipsBRS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := env.Run(engine.SystemA, BRS); err == nil {
-		t.Error("System A must not run BRS (no index, Section 5.1)")
-	}
-	if _, ok := env.queryFor(engine.SystemA, BRS); ok {
-		t.Error("queryFor should reject A/BRS")
+	for _, q := range []QueryKind{BRS, IXJ} {
+		if _, err := env.Run(engine.SystemA, q); err == nil {
+			t.Errorf("System A must not run %s (no index, Section 5.1)", q)
+		}
+		if _, ok := env.queryFor(engine.SystemA, q); ok {
+			t.Errorf("queryFor should reject A/%s", q)
+		}
 	}
 	for _, e := range scenarioExperiments(t) {
 		for _, spec := range e.Cells(opts) {
-			if spec.Query == BRS && spec.System == engine.SystemA {
-				t.Error("btree experiment declared a System A cell")
+			if (spec.Query == BRS || spec.Query == IXJ) && spec.System == engine.SystemA {
+				t.Errorf("%s experiment declared a System A cell", spec.Query)
 			}
 		}
 	}

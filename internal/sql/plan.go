@@ -67,6 +67,15 @@ const (
 	// one root-to-leaf descent, then a leaf-chain walk, with no heap
 	// record fetches.
 	HintIndexOnly
+	// HintJoinSortAgg pipes an equijoin's matches through an external
+	// sort before aggregating — a join feeding a sort-group operator,
+	// a two-operator pipeline no bespoke access path ever covered.
+	HintJoinSortAgg
+	// HintIndexProbeJoin drives an equijoin's probe side from an index
+	// range scan instead of a heap scan: the index restricts the probe
+	// input, each selected entry RID-fetches its record and probes the
+	// build table.
+	HintIndexProbeJoin
 )
 
 // String names the hint.
@@ -80,6 +89,10 @@ func (h Hint) String() string {
 		return "sort-agg"
 	case HintIndexOnly:
 		return "index-only"
+	case HintJoinSortAgg:
+		return "join-sort-agg"
+	case HintIndexProbeJoin:
+		return "index-probe-join"
 	default:
 		return fmt.Sprintf("Hint(%d)", int(h))
 	}
@@ -102,6 +115,12 @@ type Plan struct {
 	Inner *TableAccess
 	// OuterCol/InnerCol are the equijoin columns.
 	OuterCol, InnerCol int
+
+	// tree memoises Tree(): the physical plan is a pure function of
+	// the plan's fields, so it is built once on first execution (after
+	// any Hint assignment) and reused across the run/replay protocol.
+	tree    *Node
+	treeErr error
 }
 
 // IsJoin reports whether the plan joins two tables.

@@ -276,6 +276,7 @@ var encFree struct {
 }
 
 func getEncBuf() []byte {
+	liveEncBufs.Add(1)
 	encFree.mu.Lock()
 	n := len(encFree.bufs)
 	if n == 0 {
@@ -292,6 +293,7 @@ func putEncBuf(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
+	liveEncBufs.Add(-1)
 	encFree.mu.Lock()
 	encFree.bufs = append(encFree.bufs, b[:0])
 	encFree.mu.Unlock()
@@ -305,6 +307,7 @@ var blockFree struct {
 }
 
 func getBlock() []Event {
+	liveBlocks.Add(1)
 	blockFree.mu.Lock()
 	n := len(blockFree.blocks)
 	if n == 0 {
@@ -321,6 +324,7 @@ func putBlock(b []Event) {
 	if cap(b) < DecodeBlockEvents {
 		return
 	}
+	liveBlocks.Add(-1)
 	blockFree.mu.Lock()
 	blockFree.blocks = append(blockFree.blocks, b[:DecodeBlockEvents])
 	blockFree.mu.Unlock()

@@ -1,6 +1,9 @@
 package trace
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // This file is the record-once / replay-many half of the batch API.
 // The measurement protocol of the paper (Section 4.3) feeds the same
@@ -46,7 +49,26 @@ var chunkFree struct {
 	chunks [][]Event
 }
 
+// liveChunks / liveEncBufs / liveBlocks count buffers currently
+// checked out of the free lists (borrowed minus returned). They exist
+// for leak auditing: every capture path — including the overflow
+// fallbacks that abandon a capture mid-stream — must return each
+// borrowed buffer, or a grid run slowly strands its arena. The
+// counters move once per chunk (8192 events), so they cost nothing on
+// the per-event hot path. LiveBuffers exposes them to tests.
+var liveChunks, liveEncBufs, liveBlocks atomic.Int64
+
+// LiveBuffers reports how many pooled buffers are currently checked
+// out of the shared free lists: raw staging chunks, encoded chunk
+// buffers, and fused-decode blocks. A level that fails to return to
+// its pre-capture value once every Recording is released indicates a
+// leaked buffer; the harness overflow regression pins exactly that.
+func LiveBuffers() (chunks, encBufs, blocks int64) {
+	return liveChunks.Load(), liveEncBufs.Load(), liveBlocks.Load()
+}
+
 func getChunk() []Event {
+	liveChunks.Add(1)
 	chunkFree.mu.Lock()
 	n := len(chunkFree.chunks)
 	if n == 0 {
@@ -63,6 +85,7 @@ func putChunk(c []Event) {
 	if cap(c) < RecordChunkEvents {
 		return // never recycle undersized foreign slices
 	}
+	liveChunks.Add(-1)
 	chunkFree.mu.Lock()
 	chunkFree.chunks = append(chunkFree.chunks, c[:0])
 	chunkFree.mu.Unlock()

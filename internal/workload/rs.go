@@ -146,6 +146,23 @@ func (d Dims) QueryGHJ() string { return d.QuerySJ() }
 // a direct scan-and-accumulate.
 func (d Dims) QuerySAG(sel float64) string { return d.QuerySRS(sel) }
 
+// QueryJSA returns the SQL of the join-sort-aggregate pipeline
+// scenario: the same equijoin as QuerySJ, executed with its matches
+// routed through an external sort before aggregation (plan hint
+// sql.HintJoinSortAgg). Ordering never changes an avg, so the result
+// must equal QuerySJ's; only the access pattern gains the sort's
+// run-generation and merge phases.
+func (d Dims) QueryJSA() string { return d.QuerySJ() }
+
+// QueryIXJ returns the SQL of the index-probe join scenario: the
+// equijoin restricted by a range predicate on the join column, so the
+// probe side can be driven from the a2 index (plan hint
+// sql.HintIndexProbeJoin) instead of a full heap scan.
+func (d Dims) QueryIXJ(sel float64) string {
+	lo, hi := d.SelectivityBounds(sel)
+	return fmt.Sprintf("select avg(r.a3) from r, s where r.a2 = s.a1 and r.a2 < %d and r.a2 > %d", hi, lo)
+}
+
 // QueryBRS returns the SQL of the B-tree range scan scenario: a range
 // COUNT(*) the engine answers from the a2 index alone (plan hint
 // sql.HintIndexOnly) — descent plus leaf-chain walk, no heap fetches.
