@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke docs-check cover lint fmt golden profile profile-gang bench-json bench-compare ci
+.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke store-smoke docs-check cover lint fmt golden profile profile-gang bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,25 @@ op-smoke:
 	$(GO) test -race -count=1 ./internal/engine/op
 	$(GO) test -count=1 -run 'TestStreamDigestsPinned|FuzzPlanTreeEquivalence' ./internal/engine
 
+# The warm-start smoke: the tracestore package (corrupt-input and
+# fuzz-seed regressions included), the snapshot/store equivalence
+# tests, then the real CLI run twice against one store directory —
+# stdout must be byte-identical cold vs warm, and the warm run's
+# stderr stats line must report nonzero entry hits (proof the second
+# run actually started from the store, not from zero).
+STORE_SMOKE_DIR := /tmp/wheretime-store-smoke
+store-smoke:
+	$(GO) test -count=1 ./internal/tracestore
+	$(GO) test -count=1 -run 'TestSnapshotRestoreMatchesDrain|TestStoreWarmHits|TestStoreDirOptionFlushes' ./internal/harness
+	rm -rf $(STORE_SMOKE_DIR) && mkdir -p $(STORE_SMOKE_DIR)
+	$(GO) run ./cmd/wheretime -experiment fig5.1 -scale 0.002 -store $(STORE_SMOKE_DIR)/store \
+		> $(STORE_SMOKE_DIR)/cold.out 2> $(STORE_SMOKE_DIR)/cold.err
+	$(GO) run ./cmd/wheretime -experiment fig5.1 -scale 0.002 -store $(STORE_SMOKE_DIR)/store \
+		> $(STORE_SMOKE_DIR)/warm.out 2> $(STORE_SMOKE_DIR)/warm.err
+	diff $(STORE_SMOKE_DIR)/cold.out $(STORE_SMOKE_DIR)/warm.out
+	grep -E 'store: entry hits=[1-9][0-9]* ' $(STORE_SMOKE_DIR)/warm.err
+	rm -rf $(STORE_SMOKE_DIR)
+
 # The documentation contract: every relative link in docs/*.md and
 # README.md resolves (files and #anchors), and every internal/ package
 # carries a proper package comment.
@@ -116,7 +135,7 @@ profile-gang:
 # run fails the target instead of producing a silently incomplete
 # record.
 bench-json:
-	$(GO) test -pgo=default.pgo -bench='BenchmarkGridSerial$$|BenchmarkGridSerialNoReplay$$|BenchmarkGridParallel$$|BenchmarkReplayVsExecute|BenchmarkCompressedReplay|BenchmarkGangSweep$$|BenchmarkTPCDPass$$' \
+	$(GO) test -pgo=default.pgo -bench='BenchmarkGridSerial$$|BenchmarkGridSerialNoReplay$$|BenchmarkGridParallel$$|BenchmarkGridWarmStart$$|BenchmarkReplayVsExecute|BenchmarkCompressedReplay|BenchmarkGangSweep$$|BenchmarkTPCDPass$$' \
 		-benchtime=1x -benchmem -run='^$$' . > bench-raw.txt
 	$(GO) test -bench='BenchmarkProcessBatch$$|BenchmarkCompressedDrain$$' -benchtime=3x -benchmem -run='^$$' ./internal/xeon >> bench-raw.txt
 	$(GO) run ./cmd/benchjson < bench-raw.txt > BENCH.json
@@ -126,7 +145,7 @@ bench-json:
 # fails if grid time in the fresh BENCH.json regressed >10% against
 # the committed PR record.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json BENCH.json
 
 # Regenerate the golden files after an intentional output change.
 # (The package path precedes -update: go test stops parsing at the
@@ -142,4 +161,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke docs-check
+ci: lint build race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke store-smoke docs-check

@@ -322,6 +322,38 @@ func BenchmarkGridSerialNoReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkGridWarmStart is the persistent warm-start record: the
+// cold arm runs the full serial grid against a fresh store directory
+// every iteration (measuring the populate cost on top of the
+// simulation), the warm arm against a directory a priming run filled
+// (stored tallies short-circuit every cell's simulation). warm vs
+// cold is what the on-disk store buys a process restart; the outputs
+// are byte-identical either way (TestStoreColdWarmMatchesGoldens).
+func BenchmarkGridWarmStart(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := benchOptions()
+			opts.StoreDir = b.TempDir()
+			if _, err := harness.RunExperiments(opts, harness.Experiments(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opts := benchOptions()
+		opts.StoreDir = b.TempDir()
+		if _, err := harness.RunExperiments(opts, harness.Experiments(), 1); err != nil {
+			b.Fatal(err) // prime the store
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.RunExperiments(opts, harness.Experiments(), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkReplayVsExecute isolates what the record-once/replay-many
 // engine buys on a cache revisit: the execute arm rebuilds and runs
 // the TPC-C mix every iteration (recording disabled); the replay arm

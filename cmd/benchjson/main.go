@@ -44,10 +44,16 @@ type Record struct {
 // replay-off (the two stable single-iteration series the record has
 // carried since PR3 — the parallel and gang variants ride the same
 // drain, and the micro series are too noisy at -benchtime=1x to gate
-// on).
+// on); the warm-start pair (cold store populate vs warm store load)
+// and the compressed-vs-raw replay pair, the two optimization records
+// whose regressions would silently erase their subsystems' wins.
 var gateBenchmarks = []string{
 	"BenchmarkGridSerial",
 	"BenchmarkGridSerialNoReplay",
+	"BenchmarkGridWarmStart/cold",
+	"BenchmarkGridWarmStart/warm",
+	"BenchmarkCompressedReplay/compressed",
+	"BenchmarkCompressedReplay/raw",
 }
 
 func main() {

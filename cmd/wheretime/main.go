@@ -9,6 +9,7 @@
 //	wheretime -experiment all [-parallel 8]
 //	wheretime -experiment ghj,sortagg,btree,joinsort,idxjoin   # the scenario operators
 //	wheretime -experiment fig5.1 -l2kb 512,2048
+//	wheretime -experiment all -store .wtstore   # persist traces/tallies; rerun starts warm
 //
 // Scale 1.0 is the paper's 1.2M-record R; per-record behaviour
 // converges within a few thousand records, so the default small scale
@@ -37,6 +38,7 @@ import (
 	"strings"
 
 	"wheretime/internal/harness"
+	"wheretime/internal/tracestore"
 	"wheretime/internal/xeon"
 )
 
@@ -76,6 +78,8 @@ func main() {
 		maxrec      = flag.Int("maxrecorded", 0, "recording cap in events for the record-once/replay-many engine (0 = default, negative disables replay)")
 		compress    = flag.Bool("compress", true, "keep recorded traces in the columnar compressed arena (off: raw []Event chunks, ~8x the memory; output is identical)")
 		cachemb     = flag.Int("cachemb", 0, "per-worker trace-cache budget in MiB of retained (compressed) arena (0 = default, negative disables cross-cell retention)")
+		snapshot    = flag.Bool("snapshot", true, "memoize post-warm-up pipeline states and restore them on cell revisits; warm-up drains stop early at a state fixed point (off: drain every warm-up run, for debugging; output is identical)")
+		storeDir    = flag.String("store", "", "persistent trace/tally store directory: captures, tallies and snapshots persist across runs, so a warm directory starts the grid from disk (requires recording)")
 	)
 	flag.Parse()
 
@@ -100,6 +104,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wheretime: -cachemb > 0 contradicts -maxrecorded < 0: recording is disabled, nothing can be cached")
 			os.Exit(2)
 		}
+		if *storeDir != "" {
+			fmt.Fprintln(os.Stderr, "wheretime: -store contradicts -maxrecorded < 0: recording is disabled, nothing can persist")
+			os.Exit(2)
+		}
 	}
 
 	opts := harness.DefaultOptions()
@@ -116,9 +124,37 @@ func main() {
 		opts.TraceCacheBytes = *cachemb << 20
 	}
 	opts.Gang = *gang
+	opts.Snapshot = *snapshot
 	if err := opts.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	// Open the store here rather than via Options.StoreDir so the stats
+	// line can be printed after the run (and on both exit paths). The
+	// line goes to stderr: stdout must stay byte-identical between cold
+	// and warm runs, which the store-smoke CI step diffs.
+	var store *tracestore.Store
+	if *storeDir != "" {
+		s, err := tracestore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		store = s
+		opts.Store = store
+	}
+	finishStore := func() {
+		if store == nil {
+			return
+		}
+		if err := store.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "store: entry hits=%d misses=%d, trace hits=%d written=%d, entries added=%d (dir %s)\n",
+			st.EntryHits, st.EntryMisses, st.TraceHits, st.TracesWritten, st.EntriesAdded, store.Dir())
 	}
 
 	l2s, err := parseIntList("l2kb", *l2kb, opts.Config.L2SizeKB)
@@ -189,6 +225,7 @@ func main() {
 				fmt.Println(t.Render())
 			}
 		}
+		finishStore()
 		return
 	}
 
@@ -226,6 +263,7 @@ func main() {
 			}
 		}
 	}
+	finishStore()
 }
 
 func printPlatform(cfg xeon.Config) {

@@ -1,0 +1,25 @@
+package engine
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+)
+
+// pinnedStreamDigests is the committed per-scenario stream digest
+// file the streampin suite enforces: any change to what the engine
+// emits for a given cell must update it (op-smoke fails otherwise).
+// That makes its content a cheap, honest version token for "the
+// mapping from cell spec to event stream", which the on-disk trace
+// store folds into every key so a store populated by one engine
+// version is never consulted by another.
+//
+//go:embed testdata/stream_digests.txt
+var pinnedStreamDigests []byte
+
+// StreamSchema returns the hex digest of the pinned stream-digest
+// file: the emission-schema version token for persistent caches.
+func StreamSchema() string {
+	sum := sha256.Sum256(pinnedStreamDigests)
+	return hex.EncodeToString(sum[:])
+}

@@ -83,6 +83,7 @@ func TestOptionsValidate(t *testing.T) {
 		{func(o *Options) { o.Selectivity = -0.01 }, "selectivity"},
 		{func(o *Options) { o.Selectivity = 1.01 }, "selectivity"},
 		{func(o *Options) { o.RecordSize = 4 }, "record size"},
+		{func(o *Options) { o.Warmup = -1 }, "warmup"},
 	}
 	for _, tc := range bad {
 		o := DefaultOptions()

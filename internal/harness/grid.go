@@ -7,6 +7,7 @@ import (
 	"wheretime/internal/engine"
 	"wheretime/internal/fanout"
 	"wheretime/internal/trace"
+	"wheretime/internal/tracestore"
 	"wheretime/internal/workload"
 	"wheretime/internal/xeon"
 )
@@ -191,11 +192,19 @@ func (env *Env) subEnv(recordSize int) (*Env, error) {
 	}
 	opts := env.Opts
 	opts.RecordSize = recordSize
+	// The sub-environment shares the parent's warm-start machinery
+	// rather than opening its own: clear the store options before
+	// building, then alias the parent's cache, memo and store handle
+	// (the keys all include the record size, so sharing is safe).
+	opts.StoreDir = ""
+	opts.Store = nil
 	sub, err := NewEnv(opts)
 	if err != nil {
 		return nil, err
 	}
 	sub.traces = env.traces
+	sub.snaps = env.snaps
+	sub.store = env.store
 	env.subenvs[recordSize] = sub
 	return sub, nil
 }
@@ -464,6 +473,21 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 	units := gangUnits(opts, specs)
 	res := &Results{cells: make(map[CellSpec]Cell, len(specs))}
 
+	// A StoreDir opens one persistent store for the whole run, shared
+	// across every worker (the Store is mutex-guarded) and flushed at
+	// the end. A run that was handed an open Store leaves flushing to
+	// its owner.
+	var flushStore *tracestore.Store
+	if opts.Store == nil && opts.StoreDir != "" && opts.maxRecorded() >= 0 {
+		store, err := tracestore.Open(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = store
+		opts.StoreDir = ""
+		flushStore = store
+	}
+
 	if parallel <= 1 {
 		env, err := NewEnv(opts)
 		if err != nil {
@@ -476,6 +500,11 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 			}
 			for i, spec := range unit {
 				res.cells[spec] = cells[i]
+			}
+		}
+		if flushStore != nil {
+			if err := flushStore.Flush(); err != nil {
+				return nil, err
 			}
 		}
 		return res, nil
@@ -507,6 +536,11 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 		}
 		for j, spec := range units[i] {
 			res.cells[spec] = o.cells[j]
+		}
+	}
+	if flushStore != nil {
+		if err := flushStore.Flush(); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

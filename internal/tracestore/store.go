@@ -1,0 +1,321 @@
+// Package tracestore is the persistent half of the record-once/
+// replay-many discipline: a content-addressed on-disk store of
+// compressed recordings plus a small key→blob index for memoized cell
+// tallies and post-warm-up pipeline snapshots. It is what lets a grid
+// run begin hot — a process restart (or a CI run restoring a cached
+// directory) replays and memoizes from disk instead of re-executing
+// every cell from zero.
+//
+// Layout under the store directory:
+//
+//	tr-<hex sha256>.trace  one recording: magic, embedded digest, then
+//	                       the trace wire payload (framed columnar
+//	                       chunks, see trace.MarshalWire). The file
+//	                       name is the payload digest, so identical
+//	                       streams dedupe and corruption is detected
+//	                       by re-hashing on load.
+//	index.json             the entry index: opaque caller blobs keyed
+//	                       by caller strings (the harness keys carry
+//	                       the emission key, config hash, warm-up
+//	                       count and stream-schema token).
+//
+// The store never interprets entry blobs; the harness serializes its
+// own tallies and snapshots. Loaded recordings draw their chunk
+// buffers from the shared trace free lists, so a warm start streams
+// into the same arenas capture uses. Every load path validates before
+// trusting: corrupt or truncated files return errors (never panic)
+// and leak nothing, which FuzzStoreLoad pins.
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"wheretime/internal/trace"
+)
+
+// traceMagic heads every trace file; indexVersion tags index.json.
+const (
+	traceMagic   = "WTSTOR1\n"
+	indexVersion = 1
+)
+
+// Stats counts store traffic for the warm-start log line.
+type Stats struct {
+	EntryHits     int
+	EntryMisses   int
+	TraceHits     int
+	TraceMisses   int
+	TracesWritten int
+	EntriesAdded  int
+}
+
+// Store is an open store directory. It is safe for concurrent use by
+// the grid's workers: one Store instance is shared per Measure run,
+// entries accumulate in memory, and Flush merges them into index.json
+// at teardown.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string][]byte // loaded index plus this process's additions
+	added   map[string][]byte // additions only, merged on Flush
+	stats   Stats
+}
+
+// indexFile is the JSON shape of index.json.
+type indexFile struct {
+	Version int               `json:"version"`
+	Entries map[string][]byte `json:"entries"`
+}
+
+// Open opens (creating if needed) a store directory and loads its
+// index. A corrupt index is an error — a cache that cannot be trusted
+// must not be silently treated as empty, the caller decides.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		entries: make(map[string][]byte),
+		added:   make(map[string][]byte),
+	}
+	idx, err := readIndex(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, err
+	}
+	if idx != nil {
+		s.entries = idx
+	}
+	return s, nil
+}
+
+// readIndex loads and validates one index file; a missing file is
+// (nil, nil).
+func readIndex(path string) (map[string][]byte, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	var idx indexFile
+	if err := json.Unmarshal(data, &idx); err != nil {
+		return nil, fmt.Errorf("tracestore: corrupt index %s: %w", path, err)
+	}
+	if idx.Version != indexVersion {
+		return nil, fmt.Errorf("tracestore: index %s has version %d, want %d", path, idx.Version, indexVersion)
+	}
+	if idx.Entries == nil {
+		idx.Entries = make(map[string][]byte)
+	}
+	return idx.Entries, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a copy of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// GetEntry returns the blob stored under key, if any.
+func (s *Store) GetEntry(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.entries[key]
+	if ok {
+		s.stats.EntryHits++
+	} else {
+		s.stats.EntryMisses++
+	}
+	return b, ok
+}
+
+// PutEntry stages a blob under key; Flush persists it. The first
+// write of a key in a process wins (cells are deterministic, so a
+// second write of the same key is the same tally).
+func (s *Store) PutEntry(key string, blob []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		return
+	}
+	b := append([]byte(nil), blob...)
+	s.entries[key] = b
+	s.added[key] = b
+	s.stats.EntriesAdded++
+}
+
+// Flush merges this process's added entries into index.json (reading
+// the file again first, so concurrent processes lose no keys) and
+// writes it atomically. Safe to call more than once.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.added) == 0 {
+		return nil
+	}
+	path := filepath.Join(s.dir, "index.json")
+	merged, err := readIndex(path)
+	if err != nil {
+		// The on-disk index went corrupt after Open: rebuild from what
+		// this process knows rather than failing the teardown.
+		merged = nil
+	}
+	if merged == nil {
+		merged = make(map[string][]byte)
+	}
+	for k, v := range s.added {
+		merged[k] = v
+	}
+	data, err := json.MarshalIndent(indexFile{Version: indexVersion, Entries: merged}, "", " ")
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "index-*.tmp")
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracestore: writing index: %w", firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	for k, v := range s.added {
+		s.entries[k] = v
+	}
+	s.added = make(map[string][]byte)
+	return nil
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// tracePath maps a payload digest to its file.
+func (s *Store) tracePath(digest string) string {
+	return filepath.Join(s.dir, "tr-"+digest+".trace")
+}
+
+// PutTrace writes the recording's wire form as a content-addressed
+// trace file and returns its digest. A file that already exists is
+// left alone — same digest, same bytes.
+func (s *Store) PutTrace(r *trace.Recording) (string, error) {
+	payload := r.MarshalWire(nil)
+	sum := sha256.Sum256(payload)
+	digest := hex.EncodeToString(sum[:])
+	path := s.tracePath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "tr-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("tracestore: %w", err)
+	}
+	_, werr := tmp.Write([]byte(traceMagic))
+	if werr == nil {
+		_, werr = tmp.Write(sum[:])
+	}
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("tracestore: writing trace: %w", firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("tracestore: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.TracesWritten++
+	s.mu.Unlock()
+	return digest, nil
+}
+
+// GetTrace loads the recording stored under digest. The payload is
+// re-hashed and checked against both the requested digest and the
+// embedded one before any parsing, so a corrupt, truncated or
+// mis-named file errors out cleanly. A missing file returns
+// (nil, nil) — absence is a cache miss, not a failure.
+func (s *Store) GetTrace(digest string) (*trace.Recording, error) {
+	if len(digest) != 2*sha256.Size || !isHex(digest) {
+		return nil, fmt.Errorf("tracestore: malformed trace digest %q", digest)
+	}
+	data, err := os.ReadFile(s.tracePath(digest))
+	if os.IsNotExist(err) {
+		s.countTrace(false)
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	header := len(traceMagic) + sha256.Size
+	if len(data) < header || string(data[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("tracestore: trace %s: bad header", digest)
+	}
+	payload := data[header:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != digest {
+		return nil, fmt.Errorf("tracestore: trace %s: payload digest mismatch", digest)
+	}
+	embedded := data[len(traceMagic):header]
+	for i, b := range sum {
+		if embedded[i] != b {
+			return nil, fmt.Errorf("tracestore: trace %s: embedded digest mismatch", digest)
+		}
+	}
+	rec, err := trace.UnmarshalWire(payload)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: trace %s: %w", digest, err)
+	}
+	s.countTrace(true)
+	return rec, nil
+}
+
+func (s *Store) countTrace(hit bool) {
+	s.mu.Lock()
+	if hit {
+		s.stats.TraceHits++
+	} else {
+		s.stats.TraceMisses++
+	}
+	s.mu.Unlock()
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyHash condenses arbitrary key material into the fixed-width hex
+// string the index and file names use.
+func KeyHash(material string) string {
+	sum := sha256.Sum256([]byte(material))
+	return hex.EncodeToString(sum[:])
+}

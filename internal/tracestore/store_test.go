@@ -1,0 +1,257 @@
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wheretime/internal/trace"
+)
+
+// storeEvents builds a small canonical stream: the shapes the engine
+// emits (fetches, strided loads, branch runs, a burst, a stall).
+func storeEvents(n int) []trace.Event {
+	evs := make([]trace.Event, 0, n)
+	for i := 0; len(evs) < n; i++ {
+		code := trace.CodeBase + uint64(i%64)*96
+		data := trace.HeapBase + uint64(i)*72
+		evs = append(evs,
+			trace.Event{Kind: trace.EvFetchBlock, Addr: code, Size: 28, A: 7, B: 11},
+			trace.Event{Kind: trace.EvLoad, Addr: data, Size: 8},
+			trace.Event{Kind: trace.EvBranch, Addr: code + 32, Aux: code, Taken: i%3 == 0},
+		)
+		if i%7 == 0 {
+			evs = append(evs,
+				trace.Event{Kind: trace.EvDataBurst, Addr: trace.PrivateBase, Size: 256, A: 6, B: 2},
+				trace.Event{Kind: trace.EvRecordProcessed})
+		}
+	}
+	return evs[:n]
+}
+
+func captureRecording(n int) *trace.Recording {
+	rec := trace.NewRecorder(nil, 0)
+	rec.ProcessBatch(storeEvents(n))
+	return rec.Recording()
+}
+
+// TestStoreTraceRoundTrip pins the content-addressed trace path: put,
+// get, stream equality, dedupe on re-put, miss on absent digest, and
+// no leaked buffers once everything is released.
+func TestStoreTraceRoundTrip(t *testing.T) {
+	c0, e0, b0 := trace.LiveBuffers()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec := captureRecording(trace.RecordChunkEvents + 500)
+	digest, err := s.PutTrace(rec)
+	if err != nil {
+		t.Fatalf("PutTrace: %v", err)
+	}
+	if d2, err := s.PutTrace(rec); err != nil || d2 != digest {
+		t.Fatalf("re-put: digest %s err %v, want %s", d2, err, digest)
+	}
+	got, err := s.GetTrace(digest)
+	if err != nil {
+		t.Fatalf("GetTrace: %v", err)
+	}
+	if got == nil || !got.Equal(rec) {
+		t.Fatal("loaded trace differs from stored recording")
+	}
+	missing, err := s.GetTrace(KeyHash("no such trace"))
+	if err != nil || missing != nil {
+		t.Fatalf("absent digest: rec=%v err=%v, want nil,nil", missing, err)
+	}
+	st := s.Stats()
+	if st.TraceHits != 1 || st.TraceMisses != 1 || st.TracesWritten != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	got.Release()
+	rec.Release()
+	if c1, e1, b1 := trace.LiveBuffers(); c1 != c0 || e1 != e0 || b1 != b0 {
+		t.Fatalf("buffers leaked: chunks %d->%d encBufs %d->%d blocks %d->%d", c0, c1, e0, e1, b0, b1)
+	}
+}
+
+// TestStoreEntriesPersist pins the index: entries survive Flush +
+// reopen, first write wins, and hit/miss stats count.
+func TestStoreEntriesPersist(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	s.PutEntry("tally|a", []byte("blob-a"))
+	s.PutEntry("tally|a", []byte("loser"))
+	s.PutEntry("snap|b", []byte{1, 2, 3})
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("second Flush: %v", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if b, ok := s2.GetEntry("tally|a"); !ok || string(b) != "blob-a" {
+		t.Fatalf("tally|a = %q, %v", b, ok)
+	}
+	if _, ok := s2.GetEntry("absent"); ok {
+		t.Fatal("absent key reported present")
+	}
+	st := s2.Stats()
+	if st.EntryHits != 1 || st.EntryMisses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Concurrent-process merge: a second handle's flush must not drop
+	// keys a third handle flushed in between.
+	s3, _ := Open(dir)
+	s3.PutEntry("tally|c", []byte("c"))
+	if err := s3.Flush(); err != nil {
+		t.Fatalf("s3 Flush: %v", err)
+	}
+	s2.PutEntry("tally|d", []byte("d"))
+	if err := s2.Flush(); err != nil {
+		t.Fatalf("s2 Flush: %v", err)
+	}
+	s4, _ := Open(dir)
+	for _, k := range []string{"tally|a", "snap|b", "tally|c", "tally|d"} {
+		if _, ok := s4.GetEntry(k); !ok {
+			t.Errorf("key %s lost after merged flushes", k)
+		}
+	}
+}
+
+// TestStoreCorruptIndex: garbage in index.json must fail Open with an
+// error, not be silently treated as an empty cache.
+func TestStoreCorruptIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt index")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"),
+		[]byte(`{"version":99,"entries":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a wrong-version index")
+	}
+}
+
+// TestStoreCorruptTrace: flipped payload bytes and bad headers must
+// error (the digest check catches them) and leak nothing.
+func TestStoreCorruptTrace(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	rec := captureRecording(2000)
+	digest, err := s.PutTrace(rec)
+	if err != nil {
+		t.Fatalf("PutTrace: %v", err)
+	}
+	rec.Release()
+
+	path := filepath.Join(dir, "tr-"+digest+".trace")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, e0, b0 := trace.LiveBuffers()
+	for _, off := range []int{0, 10, 41, len(data) - 1} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x80
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.GetTrace(digest); err == nil {
+			t.Errorf("flip at %d: GetTrace accepted corrupt file", off)
+		}
+	}
+	if err := os.WriteFile(path, data[:30], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetTrace(digest); err == nil {
+		t.Error("GetTrace accepted a truncated file")
+	}
+	if _, err := s.GetTrace("zz"); err == nil {
+		t.Error("GetTrace accepted a malformed digest")
+	}
+	if c1, e1, b1 := trace.LiveBuffers(); c1 != c0 || e1 != e0 || b1 != b0 {
+		t.Fatalf("buffers leaked: chunks %d->%d encBufs %d->%d blocks %d->%d", c0, c1, e0, e1, b0, b1)
+	}
+}
+
+// FuzzStoreLoad drives arbitrary bytes through every load path — a
+// correctly framed trace file with a fuzzed payload, a raw fuzzed
+// file body, and a fuzzed index.json. Every outcome must be a clean
+// error or a usable recording; nothing may panic and every borrowed
+// buffer must be back on the free lists afterwards.
+func FuzzStoreLoad(f *testing.F) {
+	small := captureRecording(100)
+	f.Add(small.MarshalWire(nil))
+	small.Release()
+	big := captureRecording(trace.RecordChunkEvents + 37)
+	f.Add(big.MarshalWire(nil))
+	big.Release()
+	f.Add([]byte{})
+	f.Add([]byte(traceMagic))
+	f.Add([]byte(`{"version":1,"entries":{"k":"AAEC"}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c0, e0, b0 := trace.LiveBuffers()
+		dir := t.TempDir()
+
+		// Path 1: data as the payload of a well-framed trace file, so
+		// the digest check passes and the wire parser sees it.
+		sum := sha256.Sum256(data)
+		digest := hex.EncodeToString(sum[:])
+		framed := append(append([]byte(traceMagic), sum[:]...), data...)
+		if err := os.WriteFile(filepath.Join(dir, "tr-"+digest+".trace"), framed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open on empty index: %v", err)
+		}
+		if rec, err := s.GetTrace(digest); err == nil && rec != nil {
+			rec.Drain(&discard{})
+			rec.Release()
+		}
+
+		// Path 2: data as the whole file body under a different name.
+		bodySum := sha256.Sum256(append(data, 'x'))
+		bodyDigest := hex.EncodeToString(bodySum[:])
+		if err := os.WriteFile(filepath.Join(dir, "tr-"+bodyDigest+".trace"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if rec, err := s.GetTrace(bodyDigest); err == nil && rec != nil {
+			rec.Release()
+		}
+
+		// Path 3: data as index.json.
+		if err := os.WriteFile(filepath.Join(dir, "index.json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if s2, err := Open(dir); err == nil {
+			s2.GetEntry("k")
+		}
+
+		if c1, e1, b1 := trace.LiveBuffers(); c1 != c0 || e1 != e0 || b1 != b0 {
+			t.Fatalf("buffers leaked: chunks %d->%d encBufs %d->%d blocks %d->%d", c0, c1, e0, e1, b0, b1)
+		}
+	})
+}
+
+// discard is a counting batch sink for draining fuzz-loaded
+// recordings: proving an accepted payload is actually drainable.
+type discard struct{ trace.Counting }
+
+func (d *discard) ProcessBatch(events []trace.Event) { trace.Replay(&d.Counting, events) }
