@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke store-smoke docs-check cover lint fmt golden profile profile-gang bench-json bench-compare ci
+.PHONY: build test short race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke store-smoke serve-smoke docs-check cover lint fmt golden profile profile-gang bench-json bench-compare ci
 
 build:
 	$(GO) build ./...
@@ -106,6 +106,18 @@ store-smoke:
 	grep -E 'store: entry hits=[1-9][0-9]* ' $(STORE_SMOKE_DIR)/warm.err
 	rm -rf $(STORE_SMOKE_DIR)
 
+# The robustness smoke: the wheretimed service and fault-injection
+# packages under the race detector (coalescing, quarantine-and-
+# recompute, timeouts, panic containment, read-only fallback, the
+# harness cancellation contract), then the real daemon end to end —
+# concurrent POSTs coalesced, a corrupted store quarantined and
+# recomputed byte-identically, SIGTERM drained to exit 0 (see
+# cmd/servesmoke).
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/server ./internal/faults
+	$(GO) test -race -count=1 -run 'TestMeasureContext' ./internal/harness
+	$(GO) run ./cmd/servesmoke
+
 # The documentation contract: every relative link in docs/*.md and
 # README.md resolves (files and #anchors), and every internal/ package
 # carries a proper package comment.
@@ -161,4 +173,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: lint build race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke store-smoke docs-check
+ci: lint build race bench batch-smoke replay-smoke gang-smoke compress-smoke scenario-smoke op-smoke store-smoke serve-smoke docs-check

@@ -31,11 +31,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"wheretime/internal/harness"
 	"wheretime/internal/tracestore"
@@ -149,12 +153,21 @@ func main() {
 			return
 		}
 		if err := store.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			// A read-only store is a degraded cache, not a failed run:
+			// warn and keep the exit status the measurement earned.
+			if !errors.Is(err, tracestore.ErrReadOnly) {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wheretime: store is read-only; staged entries were not flushed")
 		}
 		st := store.Stats()
-		fmt.Fprintf(os.Stderr, "store: entry hits=%d misses=%d, trace hits=%d written=%d, entries added=%d (dir %s)\n",
-			st.EntryHits, st.EntryMisses, st.TraceHits, st.TracesWritten, st.EntriesAdded, store.Dir())
+		ro := ""
+		if st.ReadOnly {
+			ro = " READ-ONLY"
+		}
+		fmt.Fprintf(os.Stderr, "store: entry hits=%d misses=%d, trace hits=%d written=%d, entries added=%d, retries=%d quarantined=%d%s (dir %s)\n",
+			st.EntryHits, st.EntryMisses, st.TraceHits, st.TracesWritten, st.EntriesAdded, st.Retries, st.Quarantined, ro, store.Dir())
 	}
 
 	l2s, err := parseIntList("l2kb", *l2kb, opts.Config.L2SizeKB)
@@ -208,16 +221,21 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the grid at the next between-cells barrier:
+	// the run stops cleanly, the store flushes the cells that finished
+	// (they warm the next run), and the process exits 130.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	dims := opts.Dims()
 	printPlatform(configs[0])
 	fmt.Printf("Dataset: R=%d records x %dB, S=%d, selectivity %.0f%% (scale %.3g), %d workers\n\n",
 		dims.RRecords, dims.RecordSize, dims.SRecords, *selectivity*100, *scale, *parallel)
 
 	if len(configs) == 1 {
-		rendered, err := harness.RunExperiments(opts, exps, *parallel)
+		rendered, err := harness.RunExperimentsContext(ctx, opts, exps, *parallel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			exitRunErr(err, finishStore)
 		}
 		for i, e := range exps {
 			fmt.Printf("== %s — %s ==\n\n", e.Name, e.Paper)
@@ -243,10 +261,9 @@ func main() {
 			specs = append(specs, e.Cells(optsFor(cfg))...)
 		}
 	}
-	res, err := harness.Measure(opts, specs, *parallel)
+	res, err := harness.MeasureContext(ctx, opts, specs, *parallel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exitRunErr(err, finishStore)
 	}
 	for _, e := range exps {
 		fmt.Printf("== %s — %s ==\n\n", e.Name, e.Paper)
@@ -264,6 +281,21 @@ func main() {
 		}
 	}
 	finishStore()
+}
+
+// exitRunErr reports a failed or interrupted run and exits. An
+// interrupted run (SIGINT/SIGTERM hit a *harness.PartialError) still
+// flushes the store — the cells measured before the signal warm the
+// next run — and exits 130, the conventional fatal-signal status.
+func exitRunErr(err error, finishStore func()) {
+	var pe *harness.PartialError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(os.Stderr, "wheretime: interrupted: %v\n", err)
+		finishStore()
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func printPlatform(cfg xeon.Config) {

@@ -2,10 +2,14 @@
 // the concurrent experiment grid (internal/harness) and the parallel
 // counter-pair session (internal/emon): n independent jobs fanned out
 // across a bounded set of workers, each worker carrying its own
-// isolated state, with dispatch cancelled on first failure.
+// isolated state, with dispatch cancelled on first failure or on
+// context cancellation.
 package fanout
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Run invokes a per-worker job function for every index in [0, n),
 // across at most workers goroutines. newWorker is called once per
@@ -18,6 +22,20 @@ import "sync"
 // dispatched in order but complete in any order; callers aggregate
 // by index to stay deterministic.
 func Run(n, workers int, newWorker func() func(i int) bool) {
+	RunContext(context.Background(), n, workers, newWorker)
+}
+
+// RunContext is Run under a context: dispatch additionally stops when
+// ctx is cancelled or its deadline passes, and each worker checks the
+// context between jobs, so a job handed over just before cancellation
+// is skipped rather than started. Jobs already running complete —
+// cancellation is a barrier between cells, never a mid-cell interrupt
+// — and RunContext still returns only once every started job has
+// finished. The returned error is ctx.Err(): nil on a full dispatch,
+// context.Canceled or context.DeadlineExceeded when the dispatch was
+// cut short. With a background context the behaviour (and the set of
+// indexes run) is identical to Run's.
+func RunContext(ctx context.Context, n, workers int, newWorker func() func(i int) bool) error {
 	if workers > n {
 		workers = n
 	}
@@ -26,6 +44,7 @@ func Run(n, workers int, newWorker func() func(i int) bool) {
 	}
 	jobs := make(chan int)
 	cancel := make(chan struct{})
+	done := ctx.Done() // nil for background contexts: the select cases never fire
 	var once sync.Once
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -34,6 +53,15 @@ func Run(n, workers int, newWorker func() func(i int) bool) {
 			defer wg.Done()
 			job := newWorker()
 			for i := range jobs {
+				select {
+				case <-done:
+					// Cancelled after this index was handed over but
+					// before it started: skip it (and any later ones
+					// still in the channel), but keep draining so the
+					// dispatcher's close is observed.
+					continue
+				default:
+				}
 				if !job(i) {
 					once.Do(func() { close(cancel) })
 				}
@@ -46,8 +74,11 @@ dispatch:
 		case jobs <- i:
 		case <-cancel:
 			break dispatch
+		case <-done:
+			break dispatch
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	return ctx.Err()
 }

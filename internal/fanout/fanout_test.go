@@ -1,6 +1,8 @@
 package fanout_test
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -51,6 +53,97 @@ func TestRunCancelsDispatchOnFailure(t *testing.T) {
 	// observes the cancel; the point is it does not run all 1000.
 	if got := atomic.LoadInt32(&ran); got > 3 {
 		t.Errorf("%d jobs ran after first failure", got)
+	}
+}
+
+// TestRunCancelStopsUndispatched pins the cancel path across several
+// workers: once any job fails, the dispatcher hands out no further
+// indexes, so with every job failing, the number of indexes that run
+// is bounded by the jobs already accepted when the first failure
+// landed — never the whole schedule.
+func TestRunCancelStopsUndispatched(t *testing.T) {
+	const n, workers = 1000, 4
+	var ran int32
+	var maxIndex int32 = -1
+	fanout.Run(n, workers, func() func(int) bool {
+		return func(i int) bool {
+			atomic.AddInt32(&ran, 1)
+			for {
+				cur := atomic.LoadInt32(&maxIndex)
+				if int32(i) <= cur || atomic.CompareAndSwapInt32(&maxIndex, cur, int32(i)) {
+					break
+				}
+			}
+			return false
+		}
+	})
+	// At most the in-flight jobs plus the handful the dispatcher
+	// handed over before observing the cancel can run.
+	if got := atomic.LoadInt32(&ran); got > 2*workers+1 {
+		t.Errorf("%d jobs ran after first failure (workers=%d)", got, workers)
+	}
+	if got := atomic.LoadInt32(&maxIndex); got > 2*workers+1 {
+		t.Errorf("index %d was dispatched after first failure", got)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: with a background context the
+// dispatch is exactly Run's — every index runs once, nil error.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	const n = 64
+	done := make([]int32, n)
+	err := fanout.RunContext(context.Background(), n, 5, func() func(int) bool {
+		return func(i int) bool {
+			atomic.AddInt32(&done[i], 1)
+			return true
+		}
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	for i, c := range done {
+		if c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestRunContextCancelStopsDispatch: cancelling mid-dispatch stops
+// new indexes and returns context.Canceled; jobs already running
+// complete (the barrier is between cells).
+func TestRunContextCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := fanout.RunContext(ctx, 1000, 2, func() func(int) bool {
+		return func(i int) bool {
+			if atomic.AddInt32(&ran, 1) == 1 {
+				cancel()
+			}
+			return true
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext returned %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got > 6 {
+		t.Errorf("%d jobs ran after cancellation", got)
+	}
+}
+
+// TestRunContextPreCancelled: a context cancelled before the call
+// dispatches nothing.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := fanout.RunContext(ctx, 100, 4, func() func(int) bool {
+		return func(int) bool { atomic.AddInt32(&ran, 1); return true }
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext returned %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Errorf("%d jobs ran under a pre-cancelled context", ran)
 	}
 }
 

@@ -1,0 +1,150 @@
+// Package faults provides deterministic fault injection for the
+// robustness suite: an Injector holds consumable rules — errors,
+// latency, payload corruption, panics — that instrumented code
+// (the tracestore's file operations, the wheretimed worker pool)
+// consults at well-defined hook points. Production paths pass a nil
+// Injector, which every method treats as "inject nothing", so the
+// hooks cost one nil check when faults are off.
+//
+// Rules are armed per operation with a shot count: FailN(OpRead, 2,
+// err) makes the next two reads fail and the third succeed — exactly
+// the shape a bounded-retry loop needs to be provoked and then
+// satisfied. A count of -1 arms the rule permanently (an unwritable
+// disk, not a transient hiccup).
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// Op names an instrumented operation class.
+type Op string
+
+// The operation classes the repository instruments.
+const (
+	// OpRead covers the trace store's file reads (trace payloads and
+	// the entry index).
+	OpRead Op = "read"
+	// OpWrite covers the trace store's atomic file writes (temp file,
+	// write, rename) for traces and the index.
+	OpWrite Op = "write"
+	// OpWorker covers the wheretimed server's per-flight worker, hooked
+	// just before the simulation starts.
+	OpWorker Op = "worker"
+)
+
+// rule is one armed fault. A rule may combine latency with an error
+// or a panic: the delay applies first, then the failure.
+type rule struct {
+	remaining int // shots left; -1 = unlimited
+	delay     time.Duration
+	err       error
+	panicMsg  string
+	corrupt   func([]byte) []byte
+}
+
+// Injector is a set of armed fault rules, safe for concurrent use.
+// The zero value is not usable; call New. A nil *Injector is a valid
+// no-op injector.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[Op][]*rule
+	fired map[Op]int
+}
+
+// New returns an empty injector.
+func New() *Injector {
+	return &Injector{rules: make(map[Op][]*rule), fired: make(map[Op]int)}
+}
+
+func (in *Injector) arm(op Op, r *rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[op] = append(in.rules[op], r)
+}
+
+// FailN arms op to return err for the next n hook consultations
+// (n = -1: every consultation).
+func (in *Injector) FailN(op Op, n int, err error) {
+	in.arm(op, &rule{remaining: n, err: err})
+}
+
+// SlowN arms op to sleep d before proceeding, n times.
+func (in *Injector) SlowN(op Op, n int, d time.Duration) {
+	in.arm(op, &rule{remaining: n, delay: d})
+}
+
+// PanicN arms op to panic with msg, n times — the hook for proving
+// panic containment in worker pools.
+func (in *Injector) PanicN(op Op, n int, msg string) {
+	in.arm(op, &rule{remaining: n, panicMsg: msg})
+}
+
+// CorruptN arms op's data path to pass payloads through f, n times.
+// f receives its own copy and may mutate it freely.
+func (in *Injector) CorruptN(op Op, n int, f func([]byte) []byte) {
+	in.arm(op, &rule{remaining: n, corrupt: f})
+}
+
+// take pops the first live rule for op matching want, consuming one
+// shot. Nil when nothing is armed.
+func (in *Injector) take(op Op, want func(*rule) bool) *rule {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, r := range in.rules[op] {
+		if r.remaining == 0 || !want(r) {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		in.fired[op]++
+		return r
+	}
+	return nil
+}
+
+// Apply is the control hook instrumented code calls before performing
+// op on target: it burns one armed failure rule, sleeping out its
+// latency, panicking if the rule says to, and returning the rule's
+// error (nil when only latency was armed, or nothing was). Nil-safe.
+func (in *Injector) Apply(op Op, target string) error {
+	r := in.take(op, func(r *rule) bool { return r.corrupt == nil })
+	if r == nil {
+		return nil
+	}
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	if r.panicMsg != "" {
+		panic("faults: injected panic: " + r.panicMsg)
+	}
+	return r.err
+}
+
+// Transform is the data hook: instrumented code passes a payload it
+// just read (or is about to write) and gets back either the same
+// slice or a corrupted copy, burning one armed corruption rule.
+// Nil-safe.
+func (in *Injector) Transform(op Op, target string, data []byte) []byte {
+	r := in.take(op, func(r *rule) bool { return r.corrupt != nil })
+	if r == nil {
+		return data
+	}
+	return r.corrupt(append([]byte(nil), data...))
+}
+
+// Fired reports how many rules op has consumed — how often injected
+// faults actually hit the instrumented path.
+func (in *Injector) Fired(op Op) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[op]
+}

@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Apply(OpRead, "x"); err != nil {
+		t.Errorf("nil Apply = %v", err)
+	}
+	data := []byte{1, 2, 3}
+	if got := in.Transform(OpWrite, "x", data); &got[0] != &data[0] {
+		t.Error("nil Transform did not pass the slice through")
+	}
+	if in.Fired(OpWorker) != 0 {
+		t.Error("nil Fired != 0")
+	}
+}
+
+func TestFailNConsumesShots(t *testing.T) {
+	errBoom := errors.New("boom")
+	in := New()
+	in.FailN(OpRead, 2, errBoom)
+	for i := 0; i < 2; i++ {
+		if err := in.Apply(OpRead, "f"); !errors.Is(err, errBoom) {
+			t.Fatalf("shot %d: %v, want boom", i, err)
+		}
+	}
+	if err := in.Apply(OpRead, "f"); err != nil {
+		t.Fatalf("exhausted rule still fired: %v", err)
+	}
+	if got := in.Fired(OpRead); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+	// Other ops are untouched.
+	if err := in.Apply(OpWrite, "f"); err != nil {
+		t.Errorf("unarmed op fired: %v", err)
+	}
+}
+
+func TestUnlimitedRule(t *testing.T) {
+	errBoom := errors.New("boom")
+	in := New()
+	in.FailN(OpWrite, -1, errBoom)
+	for i := 0; i < 10; i++ {
+		if err := in.Apply(OpWrite, "f"); !errors.Is(err, errBoom) {
+			t.Fatalf("shot %d of an unlimited rule did not fire", i)
+		}
+	}
+}
+
+func TestSlowN(t *testing.T) {
+	in := New()
+	in.SlowN(OpWorker, 1, 30*time.Millisecond)
+	start := time.Now()
+	if err := in.Apply(OpWorker, "w"); err != nil {
+		t.Fatalf("latency-only rule returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("Apply returned after %v, want >= 30ms of injected latency", d)
+	}
+}
+
+func TestPanicN(t *testing.T) {
+	in := New()
+	in.PanicN(OpWorker, 1, "worker died")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("armed panic did not fire")
+			}
+		}()
+		in.Apply(OpWorker, "w")
+	}()
+	if err := in.Apply(OpWorker, "w"); err != nil {
+		t.Errorf("panic rule fired twice: %v", err)
+	}
+}
+
+func TestCorruptNCopies(t *testing.T) {
+	in := New()
+	in.CorruptN(OpRead, 1, func(b []byte) []byte {
+		b[0] ^= 0xff
+		return b
+	})
+	orig := []byte{1, 2, 3}
+	got := in.Transform(OpRead, "f", orig)
+	if orig[0] != 1 {
+		t.Error("Transform mutated the caller's slice")
+	}
+	if got[0] != 1^0xff {
+		t.Errorf("corruption not applied: %v", got)
+	}
+	// Consumed: the next payload passes through untouched.
+	if got := in.Transform(OpRead, "f", orig); &got[0] != &orig[0] {
+		t.Error("exhausted corruption rule still copied")
+	}
+	// Corruption rules do not satisfy the control hook.
+	in2 := New()
+	in2.CorruptN(OpRead, 1, func(b []byte) []byte { return b })
+	if err := in2.Apply(OpRead, "f"); err != nil {
+		t.Errorf("Apply consumed a corruption rule: %v", err)
+	}
+	if in2.Fired(OpRead) != 0 {
+		t.Error("Apply burned a corruption shot")
+	}
+}

@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"wheretime/internal/engine"
 	"wheretime/internal/fanout"
@@ -320,6 +323,22 @@ func (tc *traceCache) store(key CellSpec, ct *cellTrace) {
 	tc.total += n
 }
 
+// drop releases every retained capture back to the shared free lists
+// and empties the cache. Called from Env.Close: a finished grid must
+// hand its arenas back so a long-running process (the wheretimed
+// service) does not accrete one cache of captures per request.
+func (tc *traceCache) drop() {
+	if tc == nil {
+		return
+	}
+	for _, ct := range tc.cells {
+		ct.release()
+	}
+	tc.cells = make(map[CellSpec]*cellTrace)
+	tc.order = nil
+	tc.total = 0
+}
+
 // EnvFactory lazily builds one isolated simulator stack — databases,
 // engines, caches, pipelines — for a single worker. Nothing under a
 // factory is shared with any other factory, so workers never contend:
@@ -457,6 +476,28 @@ func measureUnit(env *Env, unit []CellSpec, gang bool) ([]Cell, error) {
 	return cells, nil
 }
 
+// PartialError reports a measurement cut short by context
+// cancellation: Done of Total scheduler work units finished before the
+// barrier fired. It wraps the context's error, so callers distinguish
+// a deadline (errors.Is(err, context.DeadlineExceeded)) from an
+// explicit cancel (context.Canceled). MeasureContext returns it
+// together with the partial Results, which hold every cell the
+// finished units measured.
+type PartialError struct {
+	// Done counts the work units whose cells were fully measured.
+	Done int
+	// Total is the number of work units the grid scheduled.
+	Total int
+	// Err is the context's error: Canceled or DeadlineExceeded.
+	Err error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("harness: measurement cancelled after %d/%d units: %v", e.Done, e.Total, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }
+
 // Measure simulates every cell of the grid, fanning the scheduler's
 // work units out across parallel workers (parallel <= 1 preserves the
 // serial path: one environment, units in declaration order). Cells
@@ -468,6 +509,24 @@ func measureUnit(env *Env, unit []CellSpec, gang bool) ([]Cell, error) {
 // pure function of (opts, spec), which TestParallelMatchesSerial and
 // the gang equivalence suite pin down.
 func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
+	return MeasureContext(context.Background(), opts, specs, parallel)
+}
+
+// MeasureContext is Measure under a context: the grid checks for
+// cancellation between work units (and, inside a cell, between
+// re-execution runs) and stops at the first barrier after ctx is
+// cancelled or its deadline passes, returning the partial Results
+// measured so far together with a *PartialError wrapping ctx.Err().
+// Cancellation never interrupts a cell mid-drain, so no recording is
+// abandoned half-captured and no trace buffer leaks; a run that is
+// never cancelled is byte-identical to Measure, which the golden
+// matrix pins. A store opened from Options.StoreDir is flushed even on
+// the cancelled path — the cells already measured warm the next run.
+func MeasureContext(ctx context.Context, opts Options, specs []CellSpec, parallel int) (*Results, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.Context = ctx
 	specs = dedupeSpecs(specs)
 	gang := opts.Gang && !opts.Unbatched
 	units := gangUnits(opts, specs)
@@ -487,27 +546,42 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 		opts.StoreDir = ""
 		flushStore = store
 	}
+	// finish flushes the run's store additions; on the cancelled path
+	// the flush error (if any) rides along with the partial error.
+	finish := func(retErr error) error {
+		if flushStore == nil {
+			return retErr
+		}
+		if err := flushStore.Flush(); err != nil {
+			return errors.Join(retErr, err)
+		}
+		return retErr
+	}
 
 	if parallel <= 1 {
 		env, err := NewEnv(opts)
 		if err != nil {
 			return nil, err
 		}
-		for _, unit := range units {
+		defer env.Close()
+		for done, unit := range units {
+			if cerr := ctx.Err(); cerr != nil {
+				return res, finish(&PartialError{Done: done, Total: len(units), Err: cerr})
+			}
 			cells, err := measureUnit(env, unit, gang)
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					// The unit stopped at an in-cell cancellation
+					// barrier, not on a simulation failure.
+					return res, finish(&PartialError{Done: done, Total: len(units), Err: cerr})
+				}
 				return nil, fmt.Errorf("harness: %w", err)
 			}
 			for i, spec := range unit {
 				res.cells[spec] = cells[i]
 			}
 		}
-		if flushStore != nil {
-			if err := flushStore.Flush(); err != nil {
-				return nil, err
-			}
-		}
-		return res, nil
+		return res, finish(nil)
 	}
 
 	type outcome struct {
@@ -515,11 +589,24 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 		err   error
 	}
 	outcomes := make([]outcome, len(units))
-	fanout.Run(len(units), parallel, func() func(int) bool {
+	// Worker environments are tracked so their retained captures are
+	// released once the grid is done — a long-running caller (the
+	// wheretimed service) measures many grids per process and must not
+	// accrete trace arenas.
+	var envMu sync.Mutex
+	var envs []*Env
+	fanout.RunContext(ctx, len(units), parallel, func() func(int) bool {
 		factory := NewEnvFactory(opts)
+		registered := false
 		return func(i int) bool {
 			env, err := factory.Env()
 			if err == nil {
+				if !registered {
+					envMu.Lock()
+					envs = append(envs, env)
+					envMu.Unlock()
+					registered = true
+				}
 				var cells []Cell
 				cells, err = measureUnit(env, units[i], gang)
 				outcomes[i] = outcome{cells: cells, err: err}
@@ -529,21 +616,34 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 			return err == nil
 		}
 	})
+	for _, env := range envs {
+		env.Close()
+	}
 
+	done := 0
+	var firstErr error
 	for i, o := range outcomes {
 		if o.err != nil {
-			return nil, fmt.Errorf("harness: %w", o.err)
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		if o.cells == nil {
+			continue // undispatched: the context fired first
 		}
 		for j, spec := range units[i] {
 			res.cells[spec] = o.cells[j]
 		}
+		done++
 	}
-	if flushStore != nil {
-		if err := flushStore.Flush(); err != nil {
-			return nil, err
-		}
+	if cerr := ctx.Err(); cerr != nil {
+		return res, finish(&PartialError{Done: done, Total: len(units), Err: cerr})
 	}
-	return res, nil
+	if firstErr != nil {
+		return nil, fmt.Errorf("harness: %w", firstErr)
+	}
+	return res, finish(nil)
 }
 
 // RunExperiments measures the union of the experiments' grids with the
@@ -552,11 +652,21 @@ func Measure(opts Options, specs []CellSpec, parallel int) (*Results, error) {
 // simulates each distinct cell exactly once no matter how many figures
 // share it.
 func RunExperiments(opts Options, exps []Experiment, parallel int) ([][]Table, error) {
+	return RunExperimentsContext(context.Background(), opts, exps, parallel)
+}
+
+// RunExperimentsContext is RunExperiments under a context: the grid
+// stops at the first between-cells barrier after cancellation and the
+// error (a *PartialError) reports how far it got. Nothing renders on
+// the cancelled path — a figure over half a grid would be misleading —
+// but a store configured via Options.StoreDir keeps the finished
+// cells, so the interrupted run still warms the next one.
+func RunExperimentsContext(ctx context.Context, opts Options, exps []Experiment, parallel int) ([][]Table, error) {
 	var specs []CellSpec
 	for _, e := range exps {
 		specs = append(specs, e.Cells(opts)...)
 	}
-	res, err := Measure(opts, specs, parallel)
+	res, err := MeasureContext(ctx, opts, specs, parallel)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"wheretime/internal/core"
@@ -151,6 +152,15 @@ type Options struct {
 	// directory; the caller keeps ownership (and calls Flush). Measure
 	// opens one store per run and shares it across workers this way.
 	Store *tracestore.Store
+	// Context, when non-nil, lets a long measurement be cancelled: the
+	// grid checks it between cells and between re-execution runs inside
+	// a cell, and stops with an error wrapping ctx.Err() at the first
+	// check after cancellation. Cancellation is a barrier, never a
+	// mid-drain interrupt — a run that is never cancelled produces
+	// byte-identical output with or without a context, which the golden
+	// matrix pins. Set by MeasureContext; leave nil for uncancellable
+	// runs.
+	Context context.Context
 }
 
 // DefaultMaxRecordedEvents is the default recording cap: 16Mi events.
@@ -442,8 +452,25 @@ func (env *Env) Run(s engine.System, q QueryKind) (Cell, error) {
 	return env.runMemo(s, q, env.Opts.Config)
 }
 
+// ctxErr reports the environment's cancellation state: nil without a
+// context (or before cancellation), an error wrapping ctx.Err() after.
+// It is the check every between-cells and between-runs barrier makes;
+// the wrapped error satisfies errors.Is(err, context.Canceled) or
+// (err, context.DeadlineExceeded).
+func (env *Env) ctxErr() error {
+	if ctx := env.Opts.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("harness: cancelled: %w", err)
+		}
+	}
+	return nil
+}
+
 // runMemo is Run on an explicit platform configuration.
 func (env *Env) runMemo(s engine.System, q QueryKind, cfg xeon.Config) (Cell, error) {
+	if err := env.ctxErr(); err != nil {
+		return Cell{}, err
+	}
 	key := memoKey{s: s, q: q, sel: env.Opts.Selectivity, cfg: cfg}
 	if env.memo != nil {
 		if c, ok := env.memo[key]; ok {
@@ -555,11 +582,17 @@ func (env *Env) run(s engine.System, q QueryKind, cfg xeon.Config) (Cell, error)
 	}
 
 	// Remaining warm-up runs and the measured run: replay the capture,
-	// or re-execute from reset state when no capture exists.
+	// or re-execute from reset state when no capture exists. The
+	// re-execution loop is the slow leg, so it checks for cancellation
+	// between runs; replay drains are pure in-memory passes and run to
+	// completion (nothing to leak, nothing slow to interrupt).
 	if rec != nil && !rec.Overflowed() {
 		env.drainWarmSolo(pipe, rec.Recording(), key, cfg, runs, 1)
 	} else {
 		for i := 1; i < runs; i++ {
+			if err := env.ctxErr(); err != nil {
+				return Cell{}, err
+			}
 			if i == runs-1 {
 				pipe.ResetStats()
 			}
@@ -609,6 +642,9 @@ func (env *Env) RunTPCD(s engine.System) (Cell, error) {
 
 // runTPCDMemo is RunTPCD on an explicit platform configuration.
 func (env *Env) runTPCDMemo(s engine.System, cfg xeon.Config) (Cell, error) {
+	if err := env.ctxErr(); err != nil {
+		return Cell{}, err
+	}
 	key := memoKey{s: s, q: QueryKind(-1), cfg: cfg}
 	if env.memo != nil {
 		if c, ok := env.memo[key]; ok {
@@ -703,6 +739,9 @@ func (env *Env) RunTPCC(s engine.System, txns int) (Cell, workload.TPCCStats, er
 
 // runTPCCCfg is RunTPCC on an explicit platform configuration.
 func (env *Env) runTPCCCfg(s engine.System, txns int, cfg xeon.Config) (Cell, workload.TPCCStats, error) {
+	if err := env.ctxErr(); err != nil {
+		return Cell{}, workload.TPCCStats{}, err
+	}
 	key := CellSpec{Kind: CellTPCC, System: s, Txns: txns}
 	if cell, stats, ok := env.lookupTally(key, cfg, s, 0); ok && stats != nil {
 		return cell, *stats, nil
@@ -844,6 +883,9 @@ func finishGang(unit []CellSpec, what string, multi *xeon.MultiPipeline, res eng
 // fallback re-executes the engine per run, still emitting once for
 // the whole gang.
 func (env *Env) runGangMicro(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error) {
+	if err := env.ctxErr(); err != nil {
+		return nil, err
+	}
 	s, q := unit[0].System, unit[0].Query
 	query, ok := env.queryFor(s, q)
 	if !ok {
@@ -895,6 +937,9 @@ func (env *Env) runGangMicro(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error
 		env.drainWarmGang(multi, rec.Recording(), key, cfgs, runs, 1)
 	} else {
 		for i := 1; i < runs; i++ {
+			if err := env.ctxErr(); err != nil {
+				return nil, err
+			}
 			if i == runs-1 {
 				multi.ResetStats()
 			}
@@ -921,6 +966,9 @@ func (env *Env) runGangMicro(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error
 // re-execution when the suite's stream overflows the cap — either way
 // one emission or arena pass for all K configurations.
 func (env *Env) runGangTPCD(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error) {
+	if err := env.ctxErr(); err != nil {
+		return nil, err
+	}
 	s := unit[0].System
 	key := CellSpec{Kind: CellTPCD, System: s, RecordSize: env.Opts.RecordSize}
 
@@ -982,6 +1030,9 @@ func (env *Env) runGangTPCD(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error)
 // stream, or replays a cached capture's two phases into the whole
 // gang.
 func (env *Env) runGangTPCC(unit []CellSpec, cfgs []xeon.Config) ([]Cell, error) {
+	if err := env.ctxErr(); err != nil {
+		return nil, err
+	}
 	s, txns := unit[0].System, unit[0].Txns
 	key := CellSpec{Kind: CellTPCC, System: s, Txns: txns}
 

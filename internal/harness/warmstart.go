@@ -94,18 +94,40 @@ func (sm *snapMemo) store(k snapKey, st *xeon.State) {
 // fallback paths never consult it).
 func (env *Env) snapshotOn() bool { return env.snaps != nil }
 
-// storeKey derives the index key for one stored artifact. Every key
-// folds in the emission schema token, so a store written by one engine
-// version is a clean miss for any other. Config-dependent artifacts
-// (tallies, snapshots) also fold in the platform and the warm-up
-// count; trace refs deliberately do not — the stream is a pure
-// function of the emission key, which is the whole point of gangs.
-func (env *Env) storeKey(kind string, spec CellSpec, cfg *xeon.Config) string {
+// keyMaterial builds the index-key material for one stored artifact.
+// Every key folds in the emission schema token, so a store written by
+// one engine version is a clean miss for any other. Config-dependent
+// artifacts (tallies, snapshots) also fold in the platform and the
+// warm-up count; trace refs deliberately do not — the stream is a
+// pure function of the emission key, which is the whole point of
+// gangs.
+func keyMaterial(kind string, spec CellSpec, cfg *xeon.Config, warmup int) string {
 	mat := fmt.Sprintf("wheretime|%s|schema=%s|spec=%+v", kind, engine.StreamSchema(), emissionKey(spec))
 	if cfg != nil {
-		mat = fmt.Sprintf("%s|cfg=%+v|warmup=%d", mat, *cfg, env.Opts.Warmup)
+		mat = fmt.Sprintf("%s|cfg=%+v|warmup=%d", mat, *cfg, warmup)
 	}
-	return tracestore.KeyHash(mat)
+	return mat
+}
+
+// storeKey derives the index key for one stored artifact under this
+// environment's options.
+func (env *Env) storeKey(kind string, spec CellSpec, cfg *xeon.Config) string {
+	return tracestore.KeyHash(keyMaterial(kind, spec, cfg, env.Opts.Warmup))
+}
+
+// TallyKey returns the persistent-store index key under which the
+// finished tally of spec lives when measured at opts — the same key
+// the warm-start layer reads and writes, derived from the same
+// material. It identifies one fully costed measurement: emission key,
+// platform configuration (the spec's, or the options' when the spec
+// leaves it zero), warm-up count and emission schema. The wheretimed
+// service coalesces identical in-flight requests on it.
+func TallyKey(opts Options, spec CellSpec) string {
+	cfg := spec.Config
+	if cfg == (xeon.Config{}) {
+		cfg = opts.Config
+	}
+	return tracestore.KeyHash(keyMaterial("tally", spec, &cfg, opts.Warmup))
 }
 
 // snapLookup returns the memoized post-warm-up state for (spec, cfg),
@@ -516,10 +538,22 @@ func (env *Env) cellStream(spec CellSpec) (ct *cellTrace, fromStore bool) {
 	return nil, false
 }
 
-// Close tears an environment down: when the env owns its store (built
-// from Options.StoreDir rather than handed an open handle), the staged
-// index entries are flushed to disk. Safe on an env without a store.
+// Close tears an environment down: the retained captures of the trace
+// cache are released back to the shared free lists (sub-environments
+// alias the same cache, so one drop covers them), and when the env
+// owns its store (built from Options.StoreDir rather than handed an
+// open handle), the staged index entries are flushed to disk. The env
+// stays usable afterwards — recording is simply off, every run
+// re-executes — but callers should treat Close as the end of its
+// life. Safe on an env without a store, and safe to call twice.
 func (env *Env) Close() error {
+	if env.traces != nil {
+		env.traces.drop()
+		env.traces = nil
+		for _, sub := range env.subenvs {
+			sub.traces = nil
+		}
+	}
 	if env.store != nil && env.ownStore {
 		return env.store.Flush()
 	}

@@ -1,0 +1,378 @@
+// Package server implements wheretimed, the fault-tolerant experiment
+// service: an HTTP front end over the harness grid that measures one
+// cell per request, coalesces identical in-flight requests into a
+// single simulation, memoizes results through the shared trace/tally
+// store, and degrades — rather than dies — when the store or a worker
+// misbehaves.
+//
+// The API surface is three routes:
+//
+//	POST /v1/cells  measure one cell. The body is a cell spec (see
+//	                spec.go); the response is the costed tally: the
+//	                execution-time breakdown in Table 3.1 component
+//	                order, the query result, and the normalized spec
+//	                the server actually measured.
+//	GET  /healthz   liveness plus operational counters: request /
+//	                simulation / coalesce / failure totals and the
+//	                store's traffic and degraded-mode stats.
+//	GET  /readyz    readiness: 503 once draining begins.
+//
+// Concurrent requests for the same cell coalesce on the harness tally
+// key — the same key the warm-start store memoizes under — so N
+// identical POSTs cost one simulation and N identical response bodies
+// (the response is marshaled once per flight). Distinct cells run
+// under a bounded worker pool. Per-request deadlines propagate into
+// harness.MeasureContext, which stops the grid at the next
+// cell/re-execution barrier; a request that times out returns 504
+// without leaking goroutines or trace buffers. A panicking worker
+// answers 500 and the server keeps serving. Draining (SIGTERM in
+// cmd/wheretimed) lets in-flight measurements finish, then flushes
+// the store.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"wheretime/internal/core"
+	"wheretime/internal/faults"
+	"wheretime/internal/harness"
+	"wheretime/internal/tracestore"
+)
+
+// DefaultTimeout is the per-request simulation deadline when the
+// config leaves it zero; it is also the ceiling a request's timeoutMs
+// is clamped to.
+const DefaultTimeout = 60 * time.Second
+
+// DefaultMaxConcurrent bounds simultaneous simulations when the
+// config leaves it zero. Each simulation is single-threaded and
+// memory-hungry (databases plus trace arenas), so the pool stays
+// small by default.
+const DefaultMaxConcurrent = 2
+
+// Config assembles a Server.
+type Config struct {
+	// Opts are the base harness options; request fields missing from a
+	// cell spec default from here, so Opts fixes the dataset scale,
+	// warm-up protocol and base platform for every request.
+	Opts harness.Options
+	// Store, when non-nil, memoizes tallies, traces and snapshots
+	// across requests and restarts. The caller keeps ownership; Close
+	// flushes it.
+	Store *tracestore.Store
+	// Timeout is the per-request deadline and ceiling (0 =
+	// DefaultTimeout).
+	Timeout time.Duration
+	// MaxConcurrent bounds simultaneous simulations (0 =
+	// DefaultMaxConcurrent).
+	MaxConcurrent int
+	// Inj, when non-nil, injects faults into the worker pool
+	// (faults.OpWorker). Test-only.
+	Inj *faults.Injector
+	// Logf, when non-nil, receives one line per server-side failure.
+	Logf func(format string, args ...any)
+}
+
+// Server is the wheretimed HTTP service. Create with New, expose
+// Handler, shut down with Close.
+type Server struct {
+	opts    harness.Options
+	store   *tracestore.Store
+	timeout time.Duration
+	inj     *faults.Injector
+	logf    func(format string, args ...any)
+
+	base    context.Context
+	stop    context.CancelFunc
+	sem     chan struct{}
+	flights group
+	mux     *http.ServeMux
+
+	draining    atomic.Bool
+	requests    atomic.Int64
+	simulations atomic.Int64
+	coalesced   atomic.Int64
+	failures    atomic.Int64
+}
+
+// New validates the configuration and assembles a server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Opts.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if err := cfg.Opts.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if cfg.Store != nil {
+		cfg.Opts.Store = cfg.Store
+		cfg.Opts.StoreDir = ""
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    cfg.Opts,
+		store:   cfg.Store,
+		timeout: cfg.Timeout,
+		inj:     cfg.Inj,
+		logf:    cfg.Logf,
+		base:    base,
+		stop:    stop,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	s.mux.HandleFunc("/v1/cells", s.handleCells)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain stops admitting new cell requests (503) and flips
+// /readyz unready; in-flight measurements keep running. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains, waits for every open flight to land, and flushes the
+// store. A read-only store flushes nothing and Close returns
+// ErrReadOnly — the caller decides whether losing the staged entries
+// is fatal (the daemon logs it and still exits cleanly).
+func (s *Server) Close() error {
+	s.BeginDrain()
+	s.flights.wait()
+	s.stop()
+	if s.store != nil {
+		if err := s.store.Flush(); err != nil {
+			return fmt.Errorf("server: flushing store: %w", err)
+		}
+	}
+	return nil
+}
+
+// errBody renders one error as the JSON error shape every non-200
+// response uses.
+func errBody(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return append(b, '\n')
+}
+
+// writeBody writes one prepared JSON body.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// handleCells measures one cell, coalescing concurrent identical
+// requests into a single flight.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeBody(w, http.StatusMethodNotAllowed, errBody("method not allowed"))
+		return
+	}
+	if s.draining.Load() {
+		writeBody(w, http.StatusServiceUnavailable, errBody("server is draining"))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	spec, timeout, err := decodeSpec(s.opts, s.timeout, body)
+	if err != nil {
+		writeBody(w, http.StatusBadRequest, errBody(err.Error()))
+		return
+	}
+	key := harness.TallyKey(s.opts, spec)
+	f, leader := s.flights.do(key, func() (int, []byte) {
+		return s.runCell(key, spec, timeout)
+	})
+	if !leader {
+		s.coalesced.Add(1)
+	}
+	select {
+	case <-f.done:
+		writeBody(w, f.status, f.body)
+	case <-r.Context().Done():
+		// The client went away. The flight keeps running — other
+		// followers (and the tally store) still want the result.
+	}
+}
+
+// runCell is the flight body: it runs one measurement under the
+// worker-pool semaphore and the request deadline, and renders the one
+// response body every coalesced request shares. Panics — whether from
+// the fault injector or a real bug — are contained here: the flight
+// answers 500 and the server keeps serving.
+func (s *Server) runCell(key string, spec harness.CellSpec, timeout time.Duration) (status int, body []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.failures.Add(1)
+			s.logf("wheretimed: worker panic: %v", p)
+			status, body = http.StatusInternalServerError,
+				errBody(fmt.Sprintf("internal: worker panic: %v", p))
+		}
+	}()
+	ctx, cancel := context.WithTimeout(s.base, timeout)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.failures.Add(1)
+		return http.StatusGatewayTimeout, errBody("deadline exceeded waiting for a worker")
+	}
+	defer func() { <-s.sem }()
+	if err := s.inj.Apply(faults.OpWorker, key); err != nil {
+		s.failures.Add(1)
+		return http.StatusInternalServerError, errBody("internal: " + err.Error())
+	}
+	s.simulations.Add(1)
+	res, err := harness.MeasureContext(ctx, s.opts, []harness.CellSpec{spec}, 1)
+	if err != nil {
+		s.failures.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout, errBody("deadline exceeded: " + err.Error())
+		}
+		s.logf("wheretimed: measuring %s: %v", spec, err)
+		return http.StatusInternalServerError, errBody("internal: " + err.Error())
+	}
+	cell, err := res.Get(spec)
+	if err != nil {
+		s.failures.Add(1)
+		return http.StatusInternalServerError, errBody("internal: " + err.Error())
+	}
+	b, err := json.Marshal(buildResponse(key, spec, cell))
+	if err != nil {
+		s.failures.Add(1)
+		return http.StatusInternalServerError, errBody("internal: " + err.Error())
+	}
+	return http.StatusOK, append(b, '\n')
+}
+
+// componentJSON is one breakdown component, in Table 3.1 order.
+type componentJSON struct {
+	Component string  `json:"component"`
+	Cycles    float64 `json:"cycles"`
+}
+
+// resultJSON carries the query result; Value is omitted when the
+// aggregate is undefined (NaN over zero rows), since JSON has no NaN.
+type resultJSON struct {
+	Value *float64 `json:"value,omitempty"`
+	Rows  uint64   `json:"rows"`
+}
+
+// cellResponse is the body of a successful POST /v1/cells: a pure
+// function of (server options, normalized spec) — no timestamps, no
+// identity — so coalesced and recomputed answers are byte-comparable.
+type cellResponse struct {
+	Key         string          `json:"key"`
+	Spec        specJSON        `json:"spec"`
+	TotalCycles float64         `json:"totalCycles"`
+	Cycles      []componentJSON `json:"cycles"`
+	Result      resultJSON      `json:"result"`
+}
+
+// buildResponse renders one measured cell.
+func buildResponse(key string, spec harness.CellSpec, cell harness.Cell) cellResponse {
+	resp := cellResponse{
+		Key:         key,
+		Spec:        specEcho(spec),
+		TotalCycles: cell.Breakdown.Total(),
+		Result:      resultJSON{Rows: cell.Result.Rows},
+	}
+	if v := cell.Result.Value; !math.IsNaN(v) && !math.IsInf(v, 0) {
+		resp.Result.Value = &v
+	}
+	for _, c := range core.Components() {
+		resp.Cycles = append(resp.Cycles, componentJSON{
+			Component: c.String(),
+			Cycles:    cell.Breakdown.Cycles[c],
+		})
+	}
+	return resp
+}
+
+// storeJSON is the store section of /healthz.
+type storeJSON struct {
+	Dir           string `json:"dir"`
+	EntryHits     int    `json:"entryHits"`
+	EntryMisses   int    `json:"entryMisses"`
+	TraceHits     int    `json:"traceHits"`
+	TracesWritten int    `json:"tracesWritten"`
+	EntriesAdded  int    `json:"entriesAdded"`
+	Retries       int    `json:"retries"`
+	Quarantined   int    `json:"quarantined"`
+	WriteFailures int    `json:"writeFailures"`
+	ReadOnly      bool   `json:"readOnly"`
+}
+
+// healthJSON is the body of /healthz.
+type healthJSON struct {
+	Status      string     `json:"status"` // "ok" or "degraded"
+	Draining    bool       `json:"draining"`
+	Requests    int64      `json:"requests"`
+	Simulations int64      `json:"simulations"`
+	Coalesced   int64      `json:"coalesced"`
+	Failures    int64      `json:"failures"`
+	Store       *storeJSON `json:"store,omitempty"`
+}
+
+// handleHealthz reports liveness and the operational counters. Always
+// 200: a degraded store is a reason to page, not to restart the
+// process (Status says which).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthJSON{
+		Status:      "ok",
+		Draining:    s.draining.Load(),
+		Requests:    s.requests.Load(),
+		Simulations: s.simulations.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Failures:    s.failures.Load(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		h.Store = &storeJSON{
+			Dir:           s.store.Dir(),
+			EntryHits:     st.EntryHits,
+			EntryMisses:   st.EntryMisses,
+			TraceHits:     st.TraceHits,
+			TracesWritten: st.TracesWritten,
+			EntriesAdded:  st.EntriesAdded,
+			Retries:       st.Retries,
+			Quarantined:   st.Quarantined,
+			WriteFailures: st.WriteFailures,
+			ReadOnly:      st.ReadOnly,
+		}
+		if st.ReadOnly {
+			h.Status = "degraded"
+		}
+	}
+	b, _ := json.Marshal(h)
+	writeBody(w, http.StatusOK, append(b, '\n'))
+}
+
+// handleReadyz is the load-balancer probe: 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

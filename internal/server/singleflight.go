@@ -1,0 +1,56 @@
+package server
+
+import "sync"
+
+// flight is one in-progress (or finished) cell measurement. Followers
+// wait on done and then read the one marshaled response every
+// coalesced request shares — byte-identical bodies by construction.
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// group coalesces concurrent calls by key: the first caller becomes
+// the leader and run executes once in its own goroutine; callers
+// arriving while the flight is open attach to it. The key is removed
+// when the flight lands, so a later repeat starts fresh (and hits the
+// tally store instead of re-simulating). A hand-rolled singleflight:
+// the repo takes no dependencies, and the drain semantics (wait) are
+// specific to the server.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*flight
+	wg sync.WaitGroup
+}
+
+// do returns the flight for key, starting run on a fresh goroutine if
+// no flight is open. The second result reports whether this caller
+// started it.
+func (g *group) do(key string, run func() (int, []byte)) (*flight, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.wg.Add(1)
+	g.mu.Unlock()
+
+	go func() {
+		defer g.wg.Done()
+		f.status, f.body = run()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	return f, true
+}
+
+// wait blocks until every open flight has landed.
+func (g *group) wait() { g.wg.Wait() }

@@ -25,17 +25,39 @@
 // into the same arenas capture uses. Every load path validates before
 // trusting: corrupt or truncated files return errors (never panic)
 // and leak nothing, which FuzzStoreLoad pins.
+//
+// Because the store is a cache, it degrades instead of dying:
+//
+//   - Transient I/O errors are retried a bounded number of times with
+//     exponential backoff before being reported.
+//   - A trace file that fails validation is quarantined — renamed to
+//     <name>.corrupt — so the next lookup is a clean miss and the
+//     recompute path rewrites a good copy under the same digest. The
+//     load that hit the corruption still returns its error; callers
+//     already treat load errors as misses.
+//   - A write that still fails after retries flips the store
+//     read-only: later writes return ErrReadOnly immediately rather
+//     than hammering an unwritable directory, while reads (and the
+//     in-memory entry map) keep serving.
+//
+// All degraded-mode transitions are counted in Stats and, in tests,
+// driven deterministically through an injected faults.Injector.
 package tracestore
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"wheretime/internal/faults"
 	"wheretime/internal/trace"
 )
 
@@ -45,7 +67,28 @@ const (
 	indexVersion = 1
 )
 
-// Stats counts store traffic for the warm-start log line.
+// Bounded retry for file I/O: a failed operation is attempted at most
+// retryAttempts times in total, sleeping retryBaseDelay<<(attempt-1)
+// between tries.
+const (
+	retryAttempts  = 3
+	retryBaseDelay = 2 * time.Millisecond
+)
+
+// ErrReadOnly is returned by write paths after a previous write
+// exhausted its retries: the directory is treated as unwritable and
+// the store keeps serving reads and in-memory entries only.
+var ErrReadOnly = errors.New("tracestore: store is read-only after a failed write")
+
+// ErrCorruptIndex marks an index.json that exists but cannot be
+// trusted — unparseable JSON or an unknown version. OpenRecovering
+// quarantines such an index; plain Open reports it.
+var ErrCorruptIndex = errors.New("tracestore: corrupt index")
+
+// Stats counts store traffic for the warm-start log line, plus the
+// degraded-mode transitions operators watch: bounded retries taken,
+// files quarantined, writes abandoned, and whether the store has
+// fallen back to read-only.
 type Stats struct {
 	EntryHits     int
 	EntryMisses   int
@@ -53,6 +96,11 @@ type Stats struct {
 	TraceMisses   int
 	TracesWritten int
 	EntriesAdded  int
+
+	Retries       int
+	Quarantined   int
+	WriteFailures int
+	ReadOnly      bool
 }
 
 // Store is an open store directory. It is safe for concurrent use by
@@ -61,11 +109,19 @@ type Stats struct {
 // at teardown.
 type Store struct {
 	dir string
+	inj *faults.Injector // nil outside fault-injection tests
 
 	mu      sync.Mutex
 	entries map[string][]byte // loaded index plus this process's additions
 	added   map[string][]byte // additions only, merged on Flush
 	stats   Stats
+
+	// Degraded-mode counters are atomics, not under mu: the write
+	// helper bumps them while Flush already holds mu.
+	retries       atomic.Int64
+	quarantined   atomic.Int64
+	writeFailures atomic.Int64
+	readOnly      atomic.Bool
 }
 
 // indexFile is the JSON shape of index.json.
@@ -86,7 +142,7 @@ func Open(dir string) (*Store, error) {
 		entries: make(map[string][]byte),
 		added:   make(map[string][]byte),
 	}
-	idx, err := readIndex(filepath.Join(dir, "index.json"))
+	idx, err := s.readIndexFile(filepath.Join(dir, "index.json"))
 	if err != nil {
 		return nil, err
 	}
@@ -96,11 +152,126 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// readIndex loads and validates one index file; a missing file is
+// OpenRecovering is Open for long-lived services: a corrupt index is
+// quarantined (renamed to index.json.corrupt) and the store reopened
+// empty, so a damaged cache costs recomputation, not availability.
+// Errors other than index corruption — an uncreatable directory, an
+// unreadable file — are still returned.
+func OpenRecovering(dir string) (*Store, error) {
+	s, err := Open(dir)
+	if err == nil || !errors.Is(err, ErrCorruptIndex) {
+		return s, err
+	}
+	path := filepath.Join(dir, "index.json")
+	if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+		return nil, err
+	}
+	s, rerr := Open(dir)
+	if rerr != nil {
+		return nil, rerr
+	}
+	s.quarantined.Add(1)
+	return s, nil
+}
+
+// SetFaults installs a fault injector on the store's file operations.
+// Test-only; install before the store is shared across goroutines.
+func (s *Store) SetFaults(inj *faults.Injector) { s.inj = inj }
+
+// retryIO runs f up to retryAttempts times, backing off between
+// tries. A missing file is never retried — absence is a stable
+// answer, not a transient fault.
+func (s *Store) retryIO(f func() error) error {
+	var err error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryBaseDelay << (attempt - 1))
+			s.retries.Add(1)
+		}
+		if err = f(); err == nil || errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	return err
+}
+
+// readFile is os.ReadFile behind the retry loop and the fault
+// injector's read hooks.
+func (s *Store) readFile(path string) ([]byte, error) {
+	var data []byte
+	err := s.retryIO(func() error {
+		if err := s.inj.Apply(faults.OpRead, path); err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.inj.Transform(faults.OpRead, path, data), nil
+}
+
+// writeFileAtomic writes chunks to path via a temp file and rename,
+// behind the retry loop and the injector's write hooks. Exhausting
+// the retries counts a write failure and flips the store read-only.
+func (s *Store) writeFileAtomic(pattern, path string, chunks ...[]byte) error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
+	err := s.retryIO(func() error {
+		if err := s.inj.Apply(faults.OpWrite, path); err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(s.dir, pattern)
+		if err != nil {
+			return err
+		}
+		var werr error
+		for _, c := range chunks {
+			if werr == nil {
+				_, werr = tmp.Write(c)
+			}
+		}
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(tmp.Name())
+			return firstErr(werr, cerr)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		s.writeFailures.Add(1)
+		s.readOnly.Store(true)
+		return fmt.Errorf("tracestore: writing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// quarantine renames a file that failed validation to <path>.corrupt,
+// so the next lookup misses cleanly and the recompute path can write
+// a fresh copy under the original name. Best-effort: on a rename
+// failure the file stays, and the caller's error already tells the
+// operator the store is unhealthy.
+func (s *Store) quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		s.quarantined.Add(1)
+	}
+}
+
+// readIndexFile loads and validates one index file; a missing file is
 // (nil, nil).
-func readIndex(path string) (map[string][]byte, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+func (s *Store) readIndexFile(path string) (map[string][]byte, error) {
+	data, err := s.readFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -108,10 +279,10 @@ func readIndex(path string) (map[string][]byte, error) {
 	}
 	var idx indexFile
 	if err := json.Unmarshal(data, &idx); err != nil {
-		return nil, fmt.Errorf("tracestore: corrupt index %s: %w", path, err)
+		return nil, fmt.Errorf("%w %s: %v", ErrCorruptIndex, path, err)
 	}
 	if idx.Version != indexVersion {
-		return nil, fmt.Errorf("tracestore: index %s has version %d, want %d", path, idx.Version, indexVersion)
+		return nil, fmt.Errorf("%w %s: version %d, want %d", ErrCorruptIndex, path, idx.Version, indexVersion)
 	}
 	if idx.Entries == nil {
 		idx.Entries = make(map[string][]byte)
@@ -122,11 +293,20 @@ func readIndex(path string) (map[string][]byte, error) {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Stats returns a copy of the traffic counters.
+// ReadOnly reports whether the store has fallen back to read-only
+// after a failed write.
+func (s *Store) ReadOnly() bool { return s.readOnly.Load() }
+
+// Stats returns a copy of the traffic and degraded-mode counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	st.Retries = int(s.retries.Load())
+	st.Quarantined = int(s.quarantined.Load())
+	st.WriteFailures = int(s.writeFailures.Load())
+	st.ReadOnly = s.readOnly.Load()
+	return st
 }
 
 // GetEntry returns the blob stored under key, if any.
@@ -159,15 +339,19 @@ func (s *Store) PutEntry(key string, blob []byte) {
 
 // Flush merges this process's added entries into index.json (reading
 // the file again first, so concurrent processes lose no keys) and
-// writes it atomically. Safe to call more than once.
+// writes it atomically. Safe to call more than once. A read-only
+// store returns ErrReadOnly and keeps the additions staged in memory.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.added) == 0 {
 		return nil
 	}
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
 	path := filepath.Join(s.dir, "index.json")
-	merged, err := readIndex(path)
+	merged, err := s.readIndexFile(path)
 	if err != nil {
 		// The on-disk index went corrupt after Open: rebuild from what
 		// this process knows rather than failing the teardown.
@@ -183,19 +367,8 @@ func (s *Store) Flush() error {
 	if err != nil {
 		return fmt.Errorf("tracestore: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "index-*.tmp")
-	if err != nil {
-		return fmt.Errorf("tracestore: %w", err)
-	}
-	_, werr := tmp.Write(append(data, '\n'))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("tracestore: writing index: %w", firstErr(werr, cerr))
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("tracestore: %w", err)
+	if err := s.writeFileAtomic("index-*.tmp", path, append(data, '\n')); err != nil {
+		return err
 	}
 	for k, v := range s.added {
 		s.entries[k] = v
@@ -219,8 +392,12 @@ func (s *Store) tracePath(digest string) string {
 
 // PutTrace writes the recording's wire form as a content-addressed
 // trace file and returns its digest. A file that already exists is
-// left alone — same digest, same bytes.
+// left alone — same digest, same bytes. A read-only store returns
+// ErrReadOnly.
 func (s *Store) PutTrace(r *trace.Recording) (string, error) {
+	if s.readOnly.Load() {
+		return "", ErrReadOnly
+	}
 	payload := r.MarshalWire(nil)
 	sum := sha256.Sum256(payload)
 	digest := hex.EncodeToString(sum[:])
@@ -228,25 +405,8 @@ func (s *Store) PutTrace(r *trace.Recording) (string, error) {
 	if _, err := os.Stat(path); err == nil {
 		return digest, nil
 	}
-	tmp, err := os.CreateTemp(s.dir, "tr-*.tmp")
-	if err != nil {
-		return "", fmt.Errorf("tracestore: %w", err)
-	}
-	_, werr := tmp.Write([]byte(traceMagic))
-	if werr == nil {
-		_, werr = tmp.Write(sum[:])
-	}
-	if werr == nil {
-		_, werr = tmp.Write(payload)
-	}
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return "", fmt.Errorf("tracestore: writing trace: %w", firstErr(werr, cerr))
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return "", fmt.Errorf("tracestore: %w", err)
+	if err := s.writeFileAtomic("tr-*.tmp", path, []byte(traceMagic), sum[:], payload); err != nil {
+		return "", err
 	}
 	s.mu.Lock()
 	s.stats.TracesWritten++
@@ -258,13 +418,16 @@ func (s *Store) PutTrace(r *trace.Recording) (string, error) {
 // re-hashed and checked against both the requested digest and the
 // embedded one before any parsing, so a corrupt, truncated or
 // mis-named file errors out cleanly. A missing file returns
-// (nil, nil) — absence is a cache miss, not a failure.
+// (nil, nil) — absence is a cache miss, not a failure. A file that
+// fails validation is quarantined (renamed to *.corrupt) so the next
+// lookup misses and recomputes; the error is still returned.
 func (s *Store) GetTrace(digest string) (*trace.Recording, error) {
 	if len(digest) != 2*sha256.Size || !isHex(digest) {
 		return nil, fmt.Errorf("tracestore: malformed trace digest %q", digest)
 	}
-	data, err := os.ReadFile(s.tracePath(digest))
-	if os.IsNotExist(err) {
+	path := s.tracePath(digest)
+	data, err := s.readFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
 		s.countTrace(false)
 		return nil, nil
 	}
@@ -273,21 +436,25 @@ func (s *Store) GetTrace(digest string) (*trace.Recording, error) {
 	}
 	header := len(traceMagic) + sha256.Size
 	if len(data) < header || string(data[:len(traceMagic)]) != traceMagic {
+		s.quarantine(path)
 		return nil, fmt.Errorf("tracestore: trace %s: bad header", digest)
 	}
 	payload := data[header:]
 	sum := sha256.Sum256(payload)
 	if hex.EncodeToString(sum[:]) != digest {
+		s.quarantine(path)
 		return nil, fmt.Errorf("tracestore: trace %s: payload digest mismatch", digest)
 	}
 	embedded := data[len(traceMagic):header]
 	for i, b := range sum {
 		if embedded[i] != b {
+			s.quarantine(path)
 			return nil, fmt.Errorf("tracestore: trace %s: embedded digest mismatch", digest)
 		}
 	}
 	rec, err := trace.UnmarshalWire(payload)
 	if err != nil {
+		s.quarantine(path)
 		return nil, fmt.Errorf("tracestore: trace %s: %w", digest, err)
 	}
 	s.countTrace(true)
