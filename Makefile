@@ -107,15 +107,18 @@ store-smoke:
 	rm -rf $(STORE_SMOKE_DIR)
 
 # The robustness smoke: the wheretimed service and fault-injection
-# packages under the race detector (coalescing, quarantine-and-
-# recompute, timeouts, panic containment, read-only fallback, the
-# harness cancellation contract), then the real daemon end to end —
-# concurrent POSTs coalesced, a corrupted store quarantined and
-# recomputed byte-identically, SIGTERM drained to exit 0 (see
+# packages under the race detector (coalescing, gang batching on the
+# fake clock, quarantine-and-recompute, timeouts, panic containment,
+# read-only fallback, the harness cancellation contract and the
+# exported gang entry point with its key-compat fuzz seeds), then the
+# real daemon end to end — concurrent POSTs coalesced, a corrupted
+# store quarantined and recomputed byte-identically, a multi-config
+# burst batched into one gang and byte-compared against a
+# -gangwindow=0 control server, SIGTERM drained to exit 0 (see
 # cmd/servesmoke).
 serve-smoke:
 	$(GO) test -race -count=1 ./internal/server ./internal/faults
-	$(GO) test -race -count=1 -run 'TestMeasureContext' ./internal/harness
+	$(GO) test -race -count=1 -run 'TestMeasureContext|TestMeasureGang|FuzzGangKeyCompat' ./internal/harness
 	$(GO) run ./cmd/servesmoke
 
 # The documentation contract: every relative link in docs/*.md and

@@ -7,7 +7,10 @@
 //     byte-identical responses;
 //  2. corrupting a stored trace quarantines the file and the cell
 //     recomputes correctly (byte-identical to a fresh-store server);
-//  3. SIGTERM under load drains: the in-flight request completes, the
+//  3. a concurrent burst of K platform variants of one workload forms
+//     a single gang — one simulation for the whole burst — and every
+//     response is byte-identical to a -gangwindow=0 control server's;
+//  4. SIGTERM under load drains: the in-flight request completes, the
 //     store flushes, and the process exits 0.
 //
 // The in-process fault-injection suite (internal/server) proves the
@@ -56,14 +59,16 @@ func (p *proc) stderrText() string {
 	return p.stderr.String()
 }
 
-// start launches bin with the given store directory and waits for the
-// "listening on" line to learn the picked port.
-func start(bin, storeDir string) (*proc, error) {
-	cmd := exec.Command(bin,
+// start launches bin with the given store directory (plus any extra
+// flags) and waits for the "listening on" line to learn the picked
+// port.
+func start(bin, storeDir string, extra ...string) (*proc, error) {
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-store", storeDir,
 		"-scale", "0.002",
-	)
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return nil, err
@@ -135,7 +140,13 @@ type healthz struct {
 	Status      string `json:"status"`
 	Simulations int64  `json:"simulations"`
 	Coalesced   int64  `json:"coalesced"`
-	Store       *struct {
+	Batch       *struct {
+		BatchedRequests int64   `json:"batchedRequests"`
+		GangsFormed     int64   `json:"gangsFormed"`
+		MeanK           float64 `json:"meanK"`
+		CapCloses       int64   `json:"capCloses"`
+	} `json:"batch"`
+	Store *struct {
 		Quarantined  int `json:"quarantined"`
 		EntriesAdded int `json:"entriesAdded"`
 	} `json:"store"`
@@ -260,7 +271,86 @@ func run() error {
 		return fmt.Errorf("fresh server exit: code %d err %v", code, err)
 	}
 
-	// 3. SIGTERM under load: fire a not-yet-memoized cell, signal while
+	// 3. Gang batching: a concurrent burst of K platform variants of
+	// one workload lands in a single accumulation window (the cap
+	// closes it as soon as all K arrive), runs as ONE gang simulation,
+	// and answers byte-for-byte what a batching-off control server
+	// answers. Fresh servers and stores keep the leg independent of
+	// the cells earlier legs memoized.
+	variants := []string{
+		cell,
+		variant,
+		`{"kind":"micro","system":"B","query":"SRS","l2kb":2048}`,
+	}
+	k := len(variants)
+	batched, err := start(bin, filepath.Join(tmp, "store-batch"),
+		"-gangwindow", "5s", "-gangmax", fmt.Sprint(k))
+	if err != nil {
+		return err
+	}
+	defer batched.cmd.Process.Kill()
+	burst := make([][]byte, k)
+	burstErrs := make([]error, k)
+	var bwg sync.WaitGroup
+	for i, v := range variants {
+		bwg.Add(1)
+		go func(i int, v string) {
+			defer bwg.Done()
+			status, b, err := post(batched.addr, v)
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("status %d: %s", status, b)
+			}
+			burst[i], burstErrs[i] = b, err
+		}(i, v)
+	}
+	bwg.Wait()
+	for i, err := range burstErrs {
+		if err != nil {
+			return fmt.Errorf("burst POST %d: %w", i, err)
+		}
+	}
+	h, err = getHealth(batched.addr)
+	if err != nil {
+		return err
+	}
+	if h.Batch == nil {
+		return fmt.Errorf("no batch section in /healthz with batching on")
+	}
+	if h.Simulations != 1 || h.Batch.GangsFormed != 1 || h.Batch.MeanK != float64(k) || h.Batch.CapCloses != 1 {
+		return fmt.Errorf("burst of %d variants: simulations=%d gangs=%d meanK=%g capCloses=%d, want one cap-closed gang of %d",
+			k, h.Simulations, h.Batch.GangsFormed, h.Batch.MeanK, h.Batch.CapCloses, k)
+	}
+	control, err := start(bin, filepath.Join(tmp, "store-control"), "-gangwindow", "0")
+	if err != nil {
+		return err
+	}
+	defer control.cmd.Process.Kill()
+	for i, v := range variants {
+		status, wantBody, err := post(control.addr, v)
+		if err != nil || status != http.StatusOK {
+			return fmt.Errorf("control POST %d: status %d err %v", i, status, err)
+		}
+		if !bytes.Equal(burst[i], wantBody) {
+			return fmt.Errorf("variant %d: batched response differs from -gangwindow=0 control:\n%s\nvs\n%s",
+				i, burst[i], wantBody)
+		}
+	}
+	hc, err := getHealth(control.addr)
+	if err != nil {
+		return err
+	}
+	if hc.Simulations != int64(k) || hc.Batch != nil {
+		return fmt.Errorf("control: simulations=%d batch=%v, want %d unbatched simulations", hc.Simulations, hc.Batch, k)
+	}
+	if code, err := batched.stop(); err != nil || code != 0 {
+		return fmt.Errorf("batched server exit: code %d err %v", code, err)
+	}
+	if code, err := control.stop(); err != nil || code != 0 {
+		return fmt.Errorf("control server exit: code %d err %v", code, err)
+	}
+	fmt.Printf("servesmoke: burst of %d variants ran as 1 gang, byte-identical to the unbatched control\n", k)
+
+	// 4. SIGTERM under load: fire a not-yet-memoized cell, signal while
 	// it is in flight, and require the response to complete, the exit
 	// code to be 0, and the store to have flushed.
 	type result struct {

@@ -13,7 +13,10 @@
 // dataset and measurement protocol for every request; a request's
 // cell spec selects the system, query, workload parameters and
 // platform overrides, and may bound its own simulation time with
-// "timeoutMs". See internal/server for the API and docs/OPERATIONS.md
+// "timeoutMs". Requests that are platform-only variants of one
+// workload and arrive within -gangwindow of each other run as a
+// single gang work unit (-gangwindow 0 turns this off; -gangmax caps
+// the batch). See internal/server for the API and docs/OPERATIONS.md
 // for running the service.
 //
 // The store is opened in recovering mode: a corrupt index.json is
@@ -58,6 +61,8 @@ func main() {
 		warmup      = flag.Int("warmup", 1, "unmeasured cache-warming runs per cell")
 		timeout     = flag.Duration("timeout", server.DefaultTimeout, "per-request simulation deadline and ceiling")
 		concurrent  = flag.Int("concurrent", server.DefaultMaxConcurrent, "maximum simultaneous simulations")
+		gangWindow  = flag.Duration("gangwindow", server.DefaultGangWindow, "gang-batching accumulation window; compatible requests arriving within this window run as one gang work unit (0 disables batching)")
+		gangMax     = flag.Int("gangmax", server.DefaultGangMax, "maximum requests per gang batch; a full window closes early")
 	)
 	flag.Parse()
 
@@ -89,6 +94,8 @@ func main() {
 		Store:         store,
 		Timeout:       *timeout,
 		MaxConcurrent: *concurrent,
+		GangWindow:    *gangWindow,
+		GangMax:       *gangMax,
 		Logf:          log.Printf,
 	})
 	if err != nil {

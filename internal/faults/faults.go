@@ -42,6 +42,8 @@ type rule struct {
 	err       error
 	panicMsg  string
 	corrupt   func([]byte) []byte
+	entered   chan struct{} // gate rules: one token per Apply that reached the gate
+	gate      chan struct{} // gate rules: Apply blocks here until release closes it
 }
 
 // Injector is a set of armed fault rules, safe for concurrent use.
@@ -87,6 +89,25 @@ func (in *Injector) CorruptN(op Op, n int, f func([]byte) []byte) {
 	in.arm(op, &rule{remaining: n, corrupt: f})
 }
 
+// BlockN arms op to block at the hook, n times, until release is
+// called. Each blocked Apply first sends one token on entered, so a
+// test can wait for the instrumented path to reach the hook — and
+// then act on a perfectly known state — without sleeping; n bounds
+// the buffer. release (idempotent) unblocks every current and future
+// shot of the rule. This is the deterministic replacement for SlowN
+// in tests that need to hold a worker open: SlowN guesses a duration,
+// BlockN hands the test explicit before/after control.
+func (in *Injector) BlockN(op Op, n int) (entered <-chan struct{}, release func()) {
+	if n < 0 {
+		panic("faults: BlockN needs a finite shot count to size the entered channel")
+	}
+	e := make(chan struct{}, n)
+	g := make(chan struct{})
+	in.arm(op, &rule{remaining: n, entered: e, gate: g})
+	var once sync.Once
+	return e, func() { once.Do(func() { close(g) }) }
+}
+
 // take pops the first live rule for op matching want, consuming one
 // shot. Nil when nothing is armed.
 func (in *Injector) take(op Op, want func(*rule) bool) *rule {
@@ -119,6 +140,10 @@ func (in *Injector) Apply(op Op, target string) error {
 	}
 	if r.delay > 0 {
 		time.Sleep(r.delay)
+	}
+	if r.gate != nil {
+		r.entered <- struct{}{}
+		<-r.gate
 	}
 	if r.panicMsg != "" {
 		panic("faults: injected panic: " + r.panicMsg)

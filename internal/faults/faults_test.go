@@ -80,6 +80,57 @@ func TestPanicN(t *testing.T) {
 	}
 }
 
+func TestBlockN(t *testing.T) {
+	in := New()
+	entered, release := in.BlockN(OpWorker, 2)
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- in.Apply(OpWorker, "w") }()
+	}
+	// Both shots reach the gate and neither Apply returns yet.
+	<-entered
+	<-entered
+	select {
+	case err := <-done:
+		t.Fatalf("Apply returned %v before release", err)
+	default:
+	}
+	release()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("gated Apply = %v, want nil", err)
+		}
+	}
+	// Exhausted: a third Apply neither signals nor blocks.
+	if err := in.Apply(OpWorker, "w"); err != nil {
+		t.Errorf("exhausted gate rule fired: %v", err)
+	}
+	select {
+	case <-entered:
+		t.Error("exhausted gate signaled entered")
+	default:
+	}
+	release() // idempotent
+
+	// A release before any Apply makes the gate a no-op.
+	in2 := New()
+	_, release2 := in2.BlockN(OpWorker, 1)
+	release2()
+	if err := in2.Apply(OpWorker, "w"); err != nil {
+		t.Errorf("pre-released gate returned %v", err)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BlockN(-1) did not panic")
+			}
+		}()
+		New().BlockN(OpWorker, -1)
+	}()
+}
+
 func TestCorruptNCopies(t *testing.T) {
 	in := New()
 	in.CorruptN(OpRead, 1, func(b []byte) []byte {

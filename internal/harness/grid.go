@@ -646,6 +646,43 @@ func MeasureContext(ctx context.Context, opts Options, specs []CellSpec, paralle
 	return res, finish(nil)
 }
 
+// MeasureGang measures cells that share one emission key — platform
+// variants of a single workload — as a single gang work unit: the
+// engine executes (or the recording replays) once for every
+// configuration in the set (see RunGang). It is the entry the
+// wheretimed batcher dispatches an accumulated request window
+// through. Specs are deduplicated, and every spec must share the
+// first's emission key (equal GangKeys); a mixed set is refused
+// rather than split, because silently batching incompatible cells is
+// exactly the failure mode the gang key exists to prevent. Each
+// cell's result is bit-identical to measuring it alone, which
+// TestMeasureGangMatchesMeasure pins against the gang-off path.
+func MeasureGang(opts Options, specs []CellSpec) (*Results, error) {
+	return MeasureGangContext(context.Background(), opts, specs)
+}
+
+// MeasureGangContext is MeasureGang under a context, with the same
+// cancellation contract as MeasureContext: the gang stops at the
+// first barrier after cancellation and the *PartialError wraps
+// ctx.Err().
+func MeasureGangContext(ctx context.Context, opts Options, specs []CellSpec) (*Results, error) {
+	if opts.Unbatched {
+		return nil, errors.New("harness: MeasureGang requires the batched pipeline (Options.Unbatched is set)")
+	}
+	specs = dedupeSpecs(specs)
+	if len(specs) == 0 {
+		return &Results{cells: make(map[CellSpec]Cell)}, nil
+	}
+	key := emissionKey(specs[0])
+	for _, s := range specs[1:] {
+		if emissionKey(s) != key {
+			return nil, fmt.Errorf("harness: MeasureGang: %s does not share an emission key with %s", s, specs[0])
+		}
+	}
+	opts.Gang = true
+	return MeasureContext(ctx, opts, specs, 1)
+}
+
 // RunExperiments measures the union of the experiments' grids with the
 // given parallelism and renders each experiment in the order given.
 // The union is deduplicated before scheduling, so running "all"

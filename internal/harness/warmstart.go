@@ -101,8 +101,17 @@ func (env *Env) snapshotOn() bool { return env.snaps != nil }
 // warm-up count; trace refs deliberately do not — the stream is a
 // pure function of the emission key, which is the whole point of
 // gangs.
+//
+// The emission-key fields are spelled out one by one — never through
+// CellSpec.String, whose diagnostic rendering drops workload fields
+// for some kinds and would collide distinct specs onto one key
+// (FuzzGangKeyCompat hunts exactly this). Selectivity folds in as its
+// IEEE-754 bits so the material is injective over distinct floats.
 func keyMaterial(kind string, spec CellSpec, cfg *xeon.Config, warmup int) string {
-	mat := fmt.Sprintf("wheretime|%s|schema=%s|spec=%+v", kind, engine.StreamSchema(), emissionKey(spec))
+	e := emissionKey(spec)
+	mat := fmt.Sprintf("wheretime|%s|schema=%s|spec=kind=%d,sys=%d,q=%d,selbits=%x,rec=%d,txns=%d",
+		kind, engine.StreamSchema(), e.Kind, e.System, e.Query,
+		math.Float64bits(e.Selectivity), e.RecordSize, e.Txns)
 	if cfg != nil {
 		mat = fmt.Sprintf("%s|cfg=%+v|warmup=%d", mat, *cfg, warmup)
 	}
@@ -128,6 +137,19 @@ func TallyKey(opts Options, spec CellSpec) string {
 		cfg = opts.Config
 	}
 	return tracestore.KeyHash(keyMaterial("tally", spec, &cfg, opts.Warmup))
+}
+
+// GangKey returns the batching key under which distinct cells may
+// share one gang work unit: the platform-free half of the tally key —
+// emission key, warm-up count and emission schema, everything except
+// the platform configuration. Two specs with equal gang keys emit the
+// identical event stream under the identical protocol, so a
+// multi-config drain may measure them together (MeasureGang); specs
+// with different gang keys must never share a gang, which
+// FuzzGangKeyCompat pins from random spec pairs. The wheretimed
+// batcher accumulates compatible requests on this key.
+func GangKey(opts Options, spec CellSpec) string {
+	return tracestore.KeyHash(fmt.Sprintf("%s|warmup=%d", keyMaterial("gang", spec, nil, 0), opts.Warmup))
 }
 
 // snapLookup returns the memoized post-warm-up state for (spec, cfg),

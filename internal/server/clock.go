@@ -1,0 +1,44 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// clock abstracts time for the server — per-request deadlines and the
+// batcher's accumulation windows — so every piece of window logic is
+// unit-tested against a fake clock that only moves when the test says
+// so (no real sleeps anywhere in this package's tests). Production
+// code uses realClock; Config.clk injects a replacement.
+type clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a timer that fires once, d from now.
+	NewTimer(d time.Duration) timer
+	// WithTimeout derives a context whose Err is
+	// context.DeadlineExceeded once d has elapsed — the contract
+	// harness.MeasureContext maps to a 504.
+	WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc)
+}
+
+// timer is the subset of time.Timer the server uses.
+type timer interface {
+	// C returns the firing channel.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it prevented a firing.
+	Stop() bool
+}
+
+// realClock is the production clock: plain time and context calls.
+type realClock struct{}
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+func (realClock) Now() time.Time                 { return time.Now() }
+func (realClock) NewTimer(d time.Duration) timer { return realTimer{time.NewTimer(d)} }
+func (realClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}

@@ -1,0 +1,185 @@
+package server
+
+// A fake clock for deterministic window and deadline tests: time only
+// moves when a test calls Advance, so no test in this package ever
+// sleeps on the real clock to "give the server time". Tests that need
+// to know the server reached a particular point first synchronize on
+// an explicit signal — a faults.BlockN gate, a batcher counter — and
+// only then advance.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock implements the clock interface with manually advanced
+// time. Safe for concurrent use.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+	ctxs   []*fakeCtx
+}
+
+func newFakeClock() *fakeClock {
+	// An arbitrary fixed origin; only differences matter.
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (fc *fakeClock) Now() time.Time {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.now
+}
+
+func (fc *fakeClock) NewTimer(d time.Duration) timer {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	t := &fakeTimer{deadline: fc.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- fc.now
+	}
+	fc.timers = append(fc.timers, t)
+	return t
+}
+
+func (fc *fakeClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	fc.mu.Lock()
+	c := &fakeCtx{parent: parent, deadline: fc.now.Add(d), done: make(chan struct{})}
+	expired := d <= 0
+	fc.ctxs = append(fc.ctxs, c)
+	fc.mu.Unlock()
+	if expired {
+		c.expire(context.DeadlineExceeded)
+	}
+	// Propagate parent cancellation, as context.WithTimeout would.
+	go func() {
+		select {
+		case <-parent.Done():
+			c.expire(parent.Err())
+		case <-c.done:
+		}
+	}()
+	return c, func() { c.expire(context.Canceled) }
+}
+
+// Advance moves the clock forward, firing every timer and expiring
+// every deadline context the move passes.
+func (fc *fakeClock) Advance(d time.Duration) {
+	fc.mu.Lock()
+	fc.now = fc.now.Add(d)
+	now := fc.now
+	var fire []*fakeTimer
+	live := fc.timers[:0]
+	for _, t := range fc.timers {
+		if !t.stopped() && !t.deadline.After(now) {
+			fire = append(fire, t)
+			continue
+		}
+		live = append(live, t)
+	}
+	fc.timers = live
+	var expire []*fakeCtx
+	liveCtx := fc.ctxs[:0]
+	for _, c := range fc.ctxs {
+		if !c.deadline.After(now) {
+			expire = append(expire, c)
+			continue
+		}
+		liveCtx = append(liveCtx, c)
+	}
+	fc.ctxs = liveCtx
+	fc.mu.Unlock()
+	for _, t := range fire {
+		t.fire(now)
+	}
+	for _, c := range expire {
+		c.expire(context.DeadlineExceeded)
+	}
+}
+
+// fakeTimer fires when the fake clock passes its deadline.
+type fakeTimer struct {
+	deadline time.Time
+	ch       chan time.Time
+
+	mu     sync.Mutex
+	fired  bool
+	halted bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	was := !t.fired && !t.halted
+	t.halted = true
+	return was
+}
+
+func (t *fakeTimer) stopped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.halted || t.fired
+}
+
+func (t *fakeTimer) fire(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired || t.halted {
+		return
+	}
+	t.fired = true
+	t.ch <- now
+}
+
+// fakeCtx is a context whose deadline the fake clock controls; its
+// Err is context.DeadlineExceeded after expiry, matching what the
+// harness cancellation contract maps to 504.
+type fakeCtx struct {
+	parent   context.Context
+	deadline time.Time
+
+	mu   sync.Mutex
+	done chan struct{}
+	err  error
+}
+
+func (c *fakeCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+func (c *fakeCtx) Done() <-chan struct{}       { return c.done }
+func (c *fakeCtx) Value(key any) any           { return c.parent.Value(key) }
+
+func (c *fakeCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *fakeCtx) expire(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+}
+
+// spinUntil busy-waits (yielding, never sleeping) until cond holds,
+// failing the test after a generous real-time bound. Tests use it to
+// wait for concurrent requests to reach a known server state before
+// advancing the fake clock.
+func spinUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+	}
+}

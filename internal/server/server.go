@@ -20,14 +20,19 @@
 // Concurrent requests for the same cell coalesce on the harness tally
 // key — the same key the warm-start store memoizes under — so N
 // identical POSTs cost one simulation and N identical response bodies
-// (the response is marshaled once per flight). Distinct cells run
-// under a bounded worker pool. Per-request deadlines propagate into
-// harness.MeasureContext, which stops the grid at the next
-// cell/re-execution barrier; a request that times out returns 504
-// without leaking goroutines or trace buffers. A panicking worker
-// answers 500 and the server keeps serving. Draining (SIGTERM in
-// cmd/wheretimed) lets in-flight measurements finish, then flushes
-// the store.
+// (the response is marshaled once per flight). Distinct cells that
+// share a gang key — platform-only variants of one workload — can go
+// further: with Config.GangWindow > 0 the gang batcher (batcher.go)
+// holds such requests in a bounded accumulation window and runs the
+// whole batch as one gang work unit, so K configs cost one workload
+// execution. Remaining distinct cells run under a bounded worker
+// pool. Per-request deadlines propagate into harness.MeasureContext,
+// which stops the grid at the next cell/re-execution barrier; a
+// request that times out — even while held in a batching window —
+// returns 504 without leaking goroutines or trace buffers. A
+// panicking worker answers 500 and the server keeps serving. Draining
+// (SIGTERM in cmd/wheretimed) flushes half-full batching windows,
+// lets in-flight measurements finish, then flushes the store.
 package server
 
 import (
@@ -73,11 +78,24 @@ type Config struct {
 	// MaxConcurrent bounds simultaneous simulations (0 =
 	// DefaultMaxConcurrent).
 	MaxConcurrent int
+	// GangWindow, when positive, turns on the gang batcher: requests
+	// whose specs share a gang key accumulate for up to this long (or
+	// until GangMax of them arrive) and run as one gang work unit.
+	// Zero disables batching — every request dispatches immediately.
+	GangWindow time.Duration
+	// GangMax caps how many requests one accumulation window may
+	// collect before closing early (0 = DefaultGangMax). Only
+	// meaningful when GangWindow > 0.
+	GangMax int
 	// Inj, when non-nil, injects faults into the worker pool
 	// (faults.OpWorker). Test-only.
 	Inj *faults.Injector
 	// Logf, when non-nil, receives one line per server-side failure.
 	Logf func(format string, args ...any)
+
+	// clk, when non-nil, replaces the real clock. Test-only: the fake
+	// clock drives window and deadline logic without sleeping.
+	clk clock
 }
 
 // Server is the wheretimed HTTP service. Create with New, expose
@@ -91,8 +109,10 @@ type Server struct {
 
 	base    context.Context
 	stop    context.CancelFunc
+	clk     clock
 	sem     chan struct{}
 	flights group
+	batch   *batcher // nil when batching is off
 	mux     *http.ServeMux
 
 	draining    atomic.Bool
@@ -120,6 +140,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = DefaultMaxConcurrent
 	}
+	if cfg.GangWindow < 0 {
+		return nil, fmt.Errorf("server: negative gang window %v", cfg.GangWindow)
+	}
+	if cfg.GangMax < 0 {
+		return nil, fmt.Errorf("server: negative gang max %d", cfg.GangMax)
+	}
+	if cfg.GangMax == 0 {
+		cfg.GangMax = DefaultGangMax
+	}
+	if cfg.clk == nil {
+		cfg.clk = realClock{}
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opts:    cfg.Opts,
@@ -129,11 +161,15 @@ func New(cfg Config) (*Server, error) {
 		logf:    cfg.Logf,
 		base:    base,
 		stop:    stop,
+		clk:     cfg.clk,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		mux:     http.NewServeMux(),
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
+	}
+	if cfg.GangWindow > 0 {
+		s.batch = newBatcher(s, cfg.GangWindow, cfg.GangMax)
 	}
 	s.mux.HandleFunc("/v1/cells", s.handleCells)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -144,9 +180,16 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// BeginDrain stops admitting new cell requests (503) and flips
-// /readyz unready; in-flight measurements keep running. Idempotent.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// BeginDrain stops admitting new cell requests (503), flips /readyz
+// unready, and flushes any half-full batching windows so shutdown
+// never waits out an accumulation window; in-flight measurements keep
+// running. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	if s.batch != nil {
+		s.batch.flush()
+	}
+}
 
 // Draining reports whether drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -158,6 +201,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Close() error {
 	s.BeginDrain()
 	s.flights.wait()
+	if s.batch != nil {
+		s.batch.wait()
+	}
 	s.stop()
 	if s.store != nil {
 		if err := s.store.Flush(); err != nil {
@@ -201,6 +247,9 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	}
 	key := harness.TallyKey(s.opts, spec)
 	f, leader := s.flights.do(key, func() (int, []byte) {
+		if s.batch != nil {
+			return s.runBatched(key, spec, timeout)
+		}
 		return s.runCell(key, spec, timeout)
 	})
 	if !leader {
@@ -229,7 +278,7 @@ func (s *Server) runCell(key string, spec harness.CellSpec, timeout time.Duratio
 				errBody(fmt.Sprintf("internal: worker panic: %v", p))
 		}
 	}()
-	ctx, cancel := context.WithTimeout(s.base, timeout)
+	ctx, cancel := s.clk.WithTimeout(s.base, timeout)
 	defer cancel()
 	select {
 	case s.sem <- struct{}{}:
@@ -252,6 +301,13 @@ func (s *Server) runCell(key string, spec harness.CellSpec, timeout time.Duratio
 		s.logf("wheretimed: measuring %s: %v", spec, err)
 		return http.StatusInternalServerError, errBody("internal: " + err.Error())
 	}
+	return s.cellBody(key, spec, res)
+}
+
+// cellBody renders one spec's response from a measured result set —
+// the shared tail of the solo and gang paths, so a batched request's
+// bytes are produced by exactly the code that produces solo bytes.
+func (s *Server) cellBody(key string, spec harness.CellSpec, res *harness.Results) (int, []byte) {
 	cell, err := res.Get(spec)
 	if err != nil {
 		s.failures.Add(1)
@@ -323,6 +379,19 @@ type storeJSON struct {
 	ReadOnly      bool   `json:"readOnly"`
 }
 
+// batchJSON is the gang-batcher section of /healthz, present only
+// when batching is on.
+type batchJSON struct {
+	WindowMs        float64 `json:"windowMs"`
+	GangMax         int     `json:"gangMax"`
+	BatchedRequests int64   `json:"batchedRequests"`
+	GangsFormed     int64   `json:"gangsFormed"`
+	MeanK           float64 `json:"meanK"` // live members per dispatched gang
+	WindowCloses    int64   `json:"windowCloses"`
+	CapCloses       int64   `json:"capCloses"`
+	DrainFlushes    int64   `json:"drainFlushes"`
+}
+
 // healthJSON is the body of /healthz.
 type healthJSON struct {
 	Status      string     `json:"status"` // "ok" or "degraded"
@@ -331,6 +400,7 @@ type healthJSON struct {
 	Simulations int64      `json:"simulations"`
 	Coalesced   int64      `json:"coalesced"`
 	Failures    int64      `json:"failures"`
+	Batch       *batchJSON `json:"batch,omitempty"`
 	Store       *storeJSON `json:"store,omitempty"`
 }
 
@@ -345,6 +415,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Simulations: s.simulations.Load(),
 		Coalesced:   s.coalesced.Load(),
 		Failures:    s.failures.Load(),
+	}
+	if bt := s.batch; bt != nil {
+		bj := &batchJSON{
+			WindowMs:        float64(bt.window) / float64(time.Millisecond),
+			GangMax:         bt.max,
+			BatchedRequests: bt.batched.Load(),
+			GangsFormed:     bt.gangs.Load(),
+			WindowCloses:    bt.windowCloses.Load(),
+			CapCloses:       bt.capCloses.Load(),
+			DrainFlushes:    bt.drainFlushes.Load(),
+		}
+		if bj.GangsFormed > 0 {
+			bj.MeanK = float64(bt.gangMembers.Load()) / float64(bj.GangsFormed)
+		}
+		h.Batch = bj
 	}
 	if s.store != nil {
 		st := s.store.Stats()

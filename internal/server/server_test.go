@@ -83,15 +83,15 @@ const srsCell = `{"kind":"micro","system":"B","query":"SRS"}`
 
 // TestCoalescedRequests pins the singleflight contract: N concurrent
 // identical POSTs cost one simulation, and every caller gets the same
-// bytes. The injected worker latency holds the flight open long
-// enough for all the followers to attach.
+// bytes. A worker gate holds the leader's flight open until every
+// follower has provably attached — no guessed latency.
 func TestCoalescedRequests(t *testing.T) {
 	store, err := tracestore.Open(t.TempDir())
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
 	inj := faults.New()
-	inj.SlowN(faults.OpWorker, 1, 500*time.Millisecond)
+	entered, release := inj.BlockN(faults.OpWorker, 1)
 	srv, ts := newTestServer(t, store, inj)
 
 	const n = 6
@@ -108,6 +108,9 @@ func TestCoalescedRequests(t *testing.T) {
 			bodies[i] = b
 		}(i)
 	}
+	<-entered // the leader is inside the worker
+	spinUntil(t, "followers to coalesce", func() bool { return srv.coalesced.Load() == n-1 })
+	release()
 	wg.Wait()
 	for i := 1; i < n; i++ {
 		if !bytes.Equal(bodies[0], bodies[i]) {
@@ -207,17 +210,39 @@ func TestCorruptStoreQuarantineAndRecompute(t *testing.T) {
 
 // TestRequestTimeout: a request whose deadline passes answers 504,
 // the next request succeeds, and tearing the server down leaves no
-// goroutines or trace buffers behind.
+// goroutines or trace buffers behind. The deadline is driven by the
+// fake clock: the worker blocks at the fault gate, the clock advances
+// past the request deadline, and only then is the worker released
+// into the (now expired) measurement context.
 func TestRequestTimeout(t *testing.T) {
 	c0, e0, b0 := trace.LiveBuffers()
 	g0 := runtime.NumGoroutine()
 
 	inj := faults.New()
-	inj.SlowN(faults.OpWorker, 1, 300*time.Millisecond)
-	srv, ts := newTestServer(t, nil, inj)
+	entered, release := inj.BlockN(faults.OpWorker, 1)
+	fc := newFakeClock()
+	srv, err := New(Config{Opts: testOpts(), Inj: inj, Logf: t.Logf, clk: fc})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
 
 	slow := `{"kind":"micro","system":"B","query":"SRS","timeoutMs":50}`
-	status, b := postCell(t, ts.URL, slow)
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, b := postCell(t, ts.URL, slow)
+		done <- result{status, b}
+	}()
+	<-entered // the worker holds the request's deadline context open
+	fc.Advance(51 * time.Millisecond)
+	release()
+	r := <-done
+	status, b := r.status, r.body
 	if status != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504: %s", status, b)
 	}
@@ -236,17 +261,8 @@ func TestRequestTimeout(t *testing.T) {
 	if c, e, bl := trace.LiveBuffers(); c != c0 || e != e0 || bl != b0 {
 		t.Errorf("leaked trace buffers: chunks %d->%d encBufs %d->%d blocks %d->%d", c0, c, e0, e, b0, bl)
 	}
-	// Goroutines take a moment to unwind after Close; poll briefly.
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if g := runtime.NumGoroutine(); g <= g0+2 || time.Now().After(deadline) {
-			if g > g0+2 {
-				t.Errorf("goroutines %d -> %d after Close", g0, g)
-			}
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// Goroutines take a moment to unwind after Close; yield, don't sleep.
+	spinUntil(t, "goroutines to unwind", func() bool { return runtime.NumGoroutine() <= g0+2 })
 }
 
 // TestWorkerPanicRecovered: an injected worker panic answers 500 and
@@ -272,10 +288,11 @@ func TestWorkerPanicRecovered(t *testing.T) {
 }
 
 // TestDrainCompletesInFlight: draining flips /readyz and refuses new
-// cells while a request already in flight runs to completion.
+// cells while a request already in flight runs to completion. The
+// worker gate proves the flight is open before drain begins.
 func TestDrainCompletesInFlight(t *testing.T) {
 	inj := faults.New()
-	inj.SlowN(faults.OpWorker, 1, 400*time.Millisecond)
+	entered, release := inj.BlockN(faults.OpWorker, 1)
 	srv, ts := newTestServer(t, nil, inj)
 
 	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
@@ -291,7 +308,7 @@ func TestDrainCompletesInFlight(t *testing.T) {
 		status, b := postCell(t, ts.URL, srsCell)
 		done <- result{status, b}
 	}()
-	time.Sleep(100 * time.Millisecond) // let the flight open
+	<-entered // the flight is open and inside the worker
 	srv.BeginDrain()
 
 	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
@@ -300,6 +317,7 @@ func TestDrainCompletesInFlight(t *testing.T) {
 	if status, _ := postCell(t, ts.URL, srsCell); status != http.StatusServiceUnavailable {
 		t.Errorf("new cell during drain: status %d, want 503", status)
 	}
+	release()
 	r := <-done
 	if r.status != http.StatusOK {
 		t.Errorf("in-flight request during drain: status %d: %s", r.status, r.body)
